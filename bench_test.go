@@ -1,0 +1,271 @@
+// Package tsrbench hosts the benchmark harness: one benchmark per table
+// and figure of the paper's evaluation (driving the experiment harness
+// at a reduced scale), one per DESIGN.md ablation, plus micro-benchmarks
+// of the core operations (sanitization, package codec, signatures,
+// quorum reads).
+//
+// Regenerate the paper-shaped tables at higher scale with:
+//
+//	go run ./cmd/experiments -scale 1.0
+package tsrbench
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"tsr/internal/apk"
+	"tsr/internal/enclave"
+	"tsr/internal/experiments"
+	"tsr/internal/keys"
+	"tsr/internal/sanitize"
+	"tsr/internal/workload"
+)
+
+// benchScale keeps each experiment benchmark in the ~1s range.
+const benchScale = 0.008
+
+func benchCfg() experiments.Config {
+	return experiments.Config{Scale: benchScale, Seed: 1, MaxPackages: 25, QuorumTrials: 3}
+}
+
+// runExperiment runs one registered experiment b.N times.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	runner, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchCfg()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- one benchmark per paper table/figure ------------------------------
+
+func BenchmarkTable1ScriptCensus(b *testing.B)     { runExperiment(b, "table1") }
+func BenchmarkTable2ScriptOperations(b *testing.B) { runExperiment(b, "table2") }
+func BenchmarkTable3RepoInit(b *testing.B)         { runExperiment(b, "table3") }
+func BenchmarkTable4Correlations(b *testing.B)     { runExperiment(b, "table4") }
+func BenchmarkFig8SanitizationTime(b *testing.B)   { runExperiment(b, "fig8") }
+func BenchmarkFig9SizeOverhead(b *testing.B)       { runExperiment(b, "fig9") }
+func BenchmarkFig10CacheLatency(b *testing.B)      { runExperiment(b, "fig10") }
+func BenchmarkFig11EndToEnd(b *testing.B)          { runExperiment(b, "fig11") }
+func BenchmarkFig12SGXOverhead(b *testing.B)       { runExperiment(b, "fig12") }
+func BenchmarkFig13QuorumLatency(b *testing.B)     { runExperiment(b, "fig13") }
+
+// --- ablations ----------------------------------------------------------
+
+func BenchmarkAblationEPCSize(b *testing.B) { runExperiment(b, "ablation-epc") }
+
+func BenchmarkAblationQuorumStrategy(b *testing.B) { runExperiment(b, "ablation-quorum") }
+
+func BenchmarkAblationParallelDownload(b *testing.B) {
+	runner, err := experiments.ByID("ablation-parallel")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchCfg()
+	cfg.Scale = 0.004
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks ----------------------------------------------------
+
+// benchSanitizer builds a sanitizer and an encoded package of the given
+// content size and file count.
+func benchSanitizer(b *testing.B, files int, size int64) (*sanitize.Sanitizer, []byte) {
+	b.Helper()
+	signer := keys.Shared.MustGet("bench-distro")
+	tsrKey := keys.Shared.MustGet("bench-tsr")
+	p := &apk.Package{Name: "bench", Version: "1.0-r0"}
+	per := size / int64(files)
+	for i := 0; i < files; i++ {
+		content := make([]byte, per)
+		for j := range content {
+			content[j] = byte(i * j)
+		}
+		p.Files = append(p.Files, apk.File{
+			Path: fmt.Sprintf("/usr/lib/bench/f%04d", i), Mode: 0o644, Content: content,
+		})
+	}
+	p.Scripts = map[string]string{"post-install": "addgroup -S bench\nadduser -S -G bench bench\n"}
+	if err := apk.Sign(p, signer); err != nil {
+		b.Fatal(err)
+	}
+	raw, err := apk.Encode(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := sanitize.BuildPlan(&sanitize.SliceSource{Packages: []*apk.Package{p}}, nil, tsrKey)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &sanitize.Sanitizer{
+		Plan:      plan,
+		TrustRing: keys.NewRing(signer.Public()),
+		SignKey:   tsrKey,
+		EPC:       enclave.DefaultCostModel(),
+	}, raw
+}
+
+func BenchmarkSanitizeSmallPackage(b *testing.B) {
+	san, raw := benchSanitizer(b, 4, 32<<10)
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := san.Sanitize(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSanitizeManyFiles(b *testing.B) {
+	san, raw := benchSanitizer(b, 128, 256<<10)
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := san.Sanitize(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSanitizeLargePackage(b *testing.B) {
+	san, raw := benchSanitizer(b, 8, 8<<20)
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := san.Sanitize(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPackageEncodeDecode(b *testing.B) {
+	gen := workload.New(workload.Config{Seed: 1, Scale: 0.002})
+	p, err := gen.Build(gen.Specs()[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw, err := apk.Encode(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := apk.Decode(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSignFileDigest(b *testing.B) {
+	signer := keys.Shared.MustGet("bench-distro")
+	content := make([]byte, 64<<10)
+	b.SetBytes(int64(len(content)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := signer.Sign(content); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifySignature(b *testing.B) {
+	signer := keys.Shared.MustGet("bench-distro")
+	content := make([]byte, 64<<10)
+	sig, err := signer.Sign(content)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pub := signer.Public()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pub.Verify(content, sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnclaveSealUnseal(b *testing.B) {
+	platform, err := enclave.NewPlatform(keys.Shared.MustGet("bench-quoting"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := platform.Launch(enclave.MeasureCode("bench"))
+	data := make([]byte, 32<<10)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob, err := enc.Seal(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := enc.Unseal(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSanitizeThroughput reports packages/second over a scaled
+// population, the figure behind Table 3's sanitization row.
+func BenchmarkSanitizeThroughput(b *testing.B) {
+	gen := workload.New(workload.Config{Seed: 1, Scale: 0.004})
+	signer := keys.Shared.MustGet("bench-distro")
+	tsrKey := keys.Shared.MustGet("bench-tsr")
+	type item struct{ raw []byte }
+	var items []item
+	var pkgs []*apk.Package
+	for _, spec := range gen.Specs() {
+		if !spec.Category.SupportedByTSR() {
+			continue
+		}
+		p, err := gen.Build(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := apk.Sign(p, signer); err != nil {
+			b.Fatal(err)
+		}
+		raw, err := apk.Encode(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkgs = append(pkgs, p)
+		items = append(items, item{raw: raw})
+	}
+	plan, err := sanitize.BuildPlan(&sanitize.SliceSource{Packages: pkgs}, nil, tsrKey)
+	if err != nil {
+		b.Fatal(err)
+	}
+	san := &sanitize.Sanitizer{
+		Plan:      plan,
+		TrustRing: keys.NewRing(signer.Public()),
+		SignKey:   tsrKey,
+		EPC:       enclave.DefaultCostModel(),
+	}
+	b.ResetTimer()
+	start := time.Now()
+	var count int
+	for i := 0; i < b.N; i++ {
+		it := items[i%len(items)]
+		if _, err := san.Sanitize(it.raw); err != nil {
+			b.Fatal(err)
+		}
+		count++
+	}
+	elapsed := time.Since(start)
+	if elapsed > 0 {
+		b.ReportMetric(float64(count)/elapsed.Seconds(), "pkgs/s")
+	}
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"-run", "table1", "-scale", "0.01"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-run", "nope"}); err == nil {
+		t.Fatal("want error for unknown experiment")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("want flag parse error")
+	}
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesRepository(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "-scale", "0.003", "-seed", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var apks, index, sig, key int
+	for _, e := range entries {
+		switch {
+		case strings.HasSuffix(e.Name(), ".apk"):
+			apks++
+		case e.Name() == "APKINDEX":
+			index++
+		case e.Name() == "APKINDEX.sig":
+			sig++
+		case e.Name() == "signing-key.pub.pem":
+			key++
+		}
+	}
+	if apks == 0 || index != 1 || sig != 1 || key != 1 {
+		t.Fatalf("dir contents: %d apks, %d index, %d sig, %d key", apks, index, sig, key)
+	}
+	// The index is non-empty text.
+	raw, err := os.ReadFile(filepath.Join(dir, "APKINDEX"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "origin = alpine") {
+		t.Fatalf("index = %q", raw[:60])
+	}
+}
+
+func TestRunSingleRepo(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "-scale", "0.003", "-repo", "main"}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "community-") {
+			t.Fatalf("community package %s written despite -repo main", e.Name())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing -out: want error")
+	}
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "-scale", "0.003", "-repo", "nonexistent"}); err == nil {
+		t.Error("no matching packages: want error")
+	}
+}
+
+func TestRunDebFormat(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "-scale", "0.003", "-format", "deb"}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var debs int
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".deb") {
+			debs++
+			raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.HasPrefix(string(raw), "!<arch>\n") {
+				t.Fatalf("%s is not an ar archive", e.Name())
+			}
+		}
+	}
+	if debs == 0 {
+		t.Fatal("no .deb files written")
+	}
+}
+
+func TestRunBadFormat(t *testing.T) {
+	if err := run([]string{"-out", t.TempDir(), "-format", "rpm"}); err == nil {
+		t.Fatal("want error for unsupported format")
+	}
+}

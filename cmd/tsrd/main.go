@@ -1,0 +1,139 @@
+// Command tsrd runs a TSR server over a simulated deployment: it
+// generates a synthetic Alpine-like repository, stands up mirrors,
+// launches the TSR service in the simulated enclave, and serves the
+// REST API of §5.2.
+//
+// Usage:
+//
+//	tsrd [-addr :8473] [-scale 0.02] [-seed 1]
+//
+// A client session:
+//
+//	curl -X POST --data-binary @policy.yaml localhost:8473/policies
+//	curl -X POST localhost:8473/repos/<id>/refresh
+//	curl localhost:8473/repos/<id>/index
+//	curl -O localhost:8473/repos/<id>/packages/<name>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"tsr/internal/apk"
+	"tsr/internal/enclave"
+	"tsr/internal/keys"
+	"tsr/internal/mirror"
+	"tsr/internal/netsim"
+	"tsr/internal/policy"
+	"tsr/internal/quorum"
+	"tsr/internal/repo"
+	"tsr/internal/tpm"
+	"tsr/internal/tsr"
+	"tsr/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tsrd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tsrd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8473", "listen address")
+	scale := fs.Float64("scale", 0.02, "synthetic repository scale")
+	seed := fs.Int64("seed", 1, "workload seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	svc, examplePolicy, err := buildService(*scale, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("tsrd: example policy for this deployment:")
+	fmt.Println(examplePolicy)
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           tsr.Handler(svc),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("tsrd: listening on %s\n", *addr)
+	return server.ListenAndServe()
+}
+
+// buildService generates the synthetic deployment (repository, mirrors,
+// TSR service) and returns the service plus a ready-to-use policy text.
+func buildService(scaleV float64, seedV int64) (*tsr.Service, string, error) {
+	scale, seed := &scaleV, &seedV
+	fmt.Printf("tsrd: generating synthetic repository (scale %.2f)...\n", *scale)
+	distro, err := keys.Generate("alpine-distro")
+	if err != nil {
+		return nil, "", err
+	}
+	origin := repo.New("alpine", distro)
+	gen := workload.New(workload.Config{Seed: *seed, Scale: *scale})
+	for _, spec := range gen.Specs() {
+		p, err := gen.Build(spec)
+		if err != nil {
+			return nil, "", err
+		}
+		if err := apk.Sign(p, distro); err != nil {
+			return nil, "", err
+		}
+		if err := origin.Publish(p); err != nil {
+			return nil, "", err
+		}
+	}
+	fmt.Printf("tsrd: published %d packages\n", len(gen.Specs()))
+
+	mirrors := map[string]*mirror.Mirror{}
+	for i, c := range []netsim.Continent{netsim.Europe, netsim.Europe, netsim.NorthAmerica} {
+		host := fmt.Sprintf("https://mirror%d/", i)
+		m := mirror.New(host, c)
+		m.Sync(origin)
+		mirrors[host] = m
+	}
+
+	platform, err := enclave.NewPlatform(keys.Shared.MustGet("tsrd-quoting"))
+	if err != nil {
+		return nil, "", err
+	}
+	svc, err := tsr.New(tsr.Config{
+		Platform: platform,
+		TPM:      tpm.New(keys.Shared.MustGet("tsrd-tpm-ak")),
+		Clock:    netsim.RealClock{},
+		Link:     netsim.DefaultLinkModel(netsim.NewRNG(*seed)),
+		Local:    netsim.Europe,
+		Store:    tsr.NewMemStore(),
+		EPC:      enclave.DefaultCostModel(),
+		Resolve: func(m policy.Mirror) (quorum.Source, tsr.PackageFetcher, error) {
+			mm, ok := mirrors[m.Hostname]
+			if !ok {
+				return nil, nil, fmt.Errorf("unknown mirror %q (tsrd serves %d simulated mirrors: https://mirror0..2/)", m.Hostname, len(mirrors))
+			}
+			return mm, mm, nil
+		},
+	})
+	if err != nil {
+		return nil, "", err
+	}
+
+	// A ready-to-use policy for the simulated mirrors.
+	pem, err := distro.Public().MarshalPEM()
+	if err != nil {
+		return nil, "", err
+	}
+	example := policy.Policy{
+		Mirrors: []policy.Mirror{
+			{Hostname: "https://mirror0/", Location: "Europe"},
+			{Hostname: "https://mirror1/", Location: "Europe"},
+			{Hostname: "https://mirror2/", Location: "North America"},
+		},
+		SignerKeys: []string{string(pem)},
+	}
+	return svc, string(example.Marshal()), nil
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"tsr/internal/tsr"
+)
+
+func TestBuildServiceAndServe(t *testing.T) {
+	svc, examplePolicy, err := buildService(0.003, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(examplePolicy, "mirrors:") || !strings.Contains(examplePolicy, "BEGIN PUBLIC KEY") {
+		t.Fatalf("example policy:\n%s", examplePolicy)
+	}
+	srv := httptest.NewServer(tsr.Handler(svc))
+	defer srv.Close()
+
+	// The printed example policy works as-is against the server.
+	resp, err := srv.Client().Post(srv.URL+"/policies", "application/yaml", strings.NewReader(examplePolicy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("deploy status = %d", resp.StatusCode)
+	}
+	var deployed struct {
+		RepositoryID string `json:"repository_id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&deployed); err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := srv.Client().Post(srv.URL+"/repos/"+deployed.RepositoryID+"/refresh", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("refresh status = %d", resp2.StatusCode)
+	}
+	resp3, err := srv.Client().Get(srv.URL + "/repos/" + deployed.RepositoryID + "/index")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("index status = %d", resp3.StatusCode)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("want flag error")
+	}
+}

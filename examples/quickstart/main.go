@@ -1,0 +1,181 @@
+// Quickstart walks the complete Figure 6 flow end to end:
+//
+//  1. an OS distribution publishes packages to its repository; mirrors
+//     sync it;
+//  2. an organization deploys a security policy to TSR (verifying the
+//     enclave via remote attestation) and receives the repository's
+//     public signing key;
+//  3. TSR quorum-reads the metadata index, sanitizes the packages, and
+//     serves them;
+//  4. an integrity-enforced OS installs a package through its package
+//     manager pointed at TSR;
+//  5. the integrity monitoring system attests the OS — and accepts the
+//     update (no false positive).
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"tsr/internal/apk"
+	"tsr/internal/attest"
+	"tsr/internal/enclave"
+	"tsr/internal/keys"
+	"tsr/internal/mirror"
+	"tsr/internal/netsim"
+	"tsr/internal/osimage"
+	"tsr/internal/pkgmgr"
+	"tsr/internal/policy"
+	"tsr/internal/quorum"
+	"tsr/internal/repo"
+	"tsr/internal/tpm"
+	"tsr/internal/tsr"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// --- 1. The distribution publishes packages; mirrors sync. -------
+	distro, err := keys.Generate("alpine@example.org")
+	if err != nil {
+		return err
+	}
+	origin := repo.New("alpine-main", distro)
+	ntpd := &apk.Package{
+		Name: "ntpd", Version: "4.2.8-r0",
+		Scripts: map[string]string{
+			"post-install": "addgroup -S ntp\nadduser -S -G ntp -s /sbin/nologin ntp\nmkdir -p /var/lib/ntp\nchown ntp /var/lib/ntp\n",
+		},
+		Files: []apk.File{
+			{Path: "/usr/sbin/ntpd", Mode: 0o755, Content: []byte("ntpd binary v4.2.8")},
+			{Path: "/etc/ntp.conf.sample", Mode: 0o644, Content: []byte("server pool.ntp.org\n")},
+		},
+	}
+	if err := apk.Sign(ntpd, distro); err != nil {
+		return err
+	}
+	if err := origin.Publish(ntpd); err != nil {
+		return err
+	}
+	mirrors := map[string]*mirror.Mirror{}
+	for i := 0; i < 3; i++ {
+		host := fmt.Sprintf("https://mirror%d.example.org/", i)
+		m := mirror.New(host, netsim.Europe)
+		m.Sync(origin)
+		mirrors[host] = m
+	}
+	fmt.Println("1. published ntpd-4.2.8-r0 to the original repository; 3 mirrors synced")
+
+	// --- 2. Launch TSR and deploy the organization's policy. ---------
+	platform, err := enclave.NewPlatform(keys.Shared.MustGet("quickstart-quoting"))
+	if err != nil {
+		return err
+	}
+	svc, err := tsr.New(tsr.Config{
+		Platform: platform,
+		TPM:      tpm.New(keys.Shared.MustGet("quickstart-host-tpm")),
+		Link:     netsim.DefaultLinkModel(netsim.NewRNG(1)),
+		Clock:    netsim.NewVirtualClock(netsim.RealClock{}.Now()),
+		Local:    netsim.Europe,
+		EPC:      enclave.DefaultCostModel(),
+		Resolve: func(m policy.Mirror) (quorum.Source, tsr.PackageFetcher, error) {
+			mm, ok := mirrors[m.Hostname]
+			if !ok {
+				return nil, nil, fmt.Errorf("unknown mirror %q", m.Hostname)
+			}
+			return mm, mm, nil
+		},
+	})
+	if err != nil {
+		return err
+	}
+	pem, err := distro.Public().MarshalPEM()
+	if err != nil {
+		return err
+	}
+	pol := policy.Policy{
+		Mirrors: []policy.Mirror{
+			{Hostname: "https://mirror0.example.org/", Location: "Europe"},
+			{Hostname: "https://mirror1.example.org/", Location: "Europe"},
+			{Hostname: "https://mirror2.example.org/", Location: "Europe"},
+		},
+		SignerKeys: []string{strings.TrimRight(string(pem), "\n")},
+		InitConfigFiles: []policy.ConfigFile{
+			{Path: osimage.PasswdPath, Content: "root:x:0:0:root:/root:/bin/ash"},
+			{Path: osimage.GroupPath, Content: "root:x:0:"},
+		},
+	}
+	repoID, pubPEM, report, err := svc.DeployPolicy(pol.Marshal())
+	if err != nil {
+		return err
+	}
+	// The OS owner verifies the attestation report before trusting the
+	// returned key (Figure 7, steps 1-5).
+	if err := report.Verify(platform.QuotingKey(), tsr.Measurement()); err != nil {
+		return fmt.Errorf("enclave attestation failed: %w", err)
+	}
+	tsrPub, err := keys.ParsePEM("tsr-"+repoID, pubPEM)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("2. policy deployed: repository %s, TSR key fingerprint %s (enclave verified)\n",
+		repoID, tsrPub.Fingerprint())
+
+	// --- 3. TSR refreshes: quorum read + sanitization. ----------------
+	tenant, err := svc.Repo(repoID)
+	if err != nil {
+		return err
+	}
+	stats, err := tenant.Refresh()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("3. refresh: quorum of %d mirrors in %v; %d sanitized, %d rejected\n",
+		stats.MirrorsContacted, stats.QuorumLatency.Round(1e6), stats.Sanitized, stats.Rejected)
+
+	// --- 4. The integrity-enforced OS installs through TSR. -----------
+	img, err := osimage.New(keys.Shared.MustGet("quickstart-os-ak"), pol.InitConfigFiles)
+	if err != nil {
+		return err
+	}
+	// The monitoring system whitelists the golden image and is told to
+	// trust the TSR key.
+	verifier := attest.NewVerifier(img.TPM.AttestationKey(), keys.NewRing(tsrPub))
+	if err := img.IMA.MeasureTree("/etc"); err != nil {
+		return err
+	}
+	verifier.WhitelistImage(img)
+
+	mgr := pkgmgr.New(img, tenant, keys.NewRing(tsrPub), keys.NewRing(tsrPub))
+	if err := mgr.Refresh(); err != nil {
+		return err
+	}
+	if _, err := mgr.Install("ntpd"); err != nil {
+		return err
+	}
+	passwd, err := img.FS.ReadFile(osimage.PasswdPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("4. installed ntpd through TSR; /etc/passwd now has %d accounts\n",
+		strings.Count(string(passwd), "\n"))
+
+	// --- 5. Remote attestation accepts the updated OS. ----------------
+	result, err := verifier.Attest(img)
+	if err != nil {
+		return err
+	}
+	if !result.OK {
+		return fmt.Errorf("unexpected violations: %+v", result.Violations())
+	}
+	fmt.Printf("5. attestation OK: %d measurements, 0 violations — the update did not break integrity\n",
+		len(result.Findings))
+	return nil
+}

@@ -1,0 +1,510 @@
+// Package apk implements the Alpine-style package format the paper
+// targets (Figure 3): an archive of three concatenated gzip streams —
+//
+//	signature segment: ".SIGN.RSA.<key name>" files holding digital
+//	  signatures issued over the raw control segment,
+//	control segment: ".PKGINFO" (name, version, dependencies, and the
+//	  hash of the data segment) plus installation scripts,
+//	data segment: the package files, with extended attributes (such as
+//	  the per-file IMA signatures TSR injects) carried in PAX headers,
+//	  exactly as §5.3 describes.
+//
+// Both segments are tar archives. The control segment's exact bytes are
+// what the signature covers, so Decode keeps them available for
+// verification and Encode is deterministic.
+package apk
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Signature and segment naming conventions.
+const (
+	// SignaturePrefix prefixes signature member names in the signature
+	// segment, followed by the signing key name.
+	SignaturePrefix = ".SIGN.RSA."
+	// ControlName is the metadata member inside the control segment.
+	ControlName = ".PKGINFO"
+	// XattrIMA is the PAX/xattr key carrying a file's IMA signature
+	// (EVM portable signature in real systems).
+	XattrIMA = "security.ima"
+	// paxXattrPrefix is the PAX record prefix GNU/star use for xattrs.
+	paxXattrPrefix = "SCHILY.xattr."
+)
+
+// Error sentinels.
+var (
+	ErrFormat      = errors.New("apk: malformed package")
+	ErrContentHash = errors.New("apk: data segment hash mismatch")
+)
+
+// File is one entry of the data segment.
+type File struct {
+	// Path is absolute inside the target filesystem ("/usr/bin/x").
+	Path string
+	// Mode holds the permission bits.
+	Mode uint32
+	// Content is the file payload.
+	Content []byte
+	// Xattrs carries extended attributes (PAX records on the wire).
+	Xattrs map[string][]byte
+}
+
+// Package is a parsed (or to-be-encoded) software package.
+type Package struct {
+	// Name, Version and Arch identify the package.
+	Name    string
+	Version string
+	Arch    string
+	// Depends lists package names this package requires.
+	Depends []string
+	// Scripts maps hook names ("pre-install", "post-install",
+	// "pre-upgrade", "post-upgrade") to script source text.
+	Scripts map[string]string
+	// Files is the data segment contents.
+	Files []File
+	// Signatures maps signing key names to signatures over the raw
+	// control segment.
+	Signatures map[string][]byte
+}
+
+// Clone returns a deep copy, used by the sanitizer which rewrites the
+// package without mutating the original.
+func (p *Package) Clone() *Package {
+	cp := &Package{
+		Name:    p.Name,
+		Version: p.Version,
+		Arch:    p.Arch,
+		Depends: append([]string(nil), p.Depends...),
+	}
+	if p.Scripts != nil {
+		cp.Scripts = make(map[string]string, len(p.Scripts))
+		for k, v := range p.Scripts {
+			cp.Scripts[k] = v
+		}
+	}
+	if p.Signatures != nil {
+		cp.Signatures = make(map[string][]byte, len(p.Signatures))
+		for k, v := range p.Signatures {
+			cp.Signatures[k] = append([]byte(nil), v...)
+		}
+	}
+	cp.Files = make([]File, len(p.Files))
+	for i, f := range p.Files {
+		nf := File{Path: f.Path, Mode: f.Mode, Content: append([]byte(nil), f.Content...)}
+		if f.Xattrs != nil {
+			nf.Xattrs = make(map[string][]byte, len(f.Xattrs))
+			for k, v := range f.Xattrs {
+				nf.Xattrs[k] = append([]byte(nil), v...)
+			}
+		}
+		cp.Files[i] = nf
+	}
+	return cp
+}
+
+// ScriptNames returns the script hook names in sorted order.
+func (p *Package) ScriptNames() []string {
+	names := make([]string, 0, len(p.Scripts))
+	for n := range p.Scripts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FileCount returns the number of files in the data segment.
+func (p *Package) FileCount() int { return len(p.Files) }
+
+// UncompressedSize returns the total content size of the data segment,
+// the "uncompressed package size" axis of Figure 8.
+func (p *Package) UncompressedSize() int64 {
+	var n int64
+	for _, f := range p.Files {
+		n += int64(len(f.Content))
+	}
+	return n
+}
+
+// DataHash computes the SHA-256 of the encoded data segment; this is the
+// "hash of the package contents" stored in the control segment.
+func (p *Package) DataHash() ([32]byte, error) {
+	data, err := encodeDataSegment(p.Files)
+	if err != nil {
+		return [32]byte{}, err
+	}
+	return sha256.Sum256(data), nil
+}
+
+// ControlBytes renders the control segment exactly as Encode embeds it;
+// signatures are issued over these bytes.
+func (p *Package) ControlBytes() ([]byte, error) {
+	hash, err := p.DataHash()
+	if err != nil {
+		return nil, err
+	}
+	return encodeControlSegment(p, hash)
+}
+
+// Encode serializes the package to its on-wire form.
+func Encode(p *Package) ([]byte, error) {
+	control, err := p.ControlBytes()
+	if err != nil {
+		return nil, err
+	}
+	sigSeg, err := encodeSignatureSegment(p.Signatures)
+	if err != nil {
+		return nil, err
+	}
+	dataSeg, err := encodeDataSegment(p.Files)
+	if err != nil {
+		return nil, err
+	}
+	var out bytes.Buffer
+	for _, seg := range [][]byte{sigSeg, control, dataSeg} {
+		gz := gzip.NewWriter(&out)
+		if _, err := gz.Write(seg); err != nil {
+			return nil, fmt.Errorf("apk: compressing segment: %w", err)
+		}
+		if err := gz.Close(); err != nil {
+			return nil, fmt.Errorf("apk: compressing segment: %w", err)
+		}
+	}
+	return out.Bytes(), nil
+}
+
+// Decode parses an encoded package, verifying the control segment's
+// content hash against the data segment.
+func Decode(raw []byte) (*Package, error) {
+	segs, err := splitGzipMembers(raw, 3)
+	if err != nil {
+		return nil, err
+	}
+	p := &Package{}
+	if err := decodeSignatureSegment(segs[0], p); err != nil {
+		return nil, err
+	}
+	declaredHash, err := decodeControlSegment(segs[1], p)
+	if err != nil {
+		return nil, err
+	}
+	if err := decodeDataSegment(segs[2], p); err != nil {
+		return nil, err
+	}
+	actual := sha256.Sum256(segs[2])
+	if actual != declaredHash {
+		return nil, fmt.Errorf("%w: declared %x, actual %x", ErrContentHash, declaredHash[:8], actual[:8])
+	}
+	return p, nil
+}
+
+// RawControlSegment extracts the exact control segment bytes from an
+// encoded package, for signature verification without a full decode.
+// Only the signature and control members are decompressed — the (much
+// larger) data segment is not touched, so the integrity check costs
+// roughly the same regardless of package size.
+func RawControlSegment(raw []byte) ([]byte, error) {
+	segs, err := splitGzipPrefix(raw, 2)
+	if err != nil {
+		return nil, err
+	}
+	return segs[1], nil
+}
+
+// splitGzipMembers decompresses exactly n concatenated gzip members and
+// requires the input to end after them.
+func splitGzipMembers(raw []byte, n int) ([][]byte, error) {
+	segs, r, err := splitMembers(raw, n)
+	if err != nil {
+		return nil, err
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrFormat, r.Len())
+	}
+	return segs, nil
+}
+
+// splitGzipPrefix decompresses the first n members, ignoring the rest.
+func splitGzipPrefix(raw []byte, n int) ([][]byte, error) {
+	segs, _, err := splitMembers(raw, n)
+	return segs, err
+}
+
+func splitMembers(raw []byte, n int) ([][]byte, *bytes.Reader, error) {
+	r := bytes.NewReader(raw)
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	gz.Multistream(false)
+	var segs [][]byte
+	for i := 0; i < n; i++ {
+		var buf bytes.Buffer
+		if _, err := io.Copy(&buf, gz); err != nil {
+			return nil, nil, fmt.Errorf("%w: segment %d: %v", ErrFormat, i, err)
+		}
+		segs = append(segs, buf.Bytes())
+		if i == n-1 {
+			break
+		}
+		if err := gz.Reset(r); err != nil {
+			if err == io.EOF {
+				return nil, nil, fmt.Errorf("%w: only %d of %d segments", ErrFormat, i+1, n)
+			}
+			return nil, nil, fmt.Errorf("%w: segment %d: %v", ErrFormat, i+1, err)
+		}
+		gz.Multistream(false)
+	}
+	return segs, r, nil
+}
+
+// tarEpoch is the fixed timestamp used for all archive members, keeping
+// encoding deterministic (same package bytes in, same bytes out).
+var tarEpoch = time.Unix(0, 0)
+
+func encodeSignatureSegment(sigs map[string][]byte) ([]byte, error) {
+	var buf bytes.Buffer
+	tw := tar.NewWriter(&buf)
+	names := make([]string, 0, len(sigs))
+	for name := range sigs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sig := sigs[name]
+		hdr := &tar.Header{
+			Name:    SignaturePrefix + name,
+			Mode:    0o644,
+			Size:    int64(len(sig)),
+			ModTime: tarEpoch,
+			Format:  tar.FormatPAX,
+		}
+		if err := tw.WriteHeader(hdr); err != nil {
+			return nil, fmt.Errorf("apk: signature segment: %w", err)
+		}
+		if _, err := tw.Write(sig); err != nil {
+			return nil, fmt.Errorf("apk: signature segment: %w", err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		return nil, fmt.Errorf("apk: signature segment: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeSignatureSegment(seg []byte, p *Package) error {
+	tr := tar.NewReader(bytes.NewReader(seg))
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("%w: signature segment: %v", ErrFormat, err)
+		}
+		if !strings.HasPrefix(hdr.Name, SignaturePrefix) {
+			return fmt.Errorf("%w: unexpected signature member %q", ErrFormat, hdr.Name)
+		}
+		sig, err := io.ReadAll(tr)
+		if err != nil {
+			return fmt.Errorf("%w: signature segment: %v", ErrFormat, err)
+		}
+		if p.Signatures == nil {
+			p.Signatures = make(map[string][]byte)
+		}
+		p.Signatures[strings.TrimPrefix(hdr.Name, SignaturePrefix)] = sig
+	}
+}
+
+// encodeControlSegment renders .PKGINFO and the script members.
+func encodeControlSegment(p *Package, dataHash [32]byte) ([]byte, error) {
+	var info bytes.Buffer
+	fmt.Fprintf(&info, "pkgname = %s\n", p.Name)
+	fmt.Fprintf(&info, "pkgver = %s\n", p.Version)
+	if p.Arch != "" {
+		fmt.Fprintf(&info, "arch = %s\n", p.Arch)
+	}
+	deps := append([]string(nil), p.Depends...)
+	sort.Strings(deps)
+	for _, d := range deps {
+		fmt.Fprintf(&info, "depend = %s\n", d)
+	}
+	fmt.Fprintf(&info, "datahash = %x\n", dataHash)
+
+	var buf bytes.Buffer
+	tw := tar.NewWriter(&buf)
+	write := func(name string, content []byte) error {
+		hdr := &tar.Header{
+			Name:    name,
+			Mode:    0o644,
+			Size:    int64(len(content)),
+			ModTime: tarEpoch,
+			Format:  tar.FormatPAX,
+		}
+		if err := tw.WriteHeader(hdr); err != nil {
+			return err
+		}
+		_, err := tw.Write(content)
+		return err
+	}
+	if err := write(ControlName, info.Bytes()); err != nil {
+		return nil, fmt.Errorf("apk: control segment: %w", err)
+	}
+	for _, name := range p.ScriptNames() {
+		if err := write("."+name, []byte(p.Scripts[name])); err != nil {
+			return nil, fmt.Errorf("apk: control segment: %w", err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		return nil, fmt.Errorf("apk: control segment: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeControlSegment(seg []byte, p *Package) ([32]byte, error) {
+	var dataHash [32]byte
+	seenInfo := false
+	tr := tar.NewReader(bytes.NewReader(seg))
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return dataHash, fmt.Errorf("%w: control segment: %v", ErrFormat, err)
+		}
+		content, err := io.ReadAll(tr)
+		if err != nil {
+			return dataHash, fmt.Errorf("%w: control segment: %v", ErrFormat, err)
+		}
+		if hdr.Name == ControlName {
+			seenInfo = true
+			if err := parsePkgInfo(content, p, &dataHash); err != nil {
+				return dataHash, err
+			}
+			continue
+		}
+		if !strings.HasPrefix(hdr.Name, ".") {
+			return dataHash, fmt.Errorf("%w: unexpected control member %q", ErrFormat, hdr.Name)
+		}
+		if p.Scripts == nil {
+			p.Scripts = make(map[string]string)
+		}
+		p.Scripts[strings.TrimPrefix(hdr.Name, ".")] = string(content)
+	}
+	if !seenInfo {
+		return dataHash, fmt.Errorf("%w: missing %s", ErrFormat, ControlName)
+	}
+	return dataHash, nil
+}
+
+func parsePkgInfo(content []byte, p *Package, dataHash *[32]byte) error {
+	for _, line := range strings.Split(string(content), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, value, ok := strings.Cut(line, " = ")
+		if !ok {
+			return fmt.Errorf("%w: bad PKGINFO line %q", ErrFormat, line)
+		}
+		switch key {
+		case "pkgname":
+			p.Name = value
+		case "pkgver":
+			p.Version = value
+		case "arch":
+			p.Arch = value
+		case "depend":
+			p.Depends = append(p.Depends, value)
+		case "datahash":
+			decoded, err := hex.DecodeString(value)
+			if err != nil || len(decoded) != 32 {
+				return fmt.Errorf("%w: bad datahash %q", ErrFormat, value)
+			}
+			copy(dataHash[:], decoded)
+		default:
+			return fmt.Errorf("%w: unknown PKGINFO key %q", ErrFormat, key)
+		}
+	}
+	if p.Name == "" || p.Version == "" {
+		return fmt.Errorf("%w: PKGINFO missing pkgname/pkgver", ErrFormat)
+	}
+	return nil
+}
+
+func encodeDataSegment(files []File) ([]byte, error) {
+	var buf bytes.Buffer
+	tw := tar.NewWriter(&buf)
+	sorted := append([]File(nil), files...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
+	for _, f := range sorted {
+		if !strings.HasPrefix(f.Path, "/") {
+			return nil, fmt.Errorf("%w: file path %q not absolute", ErrFormat, f.Path)
+		}
+		hdr := &tar.Header{
+			Name:    strings.TrimPrefix(f.Path, "/"),
+			Mode:    int64(f.Mode),
+			Size:    int64(len(f.Content)),
+			ModTime: tarEpoch,
+			Format:  tar.FormatPAX,
+		}
+		if len(f.Xattrs) > 0 {
+			hdr.PAXRecords = make(map[string]string, len(f.Xattrs))
+			for k, v := range f.Xattrs {
+				hdr.PAXRecords[paxXattrPrefix+k] = string(v)
+			}
+		}
+		if err := tw.WriteHeader(hdr); err != nil {
+			return nil, fmt.Errorf("apk: data segment: %w", err)
+		}
+		if _, err := tw.Write(f.Content); err != nil {
+			return nil, fmt.Errorf("apk: data segment: %w", err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		return nil, fmt.Errorf("apk: data segment: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeDataSegment(seg []byte, p *Package) error {
+	tr := tar.NewReader(bytes.NewReader(seg))
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("%w: data segment: %v", ErrFormat, err)
+		}
+		content, err := io.ReadAll(tr)
+		if err != nil {
+			return fmt.Errorf("%w: data segment: %v", ErrFormat, err)
+		}
+		f := File{
+			Path:    "/" + hdr.Name,
+			Mode:    uint32(hdr.Mode),
+			Content: content,
+		}
+		for k, v := range hdr.PAXRecords {
+			if strings.HasPrefix(k, paxXattrPrefix) {
+				if f.Xattrs == nil {
+					f.Xattrs = make(map[string][]byte)
+				}
+				f.Xattrs[strings.TrimPrefix(k, paxXattrPrefix)] = []byte(v)
+			}
+		}
+		p.Files = append(p.Files, f)
+	}
+}

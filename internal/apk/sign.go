@@ -1,0 +1,55 @@
+package apk
+
+import (
+	"errors"
+	"fmt"
+
+	"tsr/internal/keys"
+)
+
+// ErrUntrusted is returned when no trusted key vouches for a package.
+var ErrUntrusted = errors.New("apk: package not signed by a trusted key")
+
+// Sign issues a signature over the package's control segment with the
+// given key and records it in the signature segment, replacing any
+// existing signature by the same key name.
+func Sign(p *Package, pair *keys.Pair) error {
+	control, err := p.ControlBytes()
+	if err != nil {
+		return err
+	}
+	sig, err := pair.Sign(control)
+	if err != nil {
+		return err
+	}
+	if p.Signatures == nil {
+		p.Signatures = make(map[string][]byte)
+	}
+	p.Signatures[pair.Name] = sig
+	return nil
+}
+
+// VerifyRaw checks that an encoded package carries a signature by a ring
+// key over its exact control segment bytes, then fully decodes it (which
+// also verifies the data-segment hash). It returns the package and the
+// name of the key that verified it.
+//
+// This is the check both the package manager (§2.2, "verifies that a
+// trusted entity created the package") and TSR's sanitizer perform.
+func VerifyRaw(raw []byte, ring *keys.Ring) (*Package, string, error) {
+	control, err := RawControlSegment(raw)
+	if err != nil {
+		return nil, "", err
+	}
+	p, err := Decode(raw)
+	if err != nil {
+		return nil, "", err
+	}
+	for name, sig := range p.Signatures {
+		if err := ring.VerifyBy(name, control, sig); err == nil {
+			return p, name, nil
+		}
+	}
+	return nil, "", fmt.Errorf("%w: %s-%s (have %d signatures, %d trusted keys)",
+		ErrUntrusted, p.Name, p.Version, len(p.Signatures), ring.Len())
+}

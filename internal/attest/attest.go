@@ -1,0 +1,175 @@
+// Package attest implements the integrity monitoring system (Figure 1,
+// Figure 6 component B): it remotely attests an integrity-enforced OS by
+// obtaining a TPM quote over PCR 10, replaying the IMA measurement log
+// against the quoted PCR, and then judging every measured file.
+//
+// A file is accepted if
+//   - its IMA signature verifies against a trusted key (the distribution
+//     key or, after TSR deployment, the TSR repository key), or
+//   - its content hash appears in the whitelist of the known base image.
+//
+// Everything else is a violation. Without TSR, a legitimate software
+// update produces violations — the false positives of Figure 1 — which
+// the examples and experiments demonstrate.
+package attest
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+
+	"tsr/internal/ima"
+	"tsr/internal/keys"
+	"tsr/internal/osimage"
+	"tsr/internal/tpm"
+)
+
+// Error sentinels.
+var (
+	ErrQuote  = errors.New("attest: quote verification failed")
+	ErrReplay = errors.New("attest: IMA log does not replay to quoted PCR")
+)
+
+// Reason classifies why a file was accepted or rejected.
+type Reason int
+
+const (
+	// AcceptedSignature: a trusted key signed the file's content.
+	AcceptedSignature Reason = iota
+	// AcceptedWhitelist: the content hash is in the known-good list.
+	AcceptedWhitelist
+	// ViolationUnknownHash: no signature and hash not whitelisted.
+	ViolationUnknownHash
+	// ViolationBadSignature: carries a signature no trusted key made.
+	ViolationBadSignature
+)
+
+// String implements fmt.Stringer.
+func (r Reason) String() string {
+	switch r {
+	case AcceptedSignature:
+		return "accepted (trusted signature)"
+	case AcceptedWhitelist:
+		return "accepted (whitelisted hash)"
+	case ViolationUnknownHash:
+		return "violation (unknown measurement)"
+	case ViolationBadSignature:
+		return "violation (untrusted signature)"
+	default:
+		return fmt.Sprintf("Reason(%d)", int(r))
+	}
+}
+
+// Finding is the verdict for one IMA log entry.
+type Finding struct {
+	Path   string
+	Reason Reason
+	// KeyName names the verifying key for AcceptedSignature.
+	KeyName string
+}
+
+// Result of one attestation round.
+type Result struct {
+	// OK is true when no violations were found.
+	OK bool
+	// Findings holds one verdict per measured file.
+	Findings []Finding
+}
+
+// Violations returns the subset of findings that are violations.
+func (r *Result) Violations() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Reason == ViolationUnknownHash || f.Reason == ViolationBadSignature {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Verifier is a monitoring system instance.
+type Verifier struct {
+	// AIK is the attestation key of the monitored machine's TPM.
+	AIK *keys.Public
+	// Trusted verifies per-file IMA signatures (distribution + TSR keys).
+	Trusted *keys.Ring
+	// Whitelist holds known-good file content hashes (the golden image).
+	Whitelist map[[32]byte]bool
+}
+
+// NewVerifier creates a verifier with an empty whitelist.
+func NewVerifier(aik *keys.Public, trusted *keys.Ring) *Verifier {
+	return &Verifier{AIK: aik, Trusted: trusted, Whitelist: make(map[[32]byte]bool)}
+}
+
+// WhitelistImage adds the current content hashes of every measured file
+// in the image's IMA log — the "list of approved software" a verifier
+// provisions from the golden image before deployment.
+func (v *Verifier) WhitelistImage(img *osimage.Image) {
+	for _, e := range img.IMA.Log() {
+		v.Whitelist[e.FileHash] = true
+	}
+}
+
+// TrustKey adds a key to the trusted signature ring — the §4.5 step of
+// "adjusting integrity monitoring systems configuration to trust TSR
+// signing key".
+func (v *Verifier) TrustKey(k *keys.Public) {
+	if v.Trusted == nil {
+		v.Trusted = keys.NewRing()
+	}
+	v.Trusted.Add(k)
+}
+
+// Attest runs one remote attestation round against the image: nonce
+// challenge, TPM quote over PCR 10, log replay, per-entry judgment.
+func (v *Verifier) Attest(img *osimage.Image) (*Result, error) {
+	nonce := make([]byte, 20)
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("attest: nonce: %w", err)
+	}
+	quote, err := img.TPM.Quote(nonce, tpm.PCRIMA)
+	if err != nil {
+		return nil, fmt.Errorf("attest: quoting: %w", err)
+	}
+	log := img.IMA.Log()
+	return v.Evaluate(quote, nonce, log)
+}
+
+// Evaluate verifies a quote + log pair (already transported from the
+// remote machine) and judges every entry.
+func (v *Verifier) Evaluate(quote *tpm.Quote, nonce []byte, log []ima.Entry) (*Result, error) {
+	if err := quote.Verify(v.AIK, nonce); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrQuote, err)
+	}
+	quoted, ok := quote.PCRs[tpm.PCRIMA]
+	if !ok {
+		return nil, fmt.Errorf("%w: quote lacks PCR %d", ErrQuote, tpm.PCRIMA)
+	}
+	if ima.ReplayPCR(log) != quoted {
+		return nil, ErrReplay
+	}
+	res := &Result{OK: true}
+	for _, e := range log {
+		f := Finding{Path: e.Path}
+		switch {
+		case e.Sig != nil:
+			if keyName, err := v.Trusted.VerifyAnyDigest(e.FileHash, e.Sig); err == nil {
+				f.Reason = AcceptedSignature
+				f.KeyName = keyName
+			} else if v.Whitelist[e.FileHash] {
+				f.Reason = AcceptedWhitelist
+			} else {
+				f.Reason = ViolationBadSignature
+				res.OK = false
+			}
+		case v.Whitelist[e.FileHash]:
+			f.Reason = AcceptedWhitelist
+		default:
+			f.Reason = ViolationUnknownHash
+			res.OK = false
+		}
+		res.Findings = append(res.Findings, f)
+	}
+	return res, nil
+}

@@ -1,0 +1,225 @@
+package attest
+
+import (
+	"errors"
+	"testing"
+
+	"tsr/internal/ima"
+	"tsr/internal/keys"
+	"tsr/internal/osimage"
+	"tsr/internal/tpm"
+)
+
+func newImage(t *testing.T) *osimage.Image {
+	t.Helper()
+	img, err := osimage.New(keys.Shared.MustGet("os-ak"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func baseVerifier(t *testing.T, img *osimage.Image) *Verifier {
+	t.Helper()
+	distro := keys.Shared.MustGet("distro-signer")
+	v := NewVerifier(img.TPM.AttestationKey(), keys.NewRing(distro.Public()))
+	return v
+}
+
+// measureBase measures the golden image and whitelists it.
+func measureBase(t *testing.T, img *osimage.Image, v *Verifier) {
+	t.Helper()
+	if err := img.IMA.MeasureTree("/etc"); err != nil {
+		t.Fatal(err)
+	}
+	v.WhitelistImage(img)
+}
+
+func TestCleanSystemAttests(t *testing.T) {
+	img := newImage(t)
+	v := baseVerifier(t, img)
+	measureBase(t, img, v)
+	res, err := v.Attest(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("violations on clean system: %+v", res.Violations())
+	}
+	if len(res.Findings) == 0 {
+		t.Fatal("no findings")
+	}
+}
+
+func TestUnknownFileIsViolation(t *testing.T) {
+	// Figure 1's true positive: software tampered by an adversary.
+	img := newImage(t)
+	v := baseVerifier(t, img)
+	measureBase(t, img, v)
+	if err := img.FS.WriteFile("/usr/bin/backdoor", []byte("evil"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := img.IMA.MeasureFile("/usr/bin/backdoor"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := v.Attest(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK {
+		t.Fatal("backdoor accepted")
+	}
+	viol := res.Violations()
+	if len(viol) != 1 || viol[0].Path != "/usr/bin/backdoor" || viol[0].Reason != ViolationUnknownHash {
+		t.Fatalf("violations = %+v", viol)
+	}
+}
+
+func TestUpdateWithoutSignaturesIsFalsePositive(t *testing.T) {
+	// Figure 1's false positive: a legitimate update changes hashes the
+	// verifier does not know.
+	img := newImage(t)
+	v := baseVerifier(t, img)
+	measureBase(t, img, v)
+	// Legitimate update: new binary version, no IMA signature.
+	if err := img.FS.WriteFile("/usr/bin/openssl", []byte("openssl 1.1.1g security fix"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := img.IMA.MeasureFile("/usr/bin/openssl"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := v.Attest(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK {
+		t.Fatal("expected the false positive without TSR")
+	}
+}
+
+func TestSignedUpdateAccepted(t *testing.T) {
+	// With per-file signatures from a trusted key (what TSR injects),
+	// the same update attests cleanly: no false positive.
+	img := newImage(t)
+	v := baseVerifier(t, img)
+	measureBase(t, img, v)
+	tsrKey := keys.Shared.MustGet("tsr-signing-key")
+	v.TrustKey(tsrKey.Public())
+
+	content := []byte("openssl 1.1.1g security fix")
+	sig, err := ima.SignFileDigest(tsrKey, content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := img.FS.WriteFile("/usr/bin/openssl", content, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := img.FS.SetXattr("/usr/bin/openssl", ima.XattrIMA, sig); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := img.IMA.MeasureFile("/usr/bin/openssl"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := v.Attest(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("signed update rejected: %+v", res.Violations())
+	}
+	// The finding records which key vouched.
+	var found bool
+	for _, f := range res.Findings {
+		if f.Path == "/usr/bin/openssl" {
+			found = true
+			if f.Reason != AcceptedSignature || f.KeyName != tsrKey.Name {
+				t.Fatalf("finding = %+v", f)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no finding for updated file")
+	}
+}
+
+func TestRogueSignatureIsViolation(t *testing.T) {
+	img := newImage(t)
+	v := baseVerifier(t, img)
+	measureBase(t, img, v)
+	rogue := keys.Shared.MustGet("rogue-signer")
+	content := []byte("evil")
+	sig, err := ima.SignFileDigest(rogue, content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := img.FS.WriteFile("/usr/bin/evil", content, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := img.FS.SetXattr("/usr/bin/evil", ima.XattrIMA, sig); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := img.IMA.MeasureFile("/usr/bin/evil"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := v.Attest(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viol := res.Violations()
+	if len(viol) != 1 || viol[0].Reason != ViolationBadSignature {
+		t.Fatalf("violations = %+v", viol)
+	}
+}
+
+func TestEvaluateRejectsTamperedLog(t *testing.T) {
+	// An adversary with root rewrites the IMA log to hide a measurement
+	// — but cannot rewind the TPM PCR, so replay fails.
+	img := newImage(t)
+	v := baseVerifier(t, img)
+	measureBase(t, img, v)
+	if err := img.FS.WriteFile("/usr/bin/backdoor", []byte("evil"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := img.IMA.MeasureFile("/usr/bin/backdoor"); err != nil {
+		t.Fatal(err)
+	}
+	nonce := []byte("challenge")
+	quote, err := img.TPM.Quote(nonce, tpm.PCRIMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := img.IMA.Log()
+	scrubbed := log[:len(log)-1] // hide the backdoor measurement
+	if _, err := v.Evaluate(quote, nonce, scrubbed); !errors.Is(err, ErrReplay) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEvaluateRejectsForgedQuote(t *testing.T) {
+	img := newImage(t)
+	v := baseVerifier(t, img)
+	measureBase(t, img, v)
+	otherTPM := tpm.New(keys.Shared.MustGet("other-ak"))
+	nonce := []byte("challenge")
+	quote, err := otherTPM.Quote(nonce, tpm.PCRIMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Evaluate(quote, nonce, nil); !errors.Is(err, ErrQuote) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReasonString(t *testing.T) {
+	for r, want := range map[Reason]string{
+		AcceptedSignature:     "accepted (trusted signature)",
+		AcceptedWhitelist:     "accepted (whitelisted hash)",
+		ViolationUnknownHash:  "violation (unknown measurement)",
+		ViolationBadSignature: "violation (untrusted signature)",
+		Reason(9):             "Reason(9)",
+	} {
+		if got := r.String(); got != want {
+			t.Errorf("%d.String() = %q", int(r), got)
+		}
+	}
+}

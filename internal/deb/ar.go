@@ -1,0 +1,98 @@
+// Package deb implements a Debian-style package codec over the same
+// in-memory package model as package apk — the paper's stated future
+// work ("In the future, we plan to add support for other formats (i.e.,
+// deb, rpm)", §5.1). A .deb is an ar(1) archive with three members:
+//
+//	debian-binary   the format version string ("2.0\n")
+//	control.tar.gz  package metadata and maintainer scripts
+//	data.tar.gz     the filesystem payload (PAX xattrs carry the
+//	                per-file IMA signatures, as in §5.3)
+//
+// Signatures are carried in an additional leading member per signer
+// ("_gpgtsr.<key>"), mirroring the dpkg-sig convention; they cover the
+// raw control.tar.gz bytes, so the same verification flow as apk
+// applies. The codec converts losslessly to and from apk.Package, which
+// keeps TSR's sanitizer format-agnostic.
+package deb
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ErrAr is the sentinel for malformed ar archives.
+var ErrAr = errors.New("deb: malformed ar archive")
+
+// arMagic is the global header of an ar(1) archive.
+const arMagic = "!<arch>\n"
+
+// arMember is one file inside an ar archive.
+type arMember struct {
+	Name string
+	Data []byte
+}
+
+// arEncode renders members as a BSD/common ar archive with fixed
+// metadata (deterministic output, like apk's fixed tar timestamps).
+func arEncode(members []arMember) ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteString(arMagic)
+	for _, m := range members {
+		if len(m.Name) > 16 {
+			return nil, fmt.Errorf("%w: member name %q too long", ErrAr, m.Name)
+		}
+		if strings.ContainsAny(m.Name, " /\n") {
+			return nil, fmt.Errorf("%w: member name %q has invalid characters", ErrAr, m.Name)
+		}
+		// name(16) mtime(12) uid(6) gid(6) mode(8) size(10) end(2)
+		fmt.Fprintf(&b, "%-16s%-12d%-6d%-6d%-8s%-10d`\n",
+			m.Name, 0, 0, 0, "100644", len(m.Data))
+		b.Write(m.Data)
+		if len(m.Data)%2 == 1 {
+			b.WriteByte('\n') // ar pads members to even offsets
+		}
+	}
+	return b.Bytes(), nil
+}
+
+// arDecode parses an ar archive.
+func arDecode(raw []byte) ([]arMember, error) {
+	if len(raw) < len(arMagic) || string(raw[:len(arMagic)]) != arMagic {
+		return nil, fmt.Errorf("%w: missing global header", ErrAr)
+	}
+	r := bytes.NewReader(raw[len(arMagic):])
+	var members []arMember
+	hdr := make([]byte, 60)
+	for {
+		_, err := io.ReadFull(r, hdr)
+		if err == io.EOF {
+			return members, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated member header", ErrAr)
+		}
+		if hdr[58] != '`' || hdr[59] != '\n' {
+			return nil, fmt.Errorf("%w: bad member header terminator", ErrAr)
+		}
+		name := strings.TrimRight(string(hdr[0:16]), " ")
+		size, err := strconv.Atoi(strings.TrimRight(string(hdr[48:58]), " "))
+		if err != nil || size < 0 {
+			return nil, fmt.Errorf("%w: bad member size", ErrAr)
+		}
+		data := make([]byte, size)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return nil, fmt.Errorf("%w: truncated member %q", ErrAr, name)
+		}
+		if size%2 == 1 {
+			var pad [1]byte
+			if _, err := io.ReadFull(r, pad[:]); err != nil {
+				return nil, fmt.Errorf("%w: missing padding after %q", ErrAr, name)
+			}
+		}
+		members = append(members, arMember{Name: name, Data: data})
+	}
+}

@@ -1,0 +1,418 @@
+package deb
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"tsr/internal/apk"
+	"tsr/internal/keys"
+)
+
+// Format constants.
+const (
+	// versionMember is the mandatory first payload member.
+	versionMember = "debian-binary"
+	// formatVersion is its content.
+	formatVersion = "2.0\n"
+	// sigPrefix prefixes signature members (dpkg-sig style).
+	sigPrefix     = "_gpgtsr."
+	controlMember = "control.tar.gz"
+	dataMember    = "data.tar.gz"
+)
+
+// Error sentinels.
+var (
+	ErrFormat      = errors.New("deb: malformed package")
+	ErrContentHash = errors.New("deb: data member hash mismatch")
+)
+
+// hookToDeb maps the package model's hook names to Debian maintainer
+// script names (the upgrade hooks keep their model names — a production
+// dpkg integration would fold them into preinst/postinst arguments).
+var hookToDeb = map[string]string{
+	"pre-install":  "preinst",
+	"post-install": "postinst",
+	"pre-upgrade":  "pre-upgrade",
+	"post-upgrade": "post-upgrade",
+}
+
+var debToHook = invert(hookToDeb)
+
+func invert(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+var tarEpoch = time.Unix(0, 0)
+
+// Encode serializes a package (the shared apk.Package model) as a
+// deb-style archive. Encoding is deterministic.
+func Encode(p *apk.Package) ([]byte, error) {
+	dataTgz, err := encodeData(p.Files)
+	if err != nil {
+		return nil, err
+	}
+	controlTgz, err := encodeControl(p, sha256.Sum256(dataTgz))
+	if err != nil {
+		return nil, err
+	}
+	var members []arMember
+	sigNames := make([]string, 0, len(p.Signatures))
+	for name := range p.Signatures {
+		sigNames = append(sigNames, name)
+	}
+	sort.Strings(sigNames)
+	for _, name := range sigNames {
+		members = append(members, arMember{Name: sigPrefix + sanitizeMemberName(name), Data: p.Signatures[name]})
+	}
+	members = append(members,
+		arMember{Name: versionMember, Data: []byte(formatVersion)},
+		arMember{Name: controlMember, Data: controlTgz},
+		arMember{Name: dataMember, Data: dataTgz},
+	)
+	return arEncode(members)
+}
+
+// sanitizeMemberName squeezes a key name into ar's 16-byte member name
+// budget (minus the prefix) deterministically.
+func sanitizeMemberName(keyName string) string {
+	cleaned := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return -1
+		}
+	}, keyName)
+	if len(cleaned) > 8 {
+		cleaned = cleaned[:8]
+	}
+	if cleaned == "" {
+		sum := sha256.Sum256([]byte(keyName))
+		cleaned = hex.EncodeToString(sum[:4])
+	}
+	return cleaned
+}
+
+// Decode parses a deb-style archive into the shared package model,
+// verifying the declared data hash.
+//
+// Note: signature member names are truncated key-name hints; signature
+// verification (VerifyRaw) therefore tries every trusted key rather
+// than matching by name.
+func Decode(raw []byte) (*apk.Package, error) {
+	members, err := arDecode(raw)
+	if err != nil {
+		return nil, err
+	}
+	p := &apk.Package{}
+	var sawVersion bool
+	var controlTgz, dataTgz []byte
+	for _, m := range members {
+		switch {
+		case strings.HasPrefix(m.Name, sigPrefix):
+			if p.Signatures == nil {
+				p.Signatures = make(map[string][]byte)
+			}
+			p.Signatures[strings.TrimPrefix(m.Name, sigPrefix)] = m.Data
+		case m.Name == versionMember:
+			if string(m.Data) != formatVersion {
+				return nil, fmt.Errorf("%w: unsupported format version %q", ErrFormat, m.Data)
+			}
+			sawVersion = true
+		case m.Name == controlMember:
+			controlTgz = m.Data
+		case m.Name == dataMember:
+			dataTgz = m.Data
+		default:
+			return nil, fmt.Errorf("%w: unexpected member %q", ErrFormat, m.Name)
+		}
+	}
+	if !sawVersion || controlTgz == nil || dataTgz == nil {
+		return nil, fmt.Errorf("%w: missing mandatory members", ErrFormat)
+	}
+	declared, err := decodeControl(controlTgz, p)
+	if err != nil {
+		return nil, err
+	}
+	if actual := sha256.Sum256(dataTgz); actual != declared {
+		return nil, fmt.Errorf("%w: declared %x, actual %x", ErrContentHash, declared[:8], actual[:8])
+	}
+	if err := decodeData(dataTgz, p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// RawControlSegment extracts the exact control member bytes — the data
+// signatures cover.
+func RawControlSegment(raw []byte) ([]byte, error) {
+	members, err := arDecode(raw)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range members {
+		if m.Name == controlMember {
+			return m.Data, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: no control member", ErrFormat)
+}
+
+// Sign issues a signature over the package's control member with the
+// given key, recording it in the model's signature map.
+func Sign(p *apk.Package, pair *keys.Pair) error {
+	dataTgz, err := encodeData(p.Files)
+	if err != nil {
+		return err
+	}
+	controlTgz, err := encodeControl(p, sha256.Sum256(dataTgz))
+	if err != nil {
+		return err
+	}
+	sig, err := pair.Sign(controlTgz)
+	if err != nil {
+		return err
+	}
+	if p.Signatures == nil {
+		p.Signatures = make(map[string][]byte)
+	}
+	p.Signatures[pair.Name] = sig
+	return nil
+}
+
+// VerifyRaw checks that an encoded package carries a signature by a
+// ring key over its control member, then decodes it.
+func VerifyRaw(raw []byte, ring *keys.Ring) (*apk.Package, error) {
+	control, err := RawControlSegment(raw)
+	if err != nil {
+		return nil, err
+	}
+	p, err := Decode(raw)
+	if err != nil {
+		return nil, err
+	}
+	for _, sig := range p.Signatures {
+		if _, err := ring.VerifyAny(control, sig); err == nil {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s-%s", apk.ErrUntrusted, p.Name, p.Version)
+}
+
+// encodeControl renders the control member: a Debian control file plus
+// maintainer scripts.
+func encodeControl(p *apk.Package, dataHash [32]byte) ([]byte, error) {
+	var control bytes.Buffer
+	fmt.Fprintf(&control, "Package: %s\n", p.Name)
+	fmt.Fprintf(&control, "Version: %s\n", p.Version)
+	if p.Arch != "" {
+		fmt.Fprintf(&control, "Architecture: %s\n", p.Arch)
+	}
+	if len(p.Depends) > 0 {
+		deps := append([]string(nil), p.Depends...)
+		sort.Strings(deps)
+		fmt.Fprintf(&control, "Depends: %s\n", strings.Join(deps, ", "))
+	}
+	fmt.Fprintf(&control, "Data-Hash: %x\n", dataHash)
+
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	tw := tar.NewWriter(gz)
+	write := func(name string, content []byte) error {
+		hdr := &tar.Header{Name: "./" + name, Mode: 0o644, Size: int64(len(content)), ModTime: tarEpoch, Format: tar.FormatPAX}
+		if err := tw.WriteHeader(hdr); err != nil {
+			return err
+		}
+		_, err := tw.Write(content)
+		return err
+	}
+	if err := write("control", control.Bytes()); err != nil {
+		return nil, fmt.Errorf("deb: control member: %w", err)
+	}
+	for _, hook := range p.ScriptNames() {
+		name, ok := hookToDeb[hook]
+		if !ok {
+			name = hook
+		}
+		if err := write(name, []byte(p.Scripts[hook])); err != nil {
+			return nil, fmt.Errorf("deb: control member: %w", err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		return nil, err
+	}
+	if err := gz.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeControl(tgz []byte, p *apk.Package) ([32]byte, error) {
+	var dataHash [32]byte
+	gz, err := gzip.NewReader(bytes.NewReader(tgz))
+	if err != nil {
+		return dataHash, fmt.Errorf("%w: control member: %v", ErrFormat, err)
+	}
+	tr := tar.NewReader(gz)
+	sawControl := false
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return dataHash, fmt.Errorf("%w: control member: %v", ErrFormat, err)
+		}
+		content, err := io.ReadAll(tr)
+		if err != nil {
+			return dataHash, fmt.Errorf("%w: control member: %v", ErrFormat, err)
+		}
+		name := strings.TrimPrefix(hdr.Name, "./")
+		if name == "control" {
+			sawControl = true
+			if err := parseControlFile(content, p, &dataHash); err != nil {
+				return dataHash, err
+			}
+			continue
+		}
+		hook, ok := debToHook[name]
+		if !ok {
+			hook = name
+		}
+		if p.Scripts == nil {
+			p.Scripts = make(map[string]string)
+		}
+		p.Scripts[hook] = string(content)
+	}
+	if !sawControl {
+		return dataHash, fmt.Errorf("%w: missing control file", ErrFormat)
+	}
+	return dataHash, nil
+}
+
+func parseControlFile(content []byte, p *apk.Package, dataHash *[32]byte) error {
+	for _, line := range strings.Split(string(content), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		key, value, ok := strings.Cut(line, ": ")
+		if !ok {
+			return fmt.Errorf("%w: bad control line %q", ErrFormat, line)
+		}
+		switch key {
+		case "Package":
+			p.Name = value
+		case "Version":
+			p.Version = value
+		case "Architecture":
+			p.Arch = value
+		case "Depends":
+			for _, d := range strings.Split(value, ", ") {
+				if d != "" {
+					p.Depends = append(p.Depends, d)
+				}
+			}
+		case "Data-Hash":
+			decoded, err := hex.DecodeString(value)
+			if err != nil || len(decoded) != 32 {
+				return fmt.Errorf("%w: bad Data-Hash %q", ErrFormat, value)
+			}
+			copy(dataHash[:], decoded)
+		default:
+			return fmt.Errorf("%w: unknown control field %q", ErrFormat, key)
+		}
+	}
+	if p.Name == "" || p.Version == "" {
+		return fmt.Errorf("%w: control missing Package/Version", ErrFormat)
+	}
+	return nil
+}
+
+// encodeData renders the data member with PAX xattrs, as in apk.
+func encodeData(files []apk.File) ([]byte, error) {
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	tw := tar.NewWriter(gz)
+	sorted := append([]apk.File(nil), files...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
+	for _, f := range sorted {
+		if !strings.HasPrefix(f.Path, "/") {
+			return nil, fmt.Errorf("%w: file path %q not absolute", ErrFormat, f.Path)
+		}
+		hdr := &tar.Header{
+			Name:    "." + f.Path,
+			Mode:    int64(f.Mode),
+			Size:    int64(len(f.Content)),
+			ModTime: tarEpoch,
+			Format:  tar.FormatPAX,
+		}
+		if len(f.Xattrs) > 0 {
+			hdr.PAXRecords = make(map[string]string, len(f.Xattrs))
+			for k, v := range f.Xattrs {
+				hdr.PAXRecords["SCHILY.xattr."+k] = string(v)
+			}
+		}
+		if err := tw.WriteHeader(hdr); err != nil {
+			return nil, fmt.Errorf("deb: data member: %w", err)
+		}
+		if _, err := tw.Write(f.Content); err != nil {
+			return nil, fmt.Errorf("deb: data member: %w", err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		return nil, err
+	}
+	if err := gz.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeData(tgz []byte, p *apk.Package) error {
+	gz, err := gzip.NewReader(bytes.NewReader(tgz))
+	if err != nil {
+		return fmt.Errorf("%w: data member: %v", ErrFormat, err)
+	}
+	tr := tar.NewReader(gz)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("%w: data member: %v", ErrFormat, err)
+		}
+		content, err := io.ReadAll(tr)
+		if err != nil {
+			return fmt.Errorf("%w: data member: %v", ErrFormat, err)
+		}
+		f := apk.File{
+			Path:    strings.TrimPrefix(hdr.Name, "."),
+			Mode:    uint32(hdr.Mode),
+			Content: content,
+		}
+		for k, v := range hdr.PAXRecords {
+			if strings.HasPrefix(k, "SCHILY.xattr.") {
+				if f.Xattrs == nil {
+					f.Xattrs = make(map[string][]byte)
+				}
+				f.Xattrs[strings.TrimPrefix(k, "SCHILY.xattr.")] = []byte(v)
+			}
+		}
+		p.Files = append(p.Files, f)
+	}
+}

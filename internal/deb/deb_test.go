@@ -1,0 +1,318 @@
+package deb
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"tsr/internal/apk"
+	"tsr/internal/keys"
+)
+
+func samplePackage() *apk.Package {
+	return &apk.Package{
+		Name:    "ntpd",
+		Version: "4.2.8-r0",
+		Arch:    "amd64",
+		Depends: []string{"libc6", "libssl3"},
+		Scripts: map[string]string{
+			"post-install": "addgroup -S ntp\nadduser -S -G ntp ntp\n",
+			"pre-upgrade":  "mkdir -p /var/backup\n",
+		},
+		Files: []apk.File{
+			{Path: "/usr/sbin/ntpd", Mode: 0o755, Content: []byte("ELF...")},
+			{Path: "/etc/ntp.conf", Mode: 0o644, Content: []byte("server pool\n"),
+				Xattrs: map[string][]byte{apk.XattrIMA: {0xAA, 0xBB}}},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	p := samplePackage()
+	raw, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != p.Name || got.Version != p.Version || got.Arch != p.Arch {
+		t.Fatalf("identity = %s-%s %s", got.Name, got.Version, got.Arch)
+	}
+	if !reflect.DeepEqual(got.Depends, p.Depends) {
+		t.Fatalf("depends = %v", got.Depends)
+	}
+	// Hook names roundtrip through the Debian script name mapping.
+	if got.Scripts["post-install"] != p.Scripts["post-install"] {
+		t.Fatalf("post-install = %q", got.Scripts["post-install"])
+	}
+	if got.Scripts["pre-upgrade"] != p.Scripts["pre-upgrade"] {
+		t.Fatalf("pre-upgrade = %q", got.Scripts["pre-upgrade"])
+	}
+	if len(got.Files) != 2 {
+		t.Fatalf("files = %d", len(got.Files))
+	}
+	if got.Files[0].Path != "/etc/ntp.conf" {
+		t.Fatalf("path = %s", got.Files[0].Path)
+	}
+	if !bytes.Equal(got.Files[0].Xattrs[apk.XattrIMA], []byte{0xAA, 0xBB}) {
+		t.Fatal("xattr lost across deb roundtrip")
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	a, err := Encode(samplePackage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Encode(samplePackage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("Encode not deterministic")
+	}
+}
+
+func TestArFormatShape(t *testing.T) {
+	raw, err := Encode(samplePackage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(raw, []byte("!<arch>\n")) {
+		t.Fatal("missing ar magic")
+	}
+	members, err := arDecode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// debian-binary, control.tar.gz, data.tar.gz (no signatures yet).
+	if len(members) != 3 || members[0].Name != "debian-binary" {
+		t.Fatalf("members = %+v", memberNames(members))
+	}
+	if string(members[0].Data) != "2.0\n" {
+		t.Fatalf("version member = %q", members[0].Data)
+	}
+}
+
+func memberNames(ms []arMember) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.Name
+	}
+	return out
+}
+
+func TestSignVerify(t *testing.T) {
+	signer := keys.Shared.MustGet("deb-signer")
+	p := samplePackage()
+	if err := Sign(p, signer); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := VerifyRaw(raw, keys.NewRing(signer.Public()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "ntpd" {
+		t.Fatalf("name = %s", got.Name)
+	}
+}
+
+func TestVerifyRejectsUntrusted(t *testing.T) {
+	evil := keys.Shared.MustGet("deb-evil")
+	good := keys.Shared.MustGet("deb-signer")
+	p := samplePackage()
+	if err := Sign(p, evil); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyRaw(raw, keys.NewRing(good.Public())); !errors.Is(err, apk.ErrUntrusted) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerifyRejectsModifiedScript(t *testing.T) {
+	signer := keys.Shared.MustGet("deb-signer")
+	p := samplePackage()
+	if err := Sign(p, signer); err != nil {
+		t.Fatal(err)
+	}
+	p.Scripts["post-install"] = "adduser -u 0 backdoor\n"
+	raw, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyRaw(raw, keys.NewRing(signer.Public())); !errors.Is(err, apk.ErrUntrusted) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDecodeRejectsTamperedData(t *testing.T) {
+	p := samplePackage()
+	raw, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members, err := arDecode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap the data member for another package's.
+	other := samplePackage()
+	other.Files[0].Content = []byte("TAMPERED")
+	otherRaw, err := Encode(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherMembers, err := arDecode(otherRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members[len(members)-1] = otherMembers[len(otherMembers)-1]
+	tampered, err := arEncode(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(tampered); !errors.Is(err, ErrContentHash) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte("not an archive")); !errors.Is(err, ErrAr) {
+		t.Fatalf("garbage: err = %v", err)
+	}
+	// Valid ar but missing members.
+	raw, err := arEncode([]arMember{{Name: "debian-binary", Data: []byte("2.0\n")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(raw); !errors.Is(err, ErrFormat) {
+		t.Fatalf("missing members: err = %v", err)
+	}
+	// Wrong format version.
+	raw, err = arEncode([]arMember{
+		{Name: "debian-binary", Data: []byte("3.0\n")},
+		{Name: "control.tar.gz", Data: nil},
+		{Name: "data.tar.gz", Data: nil},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(raw); !errors.Is(err, ErrFormat) {
+		t.Fatalf("bad version: err = %v", err)
+	}
+}
+
+func TestArRoundtripProperty(t *testing.T) {
+	f := func(blobs [][]byte) bool {
+		if len(blobs) > 8 {
+			blobs = blobs[:8]
+		}
+		var members []arMember
+		for i, b := range blobs {
+			members = append(members, arMember{Name: names16(i), Data: b})
+		}
+		raw, err := arEncode(members)
+		if err != nil {
+			return false
+		}
+		got, err := arDecode(raw)
+		if err != nil || len(got) != len(members) {
+			return false
+		}
+		for i := range members {
+			if got[i].Name != members[i].Name || !bytes.Equal(got[i].Data, members[i].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func names16(i int) string {
+	return string(rune('a'+i%26)) + "member"
+}
+
+func TestArEncodeRejectsBadNames(t *testing.T) {
+	if _, err := arEncode([]arMember{{Name: "name with spaces"}}); !errors.Is(err, ErrAr) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := arEncode([]arMember{{Name: "seventeen-chars-x"}}); !errors.Is(err, ErrAr) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Cross-format equivalence: a package converted through apk and deb
+// wire formats carries identical semantic content, so the sanitizer is
+// format-agnostic.
+func TestCrossFormatEquivalence(t *testing.T) {
+	p := samplePackage()
+	apkRaw, err := apk.Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromAPK, err := apk.Decode(apkRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	debRaw, err := Encode(fromAPK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromDeb, err := Decode(debRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromDeb.Name != p.Name || fromDeb.Version != p.Version {
+		t.Fatal("identity changed across formats")
+	}
+	if !reflect.DeepEqual(fromDeb.Scripts, p.Scripts) {
+		t.Fatalf("scripts = %+v", fromDeb.Scripts)
+	}
+	h1, err := fromAPK.DataHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := fromDeb.DataHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatal("semantic content hash changed across formats")
+	}
+}
+
+func TestSanitizeMemberName(t *testing.T) {
+	if got := sanitizeMemberName("alpine@alpinelinux.org-4a40"); len(got) > 8 || got == "" {
+		t.Fatalf("sanitized = %q", got)
+	}
+	if got := sanitizeMemberName("@@@"); len(got) != 8 {
+		t.Fatalf("fallback = %q", got)
+	}
+}
+
+// Robustness: Decode never panics on arbitrary bytes.
+func TestDecodeRobustnessProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		_, _ = Decode(raw)
+		_, _ = arDecode(raw)
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

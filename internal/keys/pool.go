@@ -1,0 +1,45 @@
+package keys
+
+import "sync"
+
+// Pool lazily generates and caches key pairs by name. RSA key generation
+// is expensive (hundreds of milliseconds), and the experiments create
+// many actors (signers, mirrors, tenants) that each need a key; the pool
+// ensures each named key is generated exactly once per process.
+//
+// The zero value is ready to use.
+type Pool struct {
+	mu    sync.Mutex
+	pairs map[string]*Pair
+}
+
+// Get returns the cached pair for name, generating it on first use.
+func (p *Pool) Get(name string) (*Pair, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if pair, ok := p.pairs[name]; ok {
+		return pair, nil
+	}
+	pair, err := Generate(name)
+	if err != nil {
+		return nil, err
+	}
+	if p.pairs == nil {
+		p.pairs = make(map[string]*Pair)
+	}
+	p.pairs[name] = pair
+	return pair, nil
+}
+
+// MustGet is Get but panics on generation failure, for experiment setup
+// code where key generation failure is unrecoverable.
+func (p *Pool) MustGet(name string) *Pair {
+	pair, err := p.Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return pair
+}
+
+// Shared is the process-wide pool used by experiments and tests.
+var Shared Pool

@@ -1,0 +1,174 @@
+package mirror
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"tsr/internal/apk"
+	"tsr/internal/keys"
+	"tsr/internal/netsim"
+	"tsr/internal/repo"
+)
+
+func setup(t *testing.T) (*repo.Repository, *Mirror) {
+	t.Helper()
+	r := repo.New("alpine-main", keys.Shared.MustGet("repo-index-signer"))
+	p := &apk.Package{
+		Name: "musl", Version: "1.1-r0",
+		Files: []apk.File{{Path: "/lib/libc.so", Mode: 0o755, Content: []byte("v1")}},
+	}
+	if err := r.Publish(p); err != nil {
+		t.Fatal(err)
+	}
+	m := New("https://mirror.example/", netsim.Europe)
+	m.Sync(r)
+	return r, m
+}
+
+func publishV2(t *testing.T, r *repo.Repository) {
+	t.Helper()
+	p := &apk.Package{
+		Name: "musl", Version: "1.2-r0",
+		Files: []apk.File{{Path: "/lib/libc.so", Mode: 0o755, Content: []byte("v2 security fix")}},
+	}
+	if err := r.Publish(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func seqOf(t *testing.T, m *Mirror) uint64 {
+	t.Helper()
+	signed, err := m.FetchIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := keys.NewRing(keys.Shared.MustGet("repo-index-signer").Public())
+	ix, err := signed.Verify(ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix.Sequence
+}
+
+func TestHonestMirrorTracksRepo(t *testing.T) {
+	r, m := setup(t)
+	if got := seqOf(t, m); got != 1 {
+		t.Fatalf("seq = %d", got)
+	}
+	publishV2(t, r)
+	m.Sync(r)
+	if got := seqOf(t, m); got != 2 {
+		t.Fatalf("seq after sync = %d", got)
+	}
+	raw, err := m.FetchPackage("musl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := r.Fetch("musl")
+	if !bytes.Equal(raw, want) {
+		t.Fatal("mirror bytes differ from repo")
+	}
+}
+
+func TestReplayMirrorServesStaleIndex(t *testing.T) {
+	r, m := setup(t)
+	m.SetBehavior(Replay)
+	publishV2(t, r)
+	m.Sync(r) // adversary "syncs" but keeps serving the pinned snapshot
+	if got := seqOf(t, m); got != 1 {
+		t.Fatalf("replay mirror served seq %d, want stale 1", got)
+	}
+	// The stale package is the vulnerable v1.
+	raw, err := m.FetchPackage("musl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := apk.Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Version != "1.1-r0" {
+		t.Fatalf("version = %s", p.Version)
+	}
+}
+
+func TestFreezeMirrorNeverAdvances(t *testing.T) {
+	r, m := setup(t)
+	m.SetBehavior(Freeze)
+	for i := 0; i < 3; i++ {
+		publishV2(t, r)
+		m.Sync(r)
+	}
+	if got := seqOf(t, m); got != 1 {
+		t.Fatalf("freeze mirror served seq %d", got)
+	}
+}
+
+func TestCorruptMirrorFlipsPackageBytes(t *testing.T) {
+	r, m := setup(t)
+	m.SetBehavior(Corrupt)
+	raw, err := m.FetchPackage("musl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := r.Fetch("musl")
+	if bytes.Equal(raw, want) {
+		t.Fatal("corrupt mirror served clean bytes")
+	}
+	// The corruption is detectable: decode must fail (gzip/tar/hash).
+	if _, err := apk.Decode(raw); err == nil {
+		t.Fatal("corrupted package decoded cleanly")
+	}
+	// The index, however, is served intact (signature still valid).
+	if got := seqOf(t, m); got != 1 {
+		t.Fatalf("seq = %d", got)
+	}
+}
+
+func TestOfflineMirrorFailsRequests(t *testing.T) {
+	_, m := setup(t)
+	m.SetBehavior(Offline)
+	if _, err := m.FetchIndex(); !errors.Is(err, ErrOffline) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := m.FetchPackage("musl"); !errors.Is(err, ErrOffline) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRecoveryToHonest(t *testing.T) {
+	r, m := setup(t)
+	m.SetBehavior(Freeze)
+	publishV2(t, r)
+	m.Sync(r)
+	m.SetBehavior(Honest)
+	if got := seqOf(t, m); got != 2 {
+		t.Fatalf("recovered mirror served seq %d", got)
+	}
+}
+
+func TestUnsyncedMirror(t *testing.T) {
+	m := New("https://empty/", netsim.Asia)
+	if _, err := m.FetchIndex(); !errors.Is(err, ErrNoIndex) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFetchMissingPackage(t *testing.T) {
+	_, m := setup(t)
+	if _, err := m.FetchPackage("nothere"); !errors.Is(err, repo.ErrNoPackage) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBehaviorString(t *testing.T) {
+	for b, want := range map[Behavior]string{
+		Honest: "honest", Replay: "replay", Freeze: "freeze",
+		Corrupt: "corrupt", Offline: "offline", Behavior(9): "Behavior(9)",
+	} {
+		if got := b.String(); got != want {
+			t.Errorf("%d.String() = %q", int(b), got)
+		}
+	}
+}

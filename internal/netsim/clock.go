@@ -1,0 +1,67 @@
+// Package netsim provides deterministic simulation primitives used across
+// the TSR reproduction: a virtual clock, a seeded random source with the
+// distributions the workload generator needs, and a wide-area network
+// latency model calibrated to the paper's mirror experiments.
+//
+// All experiments that involve network transfers or SGX overhead charge
+// *virtual* time through these primitives so that benchmark results are
+// reproducible on any machine, while CPU-bound work (sanitization, crypto)
+// is measured for real.
+package netsim
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time so experiments can run on virtual time.
+type Clock interface {
+	// Now returns the current (possibly virtual) time.
+	Now() time.Time
+	// Sleep advances the clock by d. On a real clock it blocks; on a
+	// virtual clock it advances instantly.
+	Sleep(d time.Duration)
+}
+
+// RealClock is a Clock backed by the wall clock.
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (RealClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// VirtualClock is a deterministic Clock that advances only when Sleep or
+// Advance is called. The zero value is ready to use and starts at the zero
+// time. VirtualClock is safe for concurrent use.
+type VirtualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewVirtualClock returns a virtual clock starting at start.
+func NewVirtualClock(start time.Time) *VirtualClock {
+	return &VirtualClock{now: start}
+}
+
+// Now implements Clock.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep implements Clock by advancing the virtual time by d.
+func (c *VirtualClock) Sleep(d time.Duration) { c.Advance(d) }
+
+// Advance moves the virtual time forward by d. Negative durations are
+// ignored so that a buggy caller cannot move time backwards.
+func (c *VirtualClock) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}

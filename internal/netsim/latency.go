@@ -1,0 +1,131 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Continent identifies the coarse geographic location of a host. The
+// paper's Figure 13 measures quorum latency with mirrors in Europe, North
+// America, and Asia, with the TSR instance deployed in Europe.
+type Continent int
+
+const (
+	// Europe is where the paper's TSR instance runs.
+	Europe Continent = iota
+	// NorthAmerica hosts the mid-distance mirrors.
+	NorthAmerica
+	// Asia hosts the far mirrors.
+	Asia
+	numContinents
+)
+
+// String implements fmt.Stringer.
+func (c Continent) String() string {
+	switch c {
+	case Europe:
+		return "Europe"
+	case NorthAmerica:
+		return "North America"
+	case Asia:
+		return "Asia"
+	default:
+		return fmt.Sprintf("Continent(%d)", int(c))
+	}
+}
+
+// Continents lists all modeled continents.
+func Continents() []Continent { return []Continent{Europe, NorthAmerica, Asia} }
+
+// LinkModel computes transfer durations between continents. RTTs are
+// calibrated to the paper: the intra-continent mirror used in §6.1 has an
+// average network latency of 26.4 ms, and nine mirrors across three
+// continents reach quorum in about 2.2 s.
+type LinkModel struct {
+	// RTT holds the round-trip time matrix between continents.
+	RTT [numContinents][numContinents]time.Duration
+	// Bandwidth is the modeled bottleneck bandwidth in bytes/second
+	// used when the per-path matrix BW is zero for a pair.
+	Bandwidth float64
+	// BW optionally refines bandwidth per continent pair; WAN paths to
+	// far continents are slower than intra-continent ones.
+	BW [numContinents][numContinents]float64
+	// JitterFrac is the fraction of multiplicative jitter applied per
+	// request (0.1 means +-10%).
+	JitterFrac float64
+	// RNG supplies jitter; if nil, transfers are jitter-free.
+	RNG *RNG
+}
+
+// DefaultLinkModel returns the latency model calibrated to the paper's
+// testbed (10 Gb NIC, 20 Gb/s switched network; throttled by WAN paths for
+// cross-continent mirrors).
+func DefaultLinkModel(rng *RNG) *LinkModel {
+	m := &LinkModel{
+		Bandwidth:  12.5e6, // 100 Mb/s default effective throughput
+		JitterFrac: 0.10,
+		RNG:        rng,
+	}
+	set := func(a, b Continent, rtt time.Duration, bw float64) {
+		m.RTT[a][b] = rtt
+		m.RTT[b][a] = rtt
+		m.BW[a][b] = bw
+		m.BW[b][a] = bw
+	}
+	set(Europe, Europe, 26400*time.Microsecond, 14e6) // paper: 26.4 ms avg
+	set(NorthAmerica, NorthAmerica, 25*time.Millisecond, 12e6)
+	set(Asia, Asia, 30*time.Millisecond, 12e6)
+	set(Europe, NorthAmerica, 95*time.Millisecond, 6e6)
+	set(Europe, Asia, 240*time.Millisecond, 4e6)
+	set(NorthAmerica, Asia, 160*time.Millisecond, 5e6)
+	return m
+}
+
+// DataCenterLinkModel returns a model for two hosts in the same data
+// center, used by the Figure 11 end-to-end installation experiment
+// ("located in the same data center").
+func DataCenterLinkModel(rng *RNG) *LinkModel {
+	m := &LinkModel{
+		Bandwidth:  1.25e9, // 10 Gb/s NIC
+		JitterFrac: 0.05,
+		RNG:        rng,
+	}
+	for a := Continent(0); a < numContinents; a++ {
+		for b := Continent(0); b < numContinents; b++ {
+			m.RTT[a][b] = 200 * time.Microsecond
+		}
+	}
+	return m
+}
+
+// RequestResponse returns the modeled duration of a request/response
+// exchange transferring respBytes from b to a: one RTT for the
+// request + first byte, plus serialization of the payload, plus jitter.
+func (m *LinkModel) RequestResponse(a, b Continent, respBytes int64) time.Duration {
+	return m.RequestResponseShared(a, b, respBytes, 1)
+}
+
+// RequestResponseShared models a transfer that shares its path with
+// concurrent-1 other transfers started at the same time (the quorum
+// reader downloads the metadata index from f+1 mirrors in parallel, so
+// each transfer sees a fraction of the path bandwidth).
+func (m *LinkModel) RequestResponseShared(a, b Continent, respBytes int64, concurrent int) time.Duration {
+	if concurrent < 1 {
+		concurrent = 1
+	}
+	d := m.RTT[a][b]
+	bw := m.BW[a][b]
+	if bw == 0 {
+		bw = m.Bandwidth
+	}
+	if bw > 0 && respBytes > 0 {
+		d += time.Duration(float64(respBytes) * float64(concurrent) / bw * float64(time.Second))
+	}
+	if m.RNG != nil && m.JitterFrac > 0 {
+		d = time.Duration(float64(d) * m.RNG.Jitter(m.JitterFrac))
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}

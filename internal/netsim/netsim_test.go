@@ -1,0 +1,212 @@
+package netsim
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestVirtualClockAdvance(t *testing.T) {
+	start := time.Date(2020, 12, 1, 0, 0, 0, 0, time.UTC)
+	c := NewVirtualClock(start)
+	if got := c.Now(); !got.Equal(start) {
+		t.Fatalf("Now() = %v, want %v", got, start)
+	}
+	c.Sleep(5 * time.Second)
+	if got := c.Now(); !got.Equal(start.Add(5 * time.Second)) {
+		t.Fatalf("after Sleep, Now() = %v", got)
+	}
+	c.Advance(-time.Hour)
+	if got := c.Now(); !got.Equal(start.Add(5 * time.Second)) {
+		t.Fatalf("negative Advance moved time: %v", got)
+	}
+}
+
+func TestVirtualClockConcurrent(t *testing.T) {
+	c := &VirtualClock{}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Advance(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	want := (time.Time{}).Add(1600 * time.Millisecond)
+	if got := c.Now(); !got.Equal(want) {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestVirtualClockZeroValue(t *testing.T) {
+	var c VirtualClock
+	before := c.Now()
+	c.Sleep(time.Minute)
+	if got := c.Now().Sub(before); got != time.Minute {
+		t.Fatalf("zero-value clock advanced %v, want 1m", got)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if x, y := a.Float64(), b.Float64(); x != y {
+			t.Fatalf("draw %d: %v != %v", i, x, y)
+		}
+	}
+}
+
+func TestRNGLogNormalPositive(t *testing.T) {
+	g := NewRNG(1)
+	f := func(mu, sigma float64) bool {
+		mu = math.Mod(mu, 10)
+		sigma = math.Abs(math.Mod(sigma, 3))
+		v := g.LogNormal(mu, sigma)
+		return v > 0 && !math.IsNaN(v) && !math.IsInf(v, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGParetoTail(t *testing.T) {
+	g := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if v := g.Pareto(2, 1.5); v < 2 {
+			t.Fatalf("Pareto(2, 1.5) = %v < xm", v)
+		}
+	}
+}
+
+func TestRNGJitterBounds(t *testing.T) {
+	g := NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		j := g.Jitter(0.1)
+		if j < 0.9 || j > 1.1 {
+			t.Fatalf("jitter %v outside [0.9, 1.1]", j)
+		}
+	}
+}
+
+func TestContinentString(t *testing.T) {
+	tests := []struct {
+		c    Continent
+		want string
+	}{
+		{Europe, "Europe"},
+		{NorthAmerica, "North America"},
+		{Asia, "Asia"},
+		{Continent(99), "Continent(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.c.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", int(tt.c), got, tt.want)
+		}
+	}
+}
+
+func TestDefaultLinkModelSymmetry(t *testing.T) {
+	m := DefaultLinkModel(nil)
+	for _, a := range Continents() {
+		for _, b := range Continents() {
+			if m.RTT[a][b] != m.RTT[b][a] {
+				t.Errorf("RTT[%v][%v] != RTT[%v][%v]", a, b, b, a)
+			}
+			if m.RTT[a][b] <= 0 {
+				t.Errorf("RTT[%v][%v] = %v, want > 0", a, b, m.RTT[a][b])
+			}
+		}
+	}
+}
+
+func TestDefaultLinkModelPaperCalibration(t *testing.T) {
+	m := DefaultLinkModel(nil)
+	// §6.1: "an official Alpine mirror located on the same continent (an
+	// average network latency 26.4 ms)".
+	if got := m.RTT[Europe][Europe]; got != 26400*time.Microsecond {
+		t.Fatalf("intra-Europe RTT = %v, want 26.4ms", got)
+	}
+	// Asia must be the farthest from the Europe-based TSR.
+	if m.RTT[Europe][Asia] <= m.RTT[Europe][NorthAmerica] {
+		t.Fatalf("expected Asia RTT > NA RTT, got %v <= %v",
+			m.RTT[Europe][Asia], m.RTT[Europe][NorthAmerica])
+	}
+}
+
+func TestRequestResponseNoJitterIsRTTPlusTransfer(t *testing.T) {
+	m := DefaultLinkModel(nil)
+	sz := int64(m.BW[Europe][Europe]) // exactly 1 second at path bandwidth
+	got := m.RequestResponse(Europe, Europe, sz)
+	want := m.RTT[Europe][Europe] + time.Second
+	if got != want {
+		t.Fatalf("RequestResponse = %v, want %v", got, want)
+	}
+}
+
+func TestRequestResponseSharedScalesTransfer(t *testing.T) {
+	m := DefaultLinkModel(nil)
+	sz := int64(1 << 20)
+	one := m.RequestResponseShared(Europe, Europe, sz, 1)
+	five := m.RequestResponseShared(Europe, Europe, sz, 5)
+	rtt := m.RTT[Europe][Europe]
+	// Transfer portion scales linearly with concurrency (allowing for
+	// float rounding in the duration conversion).
+	got, want := five-rtt, 5*(one-rtt)
+	if diff := got - want; diff < -time.Microsecond || diff > time.Microsecond {
+		t.Fatalf("shared transfer = %v, want %v", got, want)
+	}
+	// concurrent < 1 clamps to 1.
+	if m.RequestResponseShared(Europe, Europe, sz, 0) != one {
+		t.Fatal("concurrent=0 not clamped")
+	}
+}
+
+func TestPerPathBandwidthSlowerCrossContinent(t *testing.T) {
+	m := DefaultLinkModel(nil)
+	sz := int64(8 << 20)
+	eu := m.RequestResponse(Europe, Europe, sz) - m.RTT[Europe][Europe]
+	asia := m.RequestResponse(Europe, Asia, sz) - m.RTT[Europe][Asia]
+	if asia <= eu {
+		t.Fatalf("Asia transfer %v not slower than intra-Europe %v", asia, eu)
+	}
+}
+
+func TestRequestResponseMonotonicInSize(t *testing.T) {
+	m := DefaultLinkModel(nil)
+	prev := time.Duration(-1)
+	for _, sz := range []int64{0, 1 << 10, 1 << 20, 1 << 25} {
+		d := m.RequestResponse(Europe, Asia, sz)
+		if d < prev {
+			t.Fatalf("duration decreased with size: %v after %v", d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestRequestResponseJitterBounded(t *testing.T) {
+	g := NewRNG(3)
+	m := DefaultLinkModel(g)
+	base := DefaultLinkModel(nil).RequestResponse(Europe, NorthAmerica, 1<<20)
+	for i := 0; i < 200; i++ {
+		d := m.RequestResponse(Europe, NorthAmerica, 1<<20)
+		lo := time.Duration(float64(base) * 0.89)
+		hi := time.Duration(float64(base) * 1.11)
+		if d < lo || d > hi {
+			t.Fatalf("jittered duration %v outside [%v, %v]", d, lo, hi)
+		}
+	}
+}
+
+func TestDataCenterModelFasterThanWAN(t *testing.T) {
+	dc := DataCenterLinkModel(nil)
+	wan := DefaultLinkModel(nil)
+	sz := int64(1 << 20)
+	if dc.RequestResponse(Europe, Europe, sz) >= wan.RequestResponse(Europe, Europe, sz) {
+		t.Fatal("data-center transfer should be faster than WAN")
+	}
+}

@@ -1,0 +1,254 @@
+package osimage
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"tsr/internal/keys"
+	"tsr/internal/policy"
+	"tsr/internal/script"
+)
+
+func newImage(t *testing.T) *Image {
+	t.Helper()
+	img, err := New(keys.Shared.MustGet("os-ak"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestNewImageDefaults(t *testing.T) {
+	img := newImage(t)
+	users := img.Users()
+	if len(users) != 1 || users[0].Name != "root" || users[0].UID != 0 {
+		t.Fatalf("users = %+v", users)
+	}
+	passwd, err := img.FS.ReadFile(PasswdPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(passwd), "root:x:0:0:") {
+		t.Fatalf("passwd = %q", passwd)
+	}
+	shells, err := img.FS.ReadFile(ShellsPath)
+	if err != nil || !strings.Contains(string(shells), "/bin/ash") {
+		t.Fatalf("shells = %q, %v", shells, err)
+	}
+}
+
+func TestNewImageSeedsFromPolicy(t *testing.T) {
+	init := []policy.ConfigFile{
+		{Path: PasswdPath, Content: "root:x:0:0:root:/root:/bin/ash\ndaemon:x:2:2:daemon:/sbin:/sbin/nologin\n"},
+		{Path: GroupPath, Content: "root:x:0:root\ndaemon:x:2:\n"},
+	}
+	img, err := New(keys.Shared.MustGet("os-ak"), init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := img.Users()
+	if len(users) != 2 || users[1].Name != "daemon" || users[1].UID != 2 {
+		t.Fatalf("users = %+v", users)
+	}
+	groups := img.Groups()
+	if len(groups) != 2 || groups[1].GID != 2 {
+		t.Fatalf("groups = %+v", groups)
+	}
+}
+
+func TestNewImageRejectsBadSeed(t *testing.T) {
+	bad := []policy.ConfigFile{{Path: PasswdPath, Content: "not-a-passwd-line\n"}}
+	if _, err := New(keys.Shared.MustGet("os-ak"), bad); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestAddUserRendersEtcFiles(t *testing.T) {
+	img := newImage(t)
+	err := script.Exec(script.MustParse("addgroup -S -g 123 ntp\nadduser -S -u 123 -s /sbin/nologin ntp"), img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	passwd, _ := img.FS.ReadFile(PasswdPath)
+	if !strings.Contains(string(passwd), "ntp:x:123:") {
+		t.Fatalf("passwd = %q", passwd)
+	}
+	group, _ := img.FS.ReadFile(GroupPath)
+	if !strings.Contains(string(group), "ntp:x:123:") {
+		t.Fatalf("group = %q", group)
+	}
+	shadow, _ := img.FS.ReadFile(ShadowPath)
+	if !strings.Contains(string(shadow), "ntp:!:") {
+		t.Fatalf("shadow = %q (want locked password)", shadow)
+	}
+}
+
+func TestAddUserAutoUID(t *testing.T) {
+	img := newImage(t)
+	if err := img.AddUser(script.User{Name: "a", UID: -1, GID: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := img.AddUser(script.User{Name: "b", UID: -1, GID: -1}); err != nil {
+		t.Fatal(err)
+	}
+	users := img.Users()
+	if users[1].UID != 100 || users[2].UID != 101 {
+		t.Fatalf("uids = %d, %d", users[1].UID, users[2].UID)
+	}
+}
+
+func TestAddUserIdempotent(t *testing.T) {
+	img := newImage(t)
+	for i := 0; i < 2; i++ {
+		if err := img.AddUser(script.User{Name: "ntp", UID: 123}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(img.Users()); got != 2 { // root + ntp
+		t.Fatalf("users = %d", got)
+	}
+}
+
+func TestInstallationOrderChangesEtcContents(t *testing.T) {
+	// The core nondeterminism of the paper's Problem 1: the same two
+	// package scripts, run in different installation orders, produce
+	// different /etc files (auto-assigned UIDs and line order differ).
+	a := script.MustParse("adduser -S alpha")
+	b := script.MustParse("adduser -S beta")
+	imgAB := newImage(t)
+	if err := script.Exec(a, imgAB); err != nil {
+		t.Fatal(err)
+	}
+	if err := script.Exec(b, imgAB); err != nil {
+		t.Fatal(err)
+	}
+	imgBA := newImage(t)
+	if err := script.Exec(b, imgBA); err != nil {
+		t.Fatal(err)
+	}
+	if err := script.Exec(a, imgBA); err != nil {
+		t.Fatal(err)
+	}
+	fpAB, err := imgAB.ConfigFingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpBA, err := imgBA.ConfigFingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpAB == fpBA {
+		t.Fatal("expected order-dependent /etc contents without sanitization")
+	}
+}
+
+func TestEmptyPasswordRenderedInShadow(t *testing.T) {
+	// CVE-2019-5021 analogue: passwd -d leaves an empty shadow field.
+	img := newImage(t)
+	err := script.Exec(script.MustParse("adduser -S alpine\npasswd -d alpine"), img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow, _ := img.FS.ReadFile(ShadowPath)
+	if !strings.Contains(string(shadow), "alpine::0:::::") {
+		t.Fatalf("shadow = %q (want empty password field)", shadow)
+	}
+}
+
+func TestSetPasswordUnknownUser(t *testing.T) {
+	img := newImage(t)
+	if err := img.SetPassword("ghost", ""); !errors.Is(err, ErrNoUser) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAddShell(t *testing.T) {
+	img := newImage(t)
+	if err := script.Exec(script.MustParse("add-shell /bin/bash"), img); err != nil {
+		t.Fatal(err)
+	}
+	shells, _ := img.FS.ReadFile(ShellsPath)
+	if !strings.Contains(string(shells), "/bin/bash") {
+		t.Fatalf("shells = %q", shells)
+	}
+	// Idempotent.
+	if err := img.AddShell("/bin/bash"); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(img.Shells()); got != 2 {
+		t.Fatalf("shells = %v", img.Shells())
+	}
+}
+
+func TestFilesystemOpsThroughScript(t *testing.T) {
+	img := newImage(t)
+	src := `mkdir -p /var/lib/app
+touch /var/lib/app/state
+chmod 600 /var/lib/app/state
+cp /var/lib/app/state /var/lib/app/state.bak
+mv /var/lib/app/state.bak /var/lib/app/state2
+ln -s /var/lib/app /var/app
+rm /var/lib/app/state2
+`
+	if err := script.Exec(script.MustParse(src), img); err != nil {
+		t.Fatal(err)
+	}
+	if !img.FS.Exists("/var/lib/app/state") {
+		t.Fatal("state missing")
+	}
+	if img.FS.Exists("/var/lib/app/state2") {
+		t.Fatal("state2 not removed")
+	}
+	target, err := img.FS.Readlink("/var/app")
+	if err != nil || target != "/var/lib/app" {
+		t.Fatalf("readlink = %q, %v", target, err)
+	}
+	info, _ := img.FS.Stat("/var/lib/app/state")
+	if info.Mode != 0o600 {
+		t.Fatalf("mode = %o", info.Mode)
+	}
+}
+
+func TestConfigFingerprintStableWhenIdentical(t *testing.T) {
+	img1 := newImage(t)
+	img2 := newImage(t)
+	fp1, err := img1.ConfigFingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := img2.ConfigFingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp2 {
+		t.Fatal("identical images yield different fingerprints")
+	}
+}
+
+func TestExplicitUIDsAreOrderIndependent(t *testing.T) {
+	// With explicit, globally assigned UIDs and a fixed creation order,
+	// /etc contents become order-independent — the property the
+	// sanitizer relies on. Here both orders run the SAME canonical
+	// provisioning script (as rewritten packages do).
+	canonical := script.MustParse(
+		"addgroup -S -g 300 svca\naddgroup -S -g 301 svcb\nadduser -S -u 300 -g svc svca\nadduser -S -u 301 -g svc svcb")
+	img1 := newImage(t)
+	if err := script.Exec(canonical, img1); err != nil {
+		t.Fatal(err)
+	}
+	img2 := newImage(t)
+	if err := script.Exec(canonical, img2); err != nil {
+		t.Fatal(err)
+	}
+	// Execute twice on img2 (package A and package B both carry the
+	// canonical script): idempotency keeps contents identical.
+	if err := script.Exec(canonical, img2); err != nil {
+		t.Fatal(err)
+	}
+	fp1, _ := img1.ConfigFingerprint()
+	fp2, _ := img2.ConfigFingerprint()
+	if fp1 != fp2 {
+		t.Fatal("canonical provisioning is not idempotent")
+	}
+}

@@ -1,0 +1,543 @@
+package sanitize
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tsr/internal/apk"
+	"tsr/internal/attest"
+	"tsr/internal/enclave"
+	"tsr/internal/keys"
+	"tsr/internal/osimage"
+	"tsr/internal/policy"
+	"tsr/internal/script"
+)
+
+// fixtures ------------------------------------------------------------
+
+func upstream(t *testing.T) *keys.Pair { t.Helper(); return keys.Shared.MustGet("alpine-pkg-signer") }
+func tsrKey(t *testing.T) *keys.Pair   { t.Helper(); return keys.Shared.MustGet("tsr-repo-key") }
+
+var initFiles = []policy.ConfigFile{
+	{Path: osimage.PasswdPath, Content: "root:x:0:0:root:/root:/bin/ash\n"},
+	{Path: osimage.GroupPath, Content: "root:x:0:\n"},
+}
+
+// buildPlan scans the given packages.
+func buildPlan(t *testing.T, pkgs ...*apk.Package) *Plan {
+	t.Helper()
+	plan, err := BuildPlan(&SliceSource{Packages: pkgs}, initFiles, tsrKey(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func sanitizer(t *testing.T, plan *Plan) *Sanitizer {
+	t.Helper()
+	return &Sanitizer{
+		Plan:      plan,
+		TrustRing: keys.NewRing(upstream(t).Public()),
+		SignKey:   tsrKey(t),
+		EPC:       enclave.DefaultCostModel(),
+	}
+}
+
+func signedPkg(t *testing.T, name string, scripts map[string]string, files ...apk.File) *apk.Package {
+	t.Helper()
+	if files == nil {
+		files = []apk.File{{Path: "/usr/bin/" + name, Mode: 0o755, Content: []byte(name)}}
+	}
+	p := &apk.Package{Name: name, Version: "1.0-r0", Scripts: scripts, Files: files}
+	if err := apk.Sign(p, upstream(t)); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func encode(t *testing.T, p *apk.Package) []byte {
+	t.Helper()
+	raw, err := apk.Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// plan tests -----------------------------------------------------------
+
+func TestBuildPlanCollectsAccountsSorted(t *testing.T) {
+	pkgA := signedPkg(t, "a", map[string]string{"post-install": "addgroup -S zeta\nadduser -S -G zeta zeta\n"})
+	pkgB := signedPkg(t, "b", map[string]string{"post-install": "addgroup -S alpha\nadduser -S -G alpha alpha\n"})
+	plan := buildPlan(t, pkgA, pkgB)
+	// Canonical order is sorted, regardless of scan order.
+	alphaIdx := strings.Index(plan.Preamble, "alpha")
+	zetaIdx := strings.Index(plan.Preamble, "zeta")
+	if alphaIdx < 0 || zetaIdx < 0 || alphaIdx > zetaIdx {
+		t.Fatalf("preamble order wrong:\n%s", plan.Preamble)
+	}
+	// Predicted passwd contains both users with fixed UIDs.
+	passwd := string(plan.PredictedConfig[osimage.PasswdPath])
+	if !strings.Contains(passwd, "alpha:x:200:") || !strings.Contains(passwd, "zeta:x:201:") {
+		t.Fatalf("predicted passwd:\n%s", passwd)
+	}
+}
+
+func TestBuildPlanSignsPredictions(t *testing.T) {
+	pkg := signedPkg(t, "svc", map[string]string{"post-install": "adduser -S svc\n"})
+	plan := buildPlan(t, pkg)
+	ring := keys.NewRing(tsrKey(t).Public())
+	for path, content := range plan.PredictedConfig {
+		sig := plan.ConfigSigs[path]
+		if _, err := ring.VerifyAny(content, sig); err != nil {
+			t.Fatalf("%s: prediction signature invalid: %v", path, err)
+		}
+	}
+	if len(plan.EmptyFileSig) != keys.SignatureSize {
+		t.Fatalf("empty file sig len = %d", len(plan.EmptyFileSig))
+	}
+}
+
+func TestBuildPlanFlagsEmptyPassword(t *testing.T) {
+	cve := signedPkg(t, "cve-pkg", map[string]string{
+		"post-install": "adduser -S -s /bin/ash alpine\npasswd -d alpine\n",
+	})
+	plan := buildPlan(t, cve)
+	if len(plan.Findings) < 2 {
+		t.Fatalf("findings = %+v, want empty-password and interactive-shell findings", plan.Findings)
+	}
+	var passwordFinding bool
+	for _, f := range plan.Findings {
+		if f.Package == "cve-pkg" && strings.Contains(f.Detail, "EMPTY password") {
+			passwordFinding = true
+		}
+	}
+	if !passwordFinding {
+		t.Fatalf("findings = %+v", plan.Findings)
+	}
+}
+
+func TestBuildPlanDeterministic(t *testing.T) {
+	mk := func() *Plan {
+		return buildPlan(t,
+			signedPkg(t, "a", map[string]string{"post-install": "adduser -S ua\n"}),
+			signedPkg(t, "b", map[string]string{"post-install": "adduser -S ub\naddgroup -S gb\n"}),
+		)
+	}
+	p1, p2 := mk(), mk()
+	if p1.Preamble != p2.Preamble {
+		t.Fatal("preamble not deterministic")
+	}
+	for path := range p1.PredictedConfig {
+		if string(p1.PredictedConfig[path]) != string(p2.PredictedConfig[path]) {
+			t.Fatalf("%s prediction not deterministic", path)
+		}
+	}
+}
+
+// sanitize tests --------------------------------------------------------
+
+func TestSanitizeSignsEveryFile(t *testing.T) {
+	p := signedPkg(t, "tool", nil,
+		apk.File{Path: "/usr/bin/tool", Mode: 0o755, Content: []byte("bin")},
+		apk.File{Path: "/usr/lib/tool/lib.so", Mode: 0o644, Content: []byte("lib")},
+	)
+	s := sanitizer(t, buildPlan(t, p))
+	res, err := s.Sanitize(encode(t, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := keys.NewRing(tsrKey(t).Public())
+	for _, f := range res.Package.Files {
+		sig, ok := f.Xattrs[apk.XattrIMA]
+		if !ok {
+			t.Fatalf("%s: no IMA signature", f.Path)
+		}
+		if _, err := ring.VerifyAny(f.Content, sig); err != nil {
+			t.Fatalf("%s: %v", f.Path, err)
+		}
+	}
+	// The sanitized package is signed by TSR, not the upstream signer.
+	if _, ok := res.Package.Signatures[tsrKey(t).Name]; !ok {
+		t.Fatal("no TSR package signature")
+	}
+	if _, ok := res.Package.Signatures[upstream(t).Name]; ok {
+		t.Fatal("upstream signature should be replaced")
+	}
+	// And the wire form verifies against the TSR key.
+	if _, _, err := apk.VerifyRaw(res.Raw, ring); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSanitizeRejectsUntrustedUpstream(t *testing.T) {
+	evil := keys.Shared.MustGet("evil-signer")
+	p := &apk.Package{Name: "evil", Version: "1", Files: []apk.File{{Path: "/e", Mode: 0o644, Content: []byte("x")}}}
+	if err := apk.Sign(p, evil); err != nil {
+		t.Fatal(err)
+	}
+	s := sanitizer(t, buildPlan(t))
+	if _, err := s.Sanitize(encode(t, p)); !errors.Is(err, apk.ErrUntrusted) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSanitizeRewritesAccountScript(t *testing.T) {
+	p := signedPkg(t, "ntpd", map[string]string{
+		"post-install": "addgroup -S ntp\nadduser -S -G ntp ntp\nmkdir -p /var/lib/ntp\n",
+	})
+	s := sanitizer(t, buildPlan(t, p))
+	res, err := s.Sanitize(encode(t, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Package.Scripts["post-install"]
+	// Preamble present, original adduser removed, mkdir kept, setfattr
+	// installs the predicted config signatures.
+	if !strings.Contains(out, "TSR canonical account provisioning") {
+		t.Fatalf("no preamble:\n%s", out)
+	}
+	if !strings.Contains(out, "mkdir -p /var/lib/ntp") {
+		t.Fatalf("original filesystem op lost:\n%s", out)
+	}
+	if !strings.Contains(out, "setfattr -n security.ima") {
+		t.Fatalf("no signature installation:\n%s", out)
+	}
+	// Exactly one adduser per planned user (from the preamble), no
+	// leftover unparameterized adduser.
+	if strings.Contains(out, "adduser -S -G ntp ntp") {
+		t.Fatalf("original adduser survived:\n%s", out)
+	}
+}
+
+func TestSanitizeRejectsConfigChange(t *testing.T) {
+	p := signedPkg(t, "roundcubemail", map[string]string{
+		"post-install": "sed -i s/old/new/ /etc/roundcube.conf\n",
+	})
+	s := sanitizer(t, buildPlan(t))
+	if _, err := s.Sanitize(encode(t, p)); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSanitizeRejectsShellActivation(t *testing.T) {
+	p := signedPkg(t, "bash", map[string]string{"post-install": "add-shell /bin/bash\n"})
+	s := sanitizer(t, buildPlan(t))
+	if _, err := s.Sanitize(encode(t, p)); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSanitizeStripsEmptyPassword(t *testing.T) {
+	p := signedPkg(t, "cve", map[string]string{
+		"post-install": "adduser -S -s /bin/ash alpine\npasswd -d alpine\n",
+	})
+	s := sanitizer(t, buildPlan(t, p))
+	res, err := s.Sanitize(encode(t, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Package.Scripts["post-install"]
+	if strings.Contains(out, "passwd -d") {
+		t.Fatalf("passwd -d survived sanitization:\n%s", out)
+	}
+	// The predicted shadow locks the account.
+	shadow := string(s.Plan.PredictedConfig[osimage.ShadowPath])
+	if !strings.Contains(shadow, "alpine:!:") {
+		t.Fatalf("shadow = %q", shadow)
+	}
+}
+
+func TestSanitizeTouchGetsSignature(t *testing.T) {
+	p := signedPkg(t, "pidpkg", map[string]string{
+		"post-install": "adduser -S pid\ntouch /var/run/pid.pid\n",
+	})
+	s := sanitizer(t, buildPlan(t, p))
+	res, err := s.Sanitize(encode(t, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Package.Scripts["post-install"]
+	idx := strings.Index(out, "touch /var/run/pid.pid")
+	if idx < 0 {
+		t.Fatalf("touch lost:\n%s", out)
+	}
+	rest := out[idx:]
+	if !strings.Contains(rest, "setfattr -n security.ima") || !strings.Contains(rest, "/var/run/pid.pid") {
+		t.Fatalf("no signature install after touch:\n%s", out)
+	}
+}
+
+func TestSanitizeSizeOverhead(t *testing.T) {
+	// Many small files: signatures dominate (Figure 9's top-left).
+	var files []apk.File
+	for i := 0; i < 50; i++ {
+		files = append(files, apk.File{
+			Path: "/usr/share/x/f" + string(rune('a'+i%26)) + string(rune('0'+i/26)), Mode: 0o644,
+			Content: []byte{byte(i)},
+		})
+	}
+	p := signedPkg(t, "manysmall", nil, files...)
+	s := sanitizer(t, buildPlan(t, p))
+	res, err := s.Sanitize(encode(t, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SizeOverheadPercent() < 50 {
+		t.Fatalf("size overhead = %.1f%%, want large for many small files", res.SizeOverheadPercent())
+	}
+	if res.FileCount != 50 {
+		t.Fatalf("file count = %d", res.FileCount)
+	}
+}
+
+func TestSanitizeEPCModel(t *testing.T) {
+	small := signedPkg(t, "small", nil)
+	s := sanitizer(t, buildPlan(t, small))
+	res, err := s.Sanitize(encode(t, small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExceedsEPC {
+		t.Fatal("small package marked as exceeding EPC")
+	}
+	if res.SGXOverhead <= 0 {
+		t.Fatal("no SGX overhead modeled")
+	}
+	if res.InSGXTime() <= res.Phases.Total() {
+		t.Fatal("in-SGX time not larger than native")
+	}
+	// Disabled model: no overhead.
+	s.EPC = enclave.CostModel{}
+	res2, err := s.Sanitize(encode(t, small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.SGXOverhead != 0 {
+		t.Fatalf("overhead with disabled model = %v", res2.SGXOverhead)
+	}
+}
+
+func TestSanitizedScriptsParseAndRender(t *testing.T) {
+	p := signedPkg(t, "ntpd", map[string]string{
+		"pre-install":  "adduser -S ntp\n",
+		"post-install": "mkdir -p /var/lib/ntp\nadduser -S ntp\n",
+	})
+	s := sanitizer(t, buildPlan(t, p))
+	res, err := s.Sanitize(encode(t, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for hook, src := range res.Package.Scripts {
+		if _, err := script.Parse(src); err != nil {
+			t.Fatalf("%s does not reparse: %v\n%s", hook, err, src)
+		}
+	}
+}
+
+// The headline end-to-end property: installing sanitized packages in
+// ANY order yields the SAME OS configuration, equal to the prediction,
+// and the predicted config signature verifies against it.
+func TestSanitizedInstallOrderIndependence(t *testing.T) {
+	pkgA := signedPkg(t, "svc-a", map[string]string{"post-install": "addgroup -S sa\nadduser -S -G sa sa\n"})
+	pkgB := signedPkg(t, "svc-b", map[string]string{"post-install": "addgroup -S sb\nadduser -S -G sb sb\n"})
+	plan := buildPlan(t, pkgA, pkgB)
+	s := sanitizer(t, plan)
+
+	resA, err := s.Sanitize(encode(t, pkgA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := s.Sanitize(encode(t, pkgB))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(order ...*Result) string {
+		img, err := osimage.New(keys.Shared.MustGet("os-ak"), initFiles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range order {
+			parsed := script.MustParse(r.Package.Scripts["post-install"])
+			if err := script.Exec(parsed, img); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fp, err := img.ConfigFingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The actual passwd equals the prediction.
+		passwd, _ := img.FS.ReadFile(osimage.PasswdPath)
+		if string(passwd) != string(plan.PredictedConfig[osimage.PasswdPath]) {
+			t.Fatalf("prediction mismatch:\n%q\nvs\n%q", passwd, plan.PredictedConfig[osimage.PasswdPath])
+		}
+		return fp
+	}
+	ab := run(resA, resB)
+	ba := run(resB, resA)
+	aOnly := run(resA)
+	if ab != ba {
+		t.Fatal("sanitized installs are order-dependent")
+	}
+	if ab != aOnly {
+		t.Fatal("single sanitized install differs from pair (preamble not complete)")
+	}
+}
+
+// End-to-end with attestation: a sanitized update on an appraising OS
+// attests clean (no false positive), and the xattr-installed config
+// signatures verify.
+func TestSanitizedUpdateAttestsClean(t *testing.T) {
+	pkg := signedPkg(t, "svc", map[string]string{"post-install": "addgroup -S svc\nadduser -S -G svc svc\n"})
+	plan := buildPlan(t, pkg)
+	s := sanitizer(t, plan)
+	res, err := s.Sanitize(encode(t, pkg))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	img, err := osimage.New(keys.Shared.MustGet("os-ak"), initFiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifier := attest.NewVerifier(img.TPM.AttestationKey(), keys.NewRing(tsrKey(t).Public()))
+	if err := img.IMA.MeasureTree("/etc"); err != nil {
+		t.Fatal(err)
+	}
+	verifier.WhitelistImage(img)
+
+	// "Install": run the sanitized script, extract files with xattrs.
+	if err := script.Exec(script.MustParse(res.Package.Scripts["post-install"]), img); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Package.Files {
+		if err := img.FS.WriteFile(f.Path, f.Content, f.Mode); err != nil {
+			t.Fatal(err)
+		}
+		for name, v := range f.Xattrs {
+			if err := img.FS.SetXattr(f.Path, name, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := img.IMA.MeasureFile(f.Path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-measure the changed configuration files.
+	for _, p := range osimage.ConfigDigestPaths() {
+		if img.FS.Exists(p) {
+			if _, err := img.IMA.MeasureFile(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	result, err := verifier.Attest(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !result.OK {
+		t.Fatalf("violations after sanitized update: %+v", result.Violations())
+	}
+}
+
+// Property: sanitization is deterministic — the same input bytes under
+// the same plan always produce identical output bytes. This is what the
+// TSR cache-tamper defense relies on (re-sanitization must reproduce
+// the indexed hash exactly).
+func TestSanitizeDeterministicProperty(t *testing.T) {
+	p := signedPkg(t, "det", map[string]string{
+		"post-install": "adduser -S det\ntouch /var/run/det.pid\nmkdir -p /var/lib/det\n",
+	})
+	s := sanitizer(t, buildPlan(t, p))
+	raw := encode(t, p)
+	first, err := s.Sanitize(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := s.Sanitize(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(again.Raw) != string(first.Raw) {
+			t.Fatalf("run %d produced different bytes", i)
+		}
+	}
+}
+
+// Property: stripAccountCommands removes every account command and only
+// account commands, for arbitrary interleavings.
+func TestStripAccountCommandsProperty(t *testing.T) {
+	account := []string{"adduser -S u", "addgroup -S g", "passwd -d u", "deluser u", "delgroup g"}
+	neutral := []string{"mkdir -p /a", "echo hi", "touch /b", "grep x /etc/passwd"}
+	f := func(picks []uint8) bool {
+		var src strings.Builder
+		wantNeutral := 0
+		for _, p := range picks {
+			all := append(append([]string(nil), account...), neutral...)
+			cmd := all[int(p)%len(all)]
+			if int(p)%len(all) >= len(account) {
+				wantNeutral++
+			}
+			src.WriteString(cmd + "\n")
+		}
+		parsed, err := script.Parse(src.String())
+		if err != nil {
+			return false
+		}
+		out := stripAccountCommands(parsed.Nodes, false, nil)
+		// No account command survives; all neutral commands survive.
+		count := 0
+		for _, n := range out {
+			c, ok := n.(*script.Command)
+			if !ok {
+				return false
+			}
+			switch c.Name {
+			case "adduser", "addgroup", "passwd", "deluser", "delgroup":
+				return false
+			}
+			count++
+		}
+		return count == wantNeutral
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the preamble renders and reparses for arbitrary account
+// name sets (quoting of gecos fields etc.).
+func TestPreambleRendersProperty(t *testing.T) {
+	f := func(names []string) bool {
+		users := make(map[string]script.User)
+		groups := make(map[string]script.Group)
+		for i, n := range names {
+			name := fmt.Sprintf("u%x%d", n, i)
+			users[name] = script.User{Name: name, Gecos: "svc " + name, Home: "/var/lib/" + name, Shell: "/sbin/nologin"}
+			groups[name] = script.Group{Name: name}
+		}
+		plan := &accountPlan{}
+		for name, g := range groups {
+			g.GID = 300
+			plan.groups = append(plan.groups, g)
+			_ = name
+		}
+		for name, u := range users {
+			u.UID = 300
+			plan.users = append(plan.users, u)
+			_ = name
+		}
+		preamble := renderPreamble(plan)
+		_, err := script.Parse(preamble)
+		return err == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+// Package script implements the installation-script language of the
+// simulated packages: a small, busybox-flavored shell subset that covers
+// exactly the operation classes the paper's Table 2 found in Alpine
+// packages (filesystem changes, empty scripts, text processing,
+// configuration changes, empty-file creation, user/group creation, and
+// shell activation).
+//
+// The package provides a parser, a renderer (so the sanitizer can rewrite
+// scripts and re-embed them in packages), a classifier that maps scripts
+// to Table 2 operation classes, and an interpreter that applies a script
+// to a System (the integrity-enforced OS image).
+package script
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is a syntax tree node: a Command, an If, or a Comment.
+type Node interface {
+	// render writes the node's canonical source form.
+	render(b *strings.Builder, indent int)
+}
+
+// Command is a single simple command, optionally with an output
+// redirection.
+type Command struct {
+	Name string
+	Args []string
+	// RedirectTo is the target of ">" or ">>" redirection ("" if none).
+	RedirectTo string
+	// Append selects ">>" over ">".
+	Append bool
+}
+
+func (c *Command) render(b *strings.Builder, indent int) {
+	b.WriteString(strings.Repeat("\t", indent))
+	b.WriteString(quoteToken(c.Name))
+	for _, a := range c.Args {
+		b.WriteByte(' ')
+		b.WriteString(quoteToken(a))
+	}
+	if c.RedirectTo != "" {
+		if c.Append {
+			b.WriteString(" >> ")
+		} else {
+			b.WriteString(" > ")
+		}
+		b.WriteString(quoteToken(c.RedirectTo))
+	}
+	b.WriteByte('\n')
+}
+
+// If is a conditional block: `if <cond>; then ... [else ...] fi`.
+type If struct {
+	Cond *Command
+	Then []Node
+	Else []Node
+}
+
+func (n *If) render(b *strings.Builder, indent int) {
+	b.WriteString(strings.Repeat("\t", indent))
+	b.WriteString("if ")
+	var cb strings.Builder
+	n.Cond.render(&cb, 0)
+	b.WriteString(strings.TrimSuffix(cb.String(), "\n"))
+	b.WriteString("; then\n")
+	for _, s := range n.Then {
+		s.render(b, indent+1)
+	}
+	if len(n.Else) > 0 {
+		b.WriteString(strings.Repeat("\t", indent))
+		b.WriteString("else\n")
+		for _, s := range n.Else {
+			s.render(b, indent+1)
+		}
+	}
+	b.WriteString(strings.Repeat("\t", indent))
+	b.WriteString("fi\n")
+}
+
+// Comment is a "#" line, preserved across parse/render roundtrips.
+type Comment struct {
+	Text string // without the leading '#'
+}
+
+func (c *Comment) render(b *strings.Builder, indent int) {
+	b.WriteString(strings.Repeat("\t", indent))
+	b.WriteString("#")
+	b.WriteString(c.Text)
+	b.WriteByte('\n')
+}
+
+// Script is a parsed installation script.
+type Script struct {
+	Nodes []Node
+}
+
+// Render returns the canonical source text of the script.
+func (s *Script) Render() string {
+	var b strings.Builder
+	for _, n := range s.Nodes {
+		n.render(&b, 0)
+	}
+	return b.String()
+}
+
+// Commands returns every Command in the script in order, descending into
+// If branches (both arms, since classification must be conservative about
+// what a script *might* do).
+func (s *Script) Commands() []*Command {
+	var out []*Command
+	var walk func(ns []Node)
+	walk = func(ns []Node) {
+		for _, n := range ns {
+			switch v := n.(type) {
+			case *Command:
+				out = append(out, v)
+			case *If:
+				out = append(out, v.Cond)
+				walk(v.Then)
+				walk(v.Else)
+			}
+		}
+	}
+	walk(s.Nodes)
+	return out
+}
+
+// quoteToken quotes a token if it contains characters that would break
+// tokenization.
+func quoteToken(s string) string {
+	if s == "" {
+		return `""`
+	}
+	if strings.ContainsAny(s, " \t\"'><;#") {
+		return fmt.Sprintf("%q", s)
+	}
+	return s
+}

@@ -1,0 +1,537 @@
+package script
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ErrExec wraps all interpreter execution errors.
+var ErrExec = errors.New("script: execution error")
+
+// User describes an account created by adduser, mirroring the fields of
+// an /etc/passwd and /etc/shadow line.
+type User struct {
+	Name   string
+	UID    int
+	GID    int
+	Gecos  string
+	Home   string
+	Shell  string
+	System bool
+	// NoPassword marks an account created or modified to have an EMPTY
+	// password — the CVE-2019-5021 class of misconfiguration the paper's
+	// sanitizer detected in two Alpine packages.
+	NoPassword bool
+}
+
+// Group describes a group created by addgroup.
+type Group struct {
+	Name   string
+	GID    int
+	System bool
+}
+
+// System is the set of OS effects the interpreter can apply. It is
+// implemented by the integrity-enforced OS image (package osimage) and by
+// the sanitizer's configuration predictor.
+type System interface {
+	// MkdirAll creates a directory and missing parents.
+	MkdirAll(path string, mode uint32) error
+	// Remove deletes a path; recursive selects rm -r semantics.
+	Remove(path string, recursive bool) error
+	// Rename moves a file or directory.
+	Rename(oldPath, newPath string) error
+	// Copy duplicates a regular file.
+	Copy(src, dst string) error
+	// Symlink creates a symbolic link.
+	Symlink(target, link string) error
+	// Chmod changes permission bits.
+	Chmod(path string, mode uint32) error
+	// Chown changes ownership.
+	Chown(path, owner string) error
+	// Touch creates an empty file if absent.
+	Touch(path string) error
+	// WriteFile writes (or appends) data to a file.
+	WriteFile(path string, data []byte, appendTo bool) error
+	// ReadFile reads a file.
+	ReadFile(path string) ([]byte, error)
+	// Exists reports whether a path exists.
+	Exists(path string) bool
+	// AddUser creates a user account.
+	AddUser(u User) error
+	// AddGroup creates a group.
+	AddGroup(g Group) error
+	// SetPassword sets a user's password hash; an empty hash means an
+	// empty (passwordless) login.
+	SetPassword(name, hash string) error
+	// AddShell registers a login shell in /etc/shells.
+	AddShell(path string) error
+	// SetXattr sets an extended attribute on a file. The sanitizer's
+	// rewritten scripts use it (via setfattr) to install the predicted
+	// configuration files' IMA signatures in the target OS (§4.2).
+	SetXattr(path, name string, value []byte) error
+}
+
+// Exec runs the script against sys. Execution stops at the first error,
+// or immediately (without error) at an `exit 0` command.
+func Exec(s *Script, sys System) error {
+	_, err := execNodes(s.Nodes, sys)
+	return err
+}
+
+// execNodes returns stop=true when an exit command was reached.
+func execNodes(nodes []Node, sys System) (stop bool, err error) {
+	for _, n := range nodes {
+		switch v := n.(type) {
+		case *Comment:
+			// no effect
+		case *Command:
+			stop, err = execCommand(v, sys)
+			if err != nil || stop {
+				return stop, err
+			}
+		case *If:
+			taken, err := evalCond(v.Cond, sys)
+			if err != nil {
+				return false, err
+			}
+			branch := v.Then
+			if !taken {
+				branch = v.Else
+			}
+			stop, err = execNodes(branch, sys)
+			if err != nil || stop {
+				return stop, err
+			}
+		default:
+			return false, fmt.Errorf("%w: unknown node %T", ErrExec, n)
+		}
+	}
+	return false, nil
+}
+
+// evalCond evaluates an if condition command.
+func evalCond(c *Command, sys System) (bool, error) {
+	switch c.Name {
+	case "true":
+		return true, nil
+	case "false":
+		return false, nil
+	case "[", "test":
+		args := c.Args
+		if c.Name == "[" {
+			if len(args) == 0 || args[len(args)-1] != "]" {
+				return false, fmt.Errorf("%w: '[' without closing ']'", ErrExec)
+			}
+			args = args[:len(args)-1]
+		}
+		return evalTest(args, sys)
+	case "command":
+		// `command -v name`: treat common base utilities as present.
+		if len(c.Args) == 2 && c.Args[0] == "-v" {
+			return sys.Exists("/usr/bin/"+c.Args[1]) || sys.Exists("/bin/"+c.Args[1]), nil
+		}
+		return false, fmt.Errorf("%w: unsupported command form %v", ErrExec, c.Args)
+	default:
+		return false, fmt.Errorf("%w: unsupported condition %q", ErrExec, c.Name)
+	}
+}
+
+// evalTest implements the test(1) subset: -f/-d/-e path, ! expr,
+// s1 = s2, s1 != s2.
+func evalTest(args []string, sys System) (bool, error) {
+	if len(args) > 0 && args[0] == "!" {
+		v, err := evalTest(args[1:], sys)
+		return !v, err
+	}
+	switch {
+	case len(args) == 2 && (args[0] == "-f" || args[0] == "-e"):
+		return sys.Exists(args[1]), nil
+	case len(args) == 2 && args[0] == "-d":
+		return sys.Exists(args[1]), nil
+	case len(args) == 3 && args[1] == "=":
+		return args[0] == args[2], nil
+	case len(args) == 3 && args[1] == "!=":
+		return args[0] != args[2], nil
+	case len(args) == 1:
+		return args[0] != "", nil
+	default:
+		return false, fmt.Errorf("%w: unsupported test %v", ErrExec, args)
+	}
+}
+
+// execCommand applies one command. It returns stop=true for `exit`.
+func execCommand(c *Command, sys System) (bool, error) {
+	if c.RedirectTo != "" {
+		return false, execRedirect(c, sys)
+	}
+	switch c.Name {
+	case "exit":
+		return true, nil
+	case "true", ":", "echo", "printf", "[", "test", "command", "which":
+		return false, nil
+	case "mkdir":
+		for _, p := range nonFlagArgs(c.Args) {
+			if err := sys.MkdirAll(p, 0o755); err != nil {
+				return false, wrapExec(c, err)
+			}
+		}
+		return false, nil
+	case "rmdir":
+		for _, p := range nonFlagArgs(c.Args) {
+			if err := sys.Remove(p, false); err != nil {
+				return false, wrapExec(c, err)
+			}
+		}
+		return false, nil
+	case "rm":
+		recursive := hasFlag(c.Args, "-r") || hasFlag(c.Args, "-rf") || hasFlag(c.Args, "-fr")
+		force := recursive || hasFlag(c.Args, "-f")
+		for _, p := range nonFlagArgs(c.Args) {
+			err := sys.Remove(p, recursive)
+			if err != nil && !force {
+				return false, wrapExec(c, err)
+			}
+		}
+		return false, nil
+	case "mv":
+		paths := nonFlagArgs(c.Args)
+		if len(paths) != 2 {
+			return false, fmt.Errorf("%w: mv wants 2 paths, got %v", ErrExec, paths)
+		}
+		return false, wrapExec(c, sys.Rename(paths[0], paths[1]))
+	case "cp":
+		paths := nonFlagArgs(c.Args)
+		if len(paths) != 2 {
+			return false, fmt.Errorf("%w: cp wants 2 paths, got %v", ErrExec, paths)
+		}
+		return false, wrapExec(c, sys.Copy(paths[0], paths[1]))
+	case "ln":
+		paths := nonFlagArgs(c.Args)
+		if len(paths) != 2 {
+			return false, fmt.Errorf("%w: ln wants 2 paths, got %v", ErrExec, paths)
+		}
+		return false, wrapExec(c, sys.Symlink(paths[0], paths[1]))
+	case "chmod":
+		paths := nonFlagArgs(c.Args)
+		if len(paths) < 2 {
+			return false, fmt.Errorf("%w: chmod wants mode and path", ErrExec)
+		}
+		mode, err := strconv.ParseUint(paths[0], 8, 32)
+		if err != nil {
+			return false, fmt.Errorf("%w: chmod mode %q: %v", ErrExec, paths[0], err)
+		}
+		for _, p := range paths[1:] {
+			if err := sys.Chmod(p, uint32(mode)); err != nil {
+				return false, wrapExec(c, err)
+			}
+		}
+		return false, nil
+	case "chown":
+		paths := nonFlagArgs(c.Args)
+		if len(paths) < 2 {
+			return false, fmt.Errorf("%w: chown wants owner and path", ErrExec)
+		}
+		for _, p := range paths[1:] {
+			if err := sys.Chown(p, paths[0]); err != nil {
+				return false, wrapExec(c, err)
+			}
+		}
+		return false, nil
+	case "install":
+		// install -d DIR...: directory creation form only.
+		if hasFlag(c.Args, "-d") {
+			for _, p := range nonFlagArgs(c.Args) {
+				if err := sys.MkdirAll(p, 0o755); err != nil {
+					return false, wrapExec(c, err)
+				}
+			}
+			return false, nil
+		}
+		paths := nonFlagArgs(c.Args)
+		if len(paths) == 2 {
+			return false, wrapExec(c, sys.Copy(paths[0], paths[1]))
+		}
+		return false, fmt.Errorf("%w: unsupported install form %v", ErrExec, c.Args)
+	case "touch":
+		for _, p := range nonFlagArgs(c.Args) {
+			if err := sys.Touch(p); err != nil {
+				return false, wrapExec(c, err)
+			}
+		}
+		return false, nil
+	case "sed":
+		return false, wrapExec(c, execSed(c.Args, sys))
+	case "grep", "cat", "head", "tail", "cut", "awk", "sort", "wc", "tr":
+		// Text processing: read the input files; output is discarded.
+		for _, p := range nonFlagArgs(c.Args) {
+			if strings.HasPrefix(p, "/") {
+				if _, err := sys.ReadFile(p); err != nil {
+					return false, wrapExec(c, err)
+				}
+			}
+		}
+		return false, nil
+	case "adduser":
+		u, err := ParseAddUser(c.Args)
+		if err != nil {
+			return false, err
+		}
+		return false, wrapExec(c, sys.AddUser(u))
+	case "addgroup":
+		g, err := ParseAddGroup(c.Args)
+		if err != nil {
+			return false, err
+		}
+		return false, wrapExec(c, sys.AddGroup(g))
+	case "passwd":
+		name, hash, err := ParsePasswd(c.Args)
+		if err != nil {
+			return false, err
+		}
+		return false, wrapExec(c, sys.SetPassword(name, hash))
+	case "add-shell":
+		if len(c.Args) != 1 {
+			return false, fmt.Errorf("%w: add-shell wants one path", ErrExec)
+		}
+		return false, wrapExec(c, sys.AddShell(c.Args[0]))
+	case "setfattr":
+		path, name, value, err := ParseSetfattr(c.Args)
+		if err != nil {
+			return false, err
+		}
+		return false, wrapExec(c, sys.SetXattr(path, name, value))
+	default:
+		return false, fmt.Errorf("%w: unknown command %q", ErrExec, c.Name)
+	}
+}
+
+// execRedirect handles `cmd ... > file` and `cmd ... >> file`. Only echo
+// and printf redirections are supported; they write their joined
+// arguments plus a newline.
+func execRedirect(c *Command, sys System) error {
+	switch c.Name {
+	case "echo", "printf":
+		data := []byte(strings.Join(c.Args, " ") + "\n")
+		if len(c.Args) == 0 || (len(c.Args) == 1 && c.Args[0] == "-n") {
+			data = nil // `echo -n > f` / `> f`: truncate to empty
+		}
+		return sys.WriteFile(c.RedirectTo, data, c.Append)
+	default:
+		return fmt.Errorf("%w: unsupported redirection from %q", ErrExec, c.Name)
+	}
+}
+
+// execSed supports the s/old/new/[g] substitution form. With -i the file
+// is rewritten in place (a configuration change); without -i the file is
+// only read.
+func execSed(args []string, sys System) error {
+	inPlace := hasFlag(args, "-i")
+	rest := nonFlagArgs(args)
+	if len(rest) != 2 {
+		return fmt.Errorf("%w: sed wants expression and file, got %v", ErrExec, rest)
+	}
+	expr, file := rest[0], rest[1]
+	old, repl, err := parseSedExpr(expr)
+	if err != nil {
+		return err
+	}
+	content, err := sys.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	if !inPlace {
+		return nil
+	}
+	return sys.WriteFile(file, []byte(strings.ReplaceAll(string(content), old, repl)), false)
+}
+
+// parseSedExpr parses "s/old/new/" with an arbitrary delimiter after 's'.
+func parseSedExpr(expr string) (old, repl string, err error) {
+	if len(expr) < 4 || expr[0] != 's' {
+		return "", "", fmt.Errorf("%w: unsupported sed expression %q", ErrExec, expr)
+	}
+	delim := string(expr[1])
+	parts := strings.Split(expr[2:], delim)
+	if len(parts) < 2 {
+		return "", "", fmt.Errorf("%w: unsupported sed expression %q", ErrExec, expr)
+	}
+	return parts[0], parts[1], nil
+}
+
+// ParseAddUser parses busybox-style adduser arguments:
+//
+//	adduser [-S] [-D] [-H] [-h HOME] [-s SHELL] [-g GECOS] [-G GROUP] [-u UID] NAME
+//
+// UID and GID default to -1, meaning the System assigns the next free id.
+func ParseAddUser(args []string) (User, error) {
+	u := User{Home: "", Shell: "/sbin/nologin", UID: -1, GID: -1}
+	var group string
+	i := 0
+	for i < len(args) {
+		a := args[i]
+		switch a {
+		case "-S":
+			u.System = true
+			i++
+		case "-D":
+			u.NoPassword = true
+			i++
+		case "-H":
+			u.Home = "/nonexistent"
+			i++
+		case "-h", "-s", "-g", "-G", "-u":
+			if i+1 >= len(args) {
+				return User{}, fmt.Errorf("%w: adduser flag %q needs a value", ErrExec, a)
+			}
+			v := args[i+1]
+			switch a {
+			case "-h":
+				u.Home = v
+			case "-s":
+				u.Shell = v
+			case "-g":
+				u.Gecos = v
+			case "-G":
+				group = v
+			case "-u":
+				uid, err := strconv.Atoi(v)
+				if err != nil {
+					return User{}, fmt.Errorf("%w: adduser uid %q", ErrExec, v)
+				}
+				u.UID = uid
+			}
+			i += 2
+		default:
+			if strings.HasPrefix(a, "-") {
+				return User{}, fmt.Errorf("%w: adduser unknown flag %q", ErrExec, a)
+			}
+			if u.Name != "" {
+				return User{}, fmt.Errorf("%w: adduser multiple names %q %q", ErrExec, u.Name, a)
+			}
+			u.Name = a
+			i++
+		}
+	}
+	if u.Name == "" {
+		return User{}, fmt.Errorf("%w: adduser without user name", ErrExec)
+	}
+	if u.Home == "" {
+		u.Home = "/home/" + u.Name
+	}
+	if u.Gecos == "" {
+		u.Gecos = u.Name
+	}
+	_ = group // group membership is resolved by the System via GID policy
+	return u, nil
+}
+
+// ParseAddGroup parses `addgroup [-S] [-g GID] NAME`.
+func ParseAddGroup(args []string) (Group, error) {
+	g := Group{GID: -1}
+	i := 0
+	for i < len(args) {
+		a := args[i]
+		switch a {
+		case "-S":
+			g.System = true
+			i++
+		case "-g":
+			if i+1 >= len(args) {
+				return Group{}, fmt.Errorf("%w: addgroup -g needs a value", ErrExec)
+			}
+			gid, err := strconv.Atoi(args[i+1])
+			if err != nil {
+				return Group{}, fmt.Errorf("%w: addgroup gid %q", ErrExec, args[i+1])
+			}
+			g.GID = gid
+			i += 2
+		default:
+			if strings.HasPrefix(a, "-") {
+				return Group{}, fmt.Errorf("%w: addgroup unknown flag %q", ErrExec, a)
+			}
+			if g.Name != "" {
+				return Group{}, fmt.Errorf("%w: addgroup multiple names", ErrExec)
+			}
+			g.Name = a
+			i++
+		}
+	}
+	if g.Name == "" {
+		return Group{}, fmt.Errorf("%w: addgroup without group name", ErrExec)
+	}
+	return g, nil
+}
+
+// ParsePasswd parses `passwd -d NAME` (delete password — empty login) and
+// `passwd -H HASH NAME` (set hash; a simulation-side extension standing in
+// for chpasswd).
+func ParsePasswd(args []string) (name, hash string, err error) {
+	switch {
+	case len(args) == 2 && args[0] == "-d":
+		return args[1], "", nil
+	case len(args) == 3 && args[0] == "-H":
+		return args[2], args[1], nil
+	default:
+		return "", "", fmt.Errorf("%w: unsupported passwd form %v", ErrExec, args)
+	}
+}
+
+// ParseSetfattr parses `setfattr -n NAME -v HEXVALUE PATH` (the
+// attr-tools form restricted to hex values).
+func ParseSetfattr(args []string) (path, name string, value []byte, err error) {
+	var hexValue string
+	i := 0
+	for i < len(args) {
+		switch args[i] {
+		case "-n", "-v":
+			if i+1 >= len(args) {
+				return "", "", nil, fmt.Errorf("%w: setfattr %s needs a value", ErrExec, args[i])
+			}
+			if args[i] == "-n" {
+				name = args[i+1]
+			} else {
+				hexValue = args[i+1]
+			}
+			i += 2
+		default:
+			if strings.HasPrefix(args[i], "-") {
+				return "", "", nil, fmt.Errorf("%w: setfattr unknown flag %q", ErrExec, args[i])
+			}
+			if path != "" {
+				return "", "", nil, fmt.Errorf("%w: setfattr multiple paths", ErrExec)
+			}
+			path = args[i]
+			i++
+		}
+	}
+	if path == "" || name == "" || hexValue == "" {
+		return "", "", nil, fmt.Errorf("%w: setfattr needs -n, -v and a path", ErrExec)
+	}
+	value, decErr := hex.DecodeString(hexValue)
+	if decErr != nil {
+		return "", "", nil, fmt.Errorf("%w: setfattr value not hex: %v", ErrExec, decErr)
+	}
+	return path, name, value, nil
+}
+
+func wrapExec(c *Command, err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %s: %v", ErrExec, c.Name, err)
+}
+
+// nonFlagArgs returns the arguments that do not start with '-'.
+func nonFlagArgs(args []string) []string {
+	var out []string
+	for _, a := range args {
+		if !strings.HasPrefix(a, "-") {
+			out = append(out, a)
+		}
+	}
+	return out
+}

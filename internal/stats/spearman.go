@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Correlation is the result of a Spearman rank correlation test, the
+// statistic Table 4 reports ("Spearman rank correlation coefficients (ρ)
+// ... corresponding p values").
+type Correlation struct {
+	Rho float64
+	P   float64
+	N   int
+}
+
+// Significance classifies the p value the way Table 4's typography does:
+// "p<0.001" (bold grey), "p<0.05" (grey), or "n.s.".
+func (c Correlation) Significance() string {
+	switch {
+	case c.P < 0.001:
+		return "p<0.001"
+	case c.P < 0.05:
+		return "p<0.05"
+	default:
+		return "n.s."
+	}
+}
+
+// String renders the coefficient with its significance class.
+func (c Correlation) String() string {
+	return fmt.Sprintf("ρ=%+.2f (%s, n=%d)", c.Rho, c.Significance(), c.N)
+}
+
+// Spearman computes the Spearman rank correlation between xs and ys,
+// handling ties by midranking, with a Student-t approximation for the
+// p value (two-sided).
+func Spearman(xs, ys []float64) (Correlation, error) {
+	if len(xs) != len(ys) {
+		return Correlation{}, fmt.Errorf("stats: length mismatch %d != %d", len(xs), len(ys))
+	}
+	n := len(xs)
+	if n < 3 {
+		return Correlation{}, fmt.Errorf("stats: need at least 3 samples, have %d", n)
+	}
+	rx := midranks(xs)
+	ry := midranks(ys)
+	rho, err := pearson(rx, ry)
+	if err != nil {
+		return Correlation{}, err
+	}
+	p := spearmanP(rho, n)
+	return Correlation{Rho: rho, P: p, N: n}, nil
+}
+
+// midranks converts values to ranks, assigning tied values the mean of the
+// ranks they span.
+func midranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// ranks are 1-based; ties get the midrank of positions i..j.
+		mid := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = mid
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// pearson computes the Pearson correlation of xs and ys.
+func pearson(xs, ys []float64) (float64, error) {
+	mx, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	my, _ := Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, fmt.Errorf("stats: zero variance input")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// spearmanP approximates the two-sided p value of a Spearman coefficient
+// via the t distribution with n-2 degrees of freedom.
+func spearmanP(rho float64, n int) float64 {
+	if math.Abs(rho) >= 1 {
+		return 0
+	}
+	df := float64(n - 2)
+	t := rho * math.Sqrt(df/(1-rho*rho))
+	return 2 * studentTSF(math.Abs(t), df)
+}
+
+// studentTSF returns P(T > t) for the Student t distribution with df
+// degrees of freedom, via the regularized incomplete beta function.
+func studentTSF(t, df float64) float64 {
+	x := df / (df + t*t)
+	return 0.5 * regIncBeta(df/2, 0.5, x)
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the continued-fraction expansion (Numerical Recipes betacf).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b) + a*math.Log(x) + b*math.Log(1-x)
+	front := math.Exp(lbeta)
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betacf evaluates the continued fraction for the incomplete beta
+// function by the modified Lentz method.
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 200
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		aa := float64(m) * (b - float64(m)) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

@@ -1,0 +1,228 @@
+package tsr
+
+import (
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"tsr/internal/index"
+)
+
+// HTTP wire headers for the signed index.
+const (
+	headerKeyName   = "X-Tsr-Key-Name"
+	headerSignature = "X-Tsr-Signature"
+)
+
+// Handler exposes the Service as the REST API of §5.2:
+//
+//	POST /policies                  deploy a policy, returns repo id +
+//	                                public key + attestation report
+//	POST /repos/{id}/refresh        pull upstream and re-sanitize
+//	GET  /repos/{id}/index          the signed metadata index
+//	GET  /repos/{id}/packages/{pkg} a sanitized package
+//	GET  /repos/{id}/rejected       rejected packages and reasons
+//	GET  /repos/{id}/findings       security findings
+//	GET  /healthz                   liveness
+func Handler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /policies", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 10<<20))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		id, pub, report, err := s.DeployPolicy(body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"repository_id":       id,
+			"public_key":          string(pub),
+			"enclave_measurement": hex.EncodeToString(report.Measurement[:]),
+			"report_data":         hex.EncodeToString(report.ReportData[:]),
+			"report_signature":    base64.StdEncoding.EncodeToString(report.Sig),
+			"report_key_name":     report.KeyName,
+		})
+	})
+	mux.HandleFunc("POST /repos/{id}/refresh", func(w http.ResponseWriter, r *http.Request) {
+		repo, err := s.Repo(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		stats, err := repo.Refresh()
+		if err != nil {
+			httpError(w, http.StatusBadGateway, err)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"sanitized":         stats.Sanitized,
+			"rejected":          stats.Rejected,
+			"downloaded":        stats.Downloaded,
+			"unchanged":         stats.Unchanged,
+			"quorum_latency_ms": stats.QuorumLatency.Milliseconds(),
+			"mirrors_contacted": stats.MirrorsContacted,
+		})
+	})
+	mux.HandleFunc("GET /repos/{id}/index", func(w http.ResponseWriter, r *http.Request) {
+		repo, err := s.Repo(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		signed, err := repo.FetchIndex()
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		w.Header().Set(headerKeyName, signed.KeyName)
+		w.Header().Set(headerSignature, base64.StdEncoding.EncodeToString(signed.Sig))
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write(signed.Raw)
+	})
+	mux.HandleFunc("GET /repos/{id}/packages/{pkg}", func(w http.ResponseWriter, r *http.Request) {
+		repo, err := s.Repo(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		raw, res, err := repo.FetchPackageTraced(r.PathValue("pkg"))
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		w.Header().Set("X-Tsr-Served-From", res.From.String())
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(raw)
+	})
+	mux.HandleFunc("GET /repos/{id}/scripts/{pkg}", func(w http.ResponseWriter, r *http.Request) {
+		repo, err := s.Repo(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		preview, err := repo.scriptPreview(r.PathValue("pkg"))
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, preview)
+	})
+	mux.HandleFunc("GET /repos/{id}/rejected", func(w http.ResponseWriter, r *http.Request) {
+		repo, err := s.Repo(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, repo.RejectedPackages())
+	})
+	mux.HandleFunc("GET /repos/{id}/findings", func(w http.ResponseWriter, r *http.Request) {
+		repo, err := s.Repo(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, repo.Findings())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrNotInitialized):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrUnsupportedPkg):
+		return http.StatusForbidden
+	case errors.Is(err, index.ErrNotFound):
+		return http.StatusNotFound
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// Client is a package-manager-side HTTP client for one TSR repository.
+// It implements pkgmgr.Source, so an OS can be pointed at TSR exactly
+// like at a plain mirror (§4.3: "Package managers recognize TSR as a
+// standard repository mirror").
+type Client struct {
+	// BaseURL is the TSR server base (e.g. "http://host:8473").
+	BaseURL string
+	// RepoID is the tenant repository id from policy deployment.
+	RepoID string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) client() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// FetchIndex implements pkgmgr.Source.
+func (c *Client) FetchIndex() (*index.Signed, error) {
+	resp, err := c.client().Get(c.BaseURL + "/repos/" + c.RepoID + "/index")
+	if err != nil {
+		return nil, fmt.Errorf("tsr client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("tsr client: index: %s", readErr(resp))
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("tsr client: %w", err)
+	}
+	sig, err := base64.StdEncoding.DecodeString(resp.Header.Get(headerSignature))
+	if err != nil {
+		return nil, fmt.Errorf("tsr client: bad signature header: %w", err)
+	}
+	return &index.Signed{
+		Raw:     raw,
+		KeyName: resp.Header.Get(headerKeyName),
+		Sig:     sig,
+	}, nil
+}
+
+// FetchPackage implements pkgmgr.Source.
+func (c *Client) FetchPackage(name string) ([]byte, error) {
+	resp, err := c.client().Get(c.BaseURL + "/repos/" + c.RepoID + "/packages/" + name)
+	if err != nil {
+		return nil, fmt.Errorf("tsr client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("tsr client: package %s: %s", name, readErr(resp))
+	}
+	return io.ReadAll(resp.Body)
+}
+
+func readErr(resp *http.Response) string {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	return strings.TrimSpace(resp.Status + " " + string(body))
+}

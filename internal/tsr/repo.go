@@ -1,0 +1,742 @@
+package tsr
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tsr/internal/apk"
+	"tsr/internal/index"
+	"tsr/internal/keys"
+	"tsr/internal/netsim"
+	"tsr/internal/policy"
+	"tsr/internal/quorum"
+	"tsr/internal/sanitize"
+	"tsr/internal/script"
+)
+
+// Cache behaviour errors.
+var (
+	ErrCacheTampered  = errors.New("tsr: cached package does not match the trusted index (tamper or rollback)")
+	ErrRollback       = errors.New("tsr: sealed state is older than the TPM monotonic counter (rollback attack)")
+	ErrUnsupportedPkg = errors.New("tsr: package rejected by sanitization policy")
+)
+
+// CacheMode selects which cache levels are active — the three scenarios
+// of Figure 10 (None / Original / Sanitized).
+type CacheMode int
+
+const (
+	// CacheBoth keeps original and sanitized packages (default).
+	CacheBoth CacheMode = iota
+	// CacheOriginalOnly caches upstream packages but re-sanitizes on
+	// every download request.
+	CacheOriginalOnly
+	// CacheNone always re-downloads and re-sanitizes.
+	CacheNone
+)
+
+// ServedFrom reports how a package request was satisfied.
+type ServedFrom int
+
+const (
+	// ServedSanitizedCache: returned straight from the sanitized cache.
+	ServedSanitizedCache ServedFrom = iota
+	// ServedOriginalCache: original was cached; sanitized on demand.
+	ServedOriginalCache
+	// ServedMirror: downloaded from a mirror, then sanitized.
+	ServedMirror
+)
+
+// String implements fmt.Stringer.
+func (s ServedFrom) String() string {
+	switch s {
+	case ServedSanitizedCache:
+		return "sanitized-cache"
+	case ServedOriginalCache:
+		return "original-cache"
+	case ServedMirror:
+		return "mirror"
+	default:
+		return fmt.Sprintf("ServedFrom(%d)", int(s))
+	}
+}
+
+// RefreshStats describes one Refresh run — the Table 3 decomposition.
+type RefreshStats struct {
+	// QuorumLatency is the modeled time to read the metadata index
+	// from the mirror quorum (Figure 13).
+	QuorumLatency time.Duration
+	// MirrorsContacted is how many mirrors the quorum consulted.
+	MirrorsContacted int
+	// DownloadTime is the modeled time to download changed packages.
+	DownloadTime time.Duration
+	// SanitizeTime is the measured time sanitizing changed packages
+	// (native, excluding the SGX model).
+	SanitizeTime time.Duration
+	// SGXOverhead is the modeled additional in-enclave time.
+	SGXOverhead time.Duration
+	// Downloaded, Sanitized, Rejected, Unchanged count packages.
+	Downloaded, Sanitized, Rejected, Unchanged int
+	// Results holds the per-package sanitization results of this run
+	// (consumed by the experiment harness; nil-able for big runs).
+	Results []*sanitize.Result
+}
+
+// Repo is one tenant repository inside a TSR service.
+type Repo struct {
+	ID string
+
+	svc      *Service
+	policy   *policy.Policy
+	signKey  *keys.Pair
+	trust    *keys.Ring // policy signer keys: verifies indexes and packages
+	reader   *quorum.Reader
+	fetchers []PackageFetcher
+
+	mu        sync.Mutex
+	mode      CacheMode
+	parallel  int           // download parallelism (1 = sequential, the paper's default)
+	upstream  *index.Index  // latest verified upstream index
+	local     *index.Index  // index of sanitized packages
+	localSig  *index.Signed // signed local index served to clients
+	plan      *sanitize.Plan
+	preamble  string            // account plan fingerprint; changes force re-sanitization
+	rejected  map[string]string // package -> rejection reason
+	keepStats bool
+	seq       uint64 // local index sequence
+}
+
+// newRepo builds the tenant repository and its quorum reader.
+func newRepo(id string, pol *policy.Policy, signKey *keys.Pair, svc *Service) (*Repo, error) {
+	trust, err := pol.SignerRing()
+	if err != nil {
+		return nil, err
+	}
+	r := &Repo{
+		ID:       id,
+		svc:      svc,
+		policy:   pol,
+		signKey:  signKey,
+		trust:    trust,
+		rejected: make(map[string]string),
+	}
+	members := make([]quorum.Member, 0, len(pol.Mirrors))
+	for _, m := range pol.Mirrors {
+		if svc.cfg.Resolve == nil {
+			return nil, fmt.Errorf("%w: no resolver configured", ErrNoMirror)
+		}
+		src, fetcher, err := svc.cfg.Resolve(m)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: %v", ErrNoMirror, m.Hostname, err)
+		}
+		cont, err := m.Continent()
+		if err != nil {
+			return nil, err
+		}
+		members = append(members, quorum.Member{Host: m.Hostname, Continent: cont, Source: src})
+		r.fetchers = append(r.fetchers, fetcher)
+	}
+	r.reader = &quorum.Reader{
+		Local:     svc.cfg.Local,
+		Link:      svc.cfg.Link,
+		Clock:     svc.cfg.Clock,
+		TrustRing: trust,
+		Members:   members,
+	}
+	return r, nil
+}
+
+// PublicKey returns the repository's public signing key.
+func (r *Repo) PublicKey() *keys.Public { return r.signKey.Public() }
+
+// Policy returns the deployed policy.
+func (r *Repo) Policy() *policy.Policy { return r.policy }
+
+// SetCacheMode selects the Figure 10 cache scenario.
+func (r *Repo) SetCacheMode(m CacheMode) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mode = m
+}
+
+// SetDownloadParallelism sets how many packages Refresh downloads
+// concurrently. The paper's prototype downloads sequentially and notes
+// that "the download time can be greatly reduced by enabling parallel
+// downloading. This performance improvement is left as part of future
+// work" (Table 3) — this implements that future work. Parallel
+// transfers share the path bandwidth in the network model, so the
+// saving comes from overlapping round trips, not free bandwidth.
+func (r *Repo) SetDownloadParallelism(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	r.parallel = n
+}
+
+// KeepStats makes Refresh retain per-package sanitization results.
+func (r *Repo) KeepStats(keep bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.keepStats = keep
+}
+
+// RejectedPackages returns the packages rejected by sanitization and
+// their reasons.
+func (r *Repo) RejectedPackages() map[string]string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]string, len(r.rejected))
+	for k, v := range r.rejected {
+		out[k] = v
+	}
+	return out
+}
+
+// Findings returns the security findings of the current plan.
+func (r *Repo) Findings() []sanitize.Finding {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.plan == nil {
+		return nil
+	}
+	return append([]sanitize.Finding(nil), r.plan.Findings...)
+}
+
+// cacheKey builders.
+func (r *Repo) origKey(name string) string      { return r.ID + "/orig/" + name }
+func (r *Repo) sanitizedKey(name string) string { return r.ID + "/san/" + name }
+
+// Refresh performs the §5.4 cycle: quorum-read the upstream metadata
+// index, download packages that changed since the previous refresh,
+// (re)build the sanitization plan, sanitize, cache, and publish a new
+// signed local index.
+func (r *Repo) Refresh() (*RefreshStats, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	stats := &RefreshStats{}
+
+	qres, err := r.reader.Read()
+	if err != nil {
+		return nil, err
+	}
+	stats.QuorumLatency = qres.Elapsed
+	stats.MirrorsContacted = qres.Contacted
+	newUpstream, err := qres.Index.Verify(r.trust)
+	if err != nil {
+		return nil, err
+	}
+	if r.upstream != nil && newUpstream.Sequence < r.upstream.Sequence {
+		// A quorum of mirrors agreeing on an older index than one we
+		// already verified: treat as replay and refuse.
+		return nil, fmt.Errorf("%w: upstream sequence %d < %d", ErrRollback, newUpstream.Sequence, r.upstream.Sequence)
+	}
+
+	// Determine work: on the first refresh everything is "added".
+	var added, changed []string
+	if r.upstream == nil {
+		added = newUpstream.Names()
+	} else {
+		added, changed, _ = index.Diff(r.upstream, newUpstream)
+	}
+	work := make([]string, 0, len(added)+len(changed))
+	for _, name := range append(append([]string(nil), added...), changed...) {
+		// The §4.5 private/closed policy variant: packages outside the
+		// whitelist (or on the blacklist) are excluded up front.
+		if !r.policy.Allows(name) {
+			r.rejected[name] = "excluded by policy whitelist/blacklist"
+			stats.Rejected++
+			continue
+		}
+		work = append(work, name)
+	}
+	stats.Unchanged = len(newUpstream.Entries) - len(work)
+
+	// Download (or reuse cached originals for) the packages to process.
+	// With parallelism p the transfers are issued in batches of p; each
+	// batch costs one round trip plus its total payload at the path
+	// bandwidth, so parallelism saves the per-package round trips.
+	parallel := r.parallel
+	if parallel < 1 {
+		parallel = 1
+	}
+	raws := make(map[string][]byte, len(work))
+	var batchBytes int64
+	inBatch := 0
+	for _, name := range work {
+		entry, err := newUpstream.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		raw, dlBytes, err := r.obtainOriginalLocked(name, entry)
+		if err != nil {
+			return nil, err
+		}
+		if dlBytes > 0 {
+			stats.Downloaded++
+			batchBytes += dlBytes
+			inBatch++
+			if inBatch == parallel {
+				stats.DownloadTime += r.chargeDownload(batchBytes, inBatch)
+				batchBytes, inBatch = 0, 0
+			}
+		}
+		raws[name] = raw
+	}
+	stats.DownloadTime += r.chargeDownload(batchBytes, inBatch)
+
+	// (Re)build the sanitization plan from ALL package scripts (the
+	// repository-wide scan of §4.2). Unchanged packages' scripts come
+	// from the original cache.
+	planSrc := &repoScriptSource{repo: r, idx: newUpstream, fresh: raws}
+	plan, err := sanitize.BuildPlan(planSrc, r.policy.InitConfigFiles, r.signKey)
+	if err != nil {
+		return nil, err
+	}
+	replanned := r.plan == nil || plan.Preamble != r.preamble
+	r.plan = plan
+	r.preamble = plan.Preamble
+
+	san := &sanitize.Sanitizer{
+		Plan:      plan,
+		TrustRing: r.trust,
+		SignKey:   r.signKey,
+		EPC:       r.svc.cfg.EPC,
+	}
+
+	// Decide the sanitization set: changed packages always; everything
+	// when the account plan changed (stale preambles must not survive).
+	targets := work
+	if replanned {
+		targets = newUpstream.Names()
+	}
+
+	newLocal := &index.Index{Origin: "tsr-" + r.ID, Sequence: r.seq + 1}
+	if r.local != nil && !replanned {
+		// Start from the previous local index; changed entries are
+		// replaced below.
+		newLocal.Entries = append(newLocal.Entries, r.local.Entries...)
+	}
+	for _, name := range targets {
+		if !r.policy.Allows(name) {
+			// Replans iterate the whole upstream index; policy-excluded
+			// packages stay excluded (already counted in Rejected).
+			continue
+		}
+		entry, err := newUpstream.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		raw := raws[name]
+		if raw == nil {
+			var dlBytes int64
+			raw, dlBytes, err = r.obtainOriginalLocked(name, entry)
+			if err != nil {
+				return nil, err
+			}
+			if dlBytes > 0 {
+				stats.Downloaded++
+				stats.DownloadTime += r.chargeDownload(dlBytes, 1)
+			}
+			raws[name] = raw
+		}
+		res, err := san.Sanitize(raw)
+		if err != nil {
+			// Policy enforcement (§4.5): packages with unsupported
+			// scripts or not "created by trusted entities" are excluded
+			// from the repository, not fatal to the refresh.
+			if errors.Is(err, sanitize.ErrUnsupported) || errors.Is(err, apk.ErrUntrusted) {
+				r.rejected[name] = err.Error()
+				stats.Rejected++
+				continue
+			}
+			return nil, fmt.Errorf("tsr: sanitizing %s: %w", name, err)
+		}
+		delete(r.rejected, name)
+		stats.Sanitized++
+		stats.SanitizeTime += res.Phases.Total()
+		stats.SGXOverhead += res.SGXOverhead
+		if r.keepStats {
+			stats.Results = append(stats.Results, res)
+		}
+		if err := r.svc.cfg.Store.Put(r.sanitizedKey(name), res.Raw); err != nil {
+			return nil, err
+		}
+		newLocal.Add(index.Entry{
+			Name:    name,
+			Version: entry.Version,
+			Size:    int64(len(res.Raw)),
+			Hash:    sha256.Sum256(res.Raw),
+			Depends: entry.Depends,
+		})
+	}
+	// Drop removed/rejected packages from the local index.
+	pruned := &index.Index{Origin: newLocal.Origin, Sequence: newLocal.Sequence}
+	for _, e := range newLocal.Entries {
+		if _, err := newUpstream.Lookup(e.Name); err != nil {
+			continue
+		}
+		if _, rejectedNow := r.rejected[e.Name]; rejectedNow {
+			continue
+		}
+		pruned.Add(e)
+	}
+
+	signedLocal, err := index.Sign(pruned, r.signKey)
+	if err != nil {
+		return nil, err
+	}
+	r.upstream = newUpstream
+	r.local = pruned
+	r.localSig = signedLocal
+	r.seq = pruned.Sequence
+	return stats, nil
+}
+
+// obtainOriginalLocked returns the original package bytes, from the
+// original cache when allowed, else from a mirror (verifying size and
+// hash against the trusted upstream index entry). The returned count is
+// the number of bytes downloaded over the network (zero on cache hit);
+// the caller charges the modeled transfer time via chargeDownload.
+func (r *Repo) obtainOriginalLocked(name string, entry index.Entry) ([]byte, int64, error) {
+	if r.mode != CacheNone {
+		if raw, err := r.svc.cfg.Store.Get(r.origKey(name)); err == nil {
+			if int64(len(raw)) == entry.Size && sha256.Sum256(raw) == entry.Hash {
+				return raw, 0, nil
+			}
+			// Tampered original cache: fall through to re-download.
+		}
+	}
+	var lastErr error
+	for _, f := range r.fetchers {
+		raw, err := f.FetchPackage(name)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if int64(len(raw)) != entry.Size || sha256.Sum256(raw) != entry.Hash {
+			lastErr = fmt.Errorf("tsr: mirror served wrong bytes for %s", name)
+			continue
+		}
+		if r.mode != CacheNone {
+			if err := r.svc.cfg.Store.Put(r.origKey(name), raw); err != nil {
+				return nil, 0, err
+			}
+		}
+		return raw, entry.Size, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("tsr: no mirrors configured")
+	}
+	return nil, 0, fmt.Errorf("tsr: downloading %s: %w", name, lastErr)
+}
+
+// chargeDownload charges the modeled transfer time for a batch of
+// packageCount transfers totaling bytes, issued concurrently: one round
+// trip for the batch plus the payload at the path bandwidth (the link
+// is work-conserving, so concurrent transfers do not waste capacity —
+// batching saves the per-package round trips).
+func (r *Repo) chargeDownload(bytes int64, packageCount int) time.Duration {
+	if r.svc.cfg.Link == nil || packageCount == 0 {
+		return 0
+	}
+	remote := netsim.Europe
+	if len(r.reader.Members) > 0 {
+		remote = r.reader.Members[0].Continent
+	}
+	d := r.svc.cfg.Link.RequestResponse(r.svc.cfg.Local, remote, bytes)
+	if r.svc.cfg.Clock != nil {
+		r.svc.cfg.Clock.Sleep(d)
+	}
+	return d
+}
+
+// repoScriptSource feeds BuildPlan the scripts of every package in the
+// upstream index: fresh downloads first, then cached originals.
+type repoScriptSource struct {
+	repo  *Repo
+	idx   *index.Index
+	fresh map[string][]byte
+	pos   int
+}
+
+// NextScripts implements sanitize.PackageSource.
+func (s *repoScriptSource) NextScripts() (string, map[string]string, bool) {
+	for s.pos < len(s.idx.Entries) {
+		entry := s.idx.Entries[s.pos]
+		s.pos++
+		raw := s.fresh[entry.Name]
+		if raw == nil {
+			cached, err := s.repo.svc.cfg.Store.Get(s.repo.origKey(entry.Name))
+			if err != nil {
+				continue // no script info available; skip
+			}
+			raw = cached
+		}
+		p, err := apk.Decode(raw)
+		if err != nil {
+			continue
+		}
+		return entry.Name, p.Scripts, true
+	}
+	return "", nil, false
+}
+
+// FetchIndex implements pkgmgr.Source: serves the signed local index.
+func (r *Repo) FetchIndex() (*index.Signed, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.localSig == nil {
+		return nil, ErrNotInitialized
+	}
+	return r.localSig.Clone(), nil
+}
+
+// FetchResult describes how a FetchPackage request was served.
+type FetchResult struct {
+	From ServedFrom
+	// Latency is the server-side time to produce the bytes: real time
+	// for cache reads and sanitization plus modeled download time.
+	Latency time.Duration
+}
+
+// FetchPackage implements pkgmgr.Source.
+func (r *Repo) FetchPackage(name string) ([]byte, error) {
+	raw, _, err := r.FetchPackageTraced(name)
+	return raw, err
+}
+
+// FetchPackageTraced serves a sanitized package and reports how.
+// Before returning cached bytes it re-verifies them against the
+// in-enclave local index — the §5.5 defense against cache tampering.
+func (r *Repo) FetchPackageTraced(name string) ([]byte, *FetchResult, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.local == nil {
+		return nil, nil, ErrNotInitialized
+	}
+	start := time.Now()
+	entry, err := r.local.Lookup(name)
+	if err != nil {
+		if reason, rejected := r.rejected[name]; rejected {
+			return nil, nil, fmt.Errorf("%w: %s: %s", ErrUnsupportedPkg, name, reason)
+		}
+		return nil, nil, err
+	}
+	if r.mode == CacheBoth {
+		if raw, err := r.svc.cfg.Store.Get(r.sanitizedKey(name)); err == nil {
+			if int64(len(raw)) == entry.Size && sha256.Sum256(raw) == entry.Hash {
+				return raw, &FetchResult{From: ServedSanitizedCache, Latency: time.Since(start)}, nil
+			}
+			// Cache tampered or rolled back. Re-sanitize from original.
+			if raw, res, err := r.resanitizeLocked(name, entry, start); err == nil {
+				return raw, res, nil
+			}
+			return nil, nil, fmt.Errorf("%w: %s", ErrCacheTampered, name)
+		}
+	}
+	raw, res, err := r.resanitizeLocked(name, entry, start)
+	if err != nil {
+		return nil, nil, err
+	}
+	return raw, res, nil
+}
+
+// resanitizeLocked rebuilds the sanitized package from the original
+// (cached or downloaded) and checks it matches the local index. The
+// result must be byte-identical to the indexed version because both
+// sanitization and encoding are deterministic.
+func (r *Repo) resanitizeLocked(name string, entry index.Entry, start time.Time) ([]byte, *FetchResult, error) {
+	upEntry, err := r.upstream.Lookup(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	from := ServedOriginalCache
+	orig, dlBytes, err := r.obtainOriginalLocked(name, upEntry)
+	if err != nil {
+		return nil, nil, err
+	}
+	var dl time.Duration
+	if dlBytes > 0 {
+		from = ServedMirror
+		dl = r.chargeDownload(dlBytes, 1)
+	}
+	san := &sanitize.Sanitizer{
+		Plan:      r.plan,
+		TrustRing: r.trust,
+		SignKey:   r.signKey,
+		EPC:       r.svc.cfg.EPC,
+	}
+	res, err := san.Sanitize(orig)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Sanitization is fully deterministic (PKCS#1 v1.5 signatures and
+	// the archive encoding are both deterministic), so the re-sanitized
+	// bytes must hash to exactly the in-enclave index entry.
+	if int64(len(res.Raw)) != entry.Size || sha256.Sum256(res.Raw) != entry.Hash {
+		return nil, nil, fmt.Errorf("%w: %s (re-sanitized bytes differ from index)", ErrCacheTampered, name)
+	}
+	if r.mode == CacheBoth {
+		if err := r.svc.cfg.Store.Put(r.sanitizedKey(name), res.Raw); err != nil {
+			return nil, nil, err
+		}
+	}
+	return res.Raw, &FetchResult{From: from, Latency: time.Since(start) + dl}, nil
+}
+
+// --- sealed state (§5.5) ----------------------------------------------
+
+// mcCounterID is the TPM monotonic counter TSR uses.
+const mcCounterID uint32 = 0x5453 // "TS"
+
+// SealState increments the TPM monotonic counter and seals the
+// repository's metadata indexes together with the counter value, so the
+// state survives TSR restarts without trusting the disk.
+func (r *Repo) SealState() ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.upstream == nil || r.localSig == nil {
+		return nil, ErrNotInitialized
+	}
+	mc := r.svc.cfg.TPM.IncrementCounter(mcCounterID)
+	blob := encodeState(mc, r.upstream.Encode(), r.localSig, r.seq)
+	return r.svc.Seal(blob)
+}
+
+// RestoreState unseals a blob and verifies its monotonic counter value
+// matches the TPM's current value, rejecting rolled-back state files.
+func (r *Repo) RestoreState(sealed []byte) error {
+	blob, err := r.svc.Unseal(sealed)
+	if err != nil {
+		return err
+	}
+	mc, upstreamRaw, localSig, seq, err := decodeState(blob)
+	if err != nil {
+		return err
+	}
+	current := r.svc.cfg.TPM.ReadCounter(mcCounterID)
+	if mc != current {
+		return fmt.Errorf("%w: sealed MC %d, TPM MC %d", ErrRollback, mc, current)
+	}
+	upstream, err := index.Decode(upstreamRaw)
+	if err != nil {
+		return err
+	}
+	local, err := localSig.Verify(keys.NewRing(r.signKey.Public()))
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.upstream = upstream
+	r.local = local
+	r.localSig = localSig
+	r.seq = seq
+	return nil
+}
+
+// encodeState serializes (mc, upstream, localSigned, seq).
+func encodeState(mc uint64, upstream []byte, localSig *index.Signed, seq uint64) []byte {
+	var buf bytes.Buffer
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], mc)
+	buf.Write(n[:])
+	binary.BigEndian.PutUint64(n[:], seq)
+	buf.Write(n[:])
+	writeChunk(&buf, upstream)
+	writeChunk(&buf, localSig.Raw)
+	writeChunk(&buf, []byte(localSig.KeyName))
+	writeChunk(&buf, localSig.Sig)
+	return buf.Bytes()
+}
+
+func decodeState(blob []byte) (mc uint64, upstream []byte, localSig *index.Signed, seq uint64, err error) {
+	buf := bytes.NewReader(blob)
+	var n [8]byte
+	if _, err = buf.Read(n[:]); err != nil {
+		return 0, nil, nil, 0, fmt.Errorf("tsr: sealed state: %w", err)
+	}
+	mc = binary.BigEndian.Uint64(n[:])
+	if _, err = buf.Read(n[:]); err != nil {
+		return 0, nil, nil, 0, fmt.Errorf("tsr: sealed state: %w", err)
+	}
+	seq = binary.BigEndian.Uint64(n[:])
+	upstream, err = readChunk(buf)
+	if err != nil {
+		return 0, nil, nil, 0, err
+	}
+	raw, err := readChunk(buf)
+	if err != nil {
+		return 0, nil, nil, 0, err
+	}
+	keyName, err := readChunk(buf)
+	if err != nil {
+		return 0, nil, nil, 0, err
+	}
+	sig, err := readChunk(buf)
+	if err != nil {
+		return 0, nil, nil, 0, err
+	}
+	return mc, upstream, &index.Signed{Raw: raw, KeyName: string(keyName), Sig: sig}, seq, nil
+}
+
+func writeChunk(buf *bytes.Buffer, data []byte) {
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], uint64(len(data)))
+	buf.Write(n[:])
+	buf.Write(data)
+}
+
+func readChunk(buf *bytes.Reader) ([]byte, error) {
+	var n [8]byte
+	if _, err := buf.Read(n[:]); err != nil {
+		return nil, fmt.Errorf("tsr: sealed state: %w", err)
+	}
+	size := binary.BigEndian.Uint64(n[:])
+	if size > uint64(buf.Len()) {
+		return nil, fmt.Errorf("tsr: sealed state: chunk size %d exceeds remainder", size)
+	}
+	out := make([]byte, size)
+	if _, err := buf.Read(out); err != nil {
+		return nil, fmt.Errorf("tsr: sealed state: %w", err)
+	}
+	return out, nil
+}
+
+// Plan exposes the current sanitization plan (for examples/experiments).
+func (r *Repo) Plan() *sanitize.Plan {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.plan
+}
+
+// scriptPreview returns the sanitized post-install script of a package
+// (diagnostic helper used by the HTTP API).
+func (r *Repo) scriptPreview(name string) (string, error) {
+	raw, err := r.FetchPackage(name)
+	if err != nil {
+		return "", err
+	}
+	p, err := apk.Decode(raw)
+	if err != nil {
+		return "", err
+	}
+	var out string
+	for _, hook := range p.ScriptNames() {
+		out += "# hook: " + hook + "\n" + p.Scripts[hook]
+	}
+	if out == "" {
+		return "", nil
+	}
+	if _, err := script.Parse(out); err != nil {
+		return "", err
+	}
+	return out, nil
+}

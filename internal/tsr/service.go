@@ -1,0 +1,158 @@
+package tsr
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+
+	"tsr/internal/enclave"
+	"tsr/internal/keys"
+	"tsr/internal/netsim"
+	"tsr/internal/policy"
+	"tsr/internal/quorum"
+	"tsr/internal/tpm"
+)
+
+// CodeIdentity is the enclave code identity (MRENCLAVE source) of this
+// TSR build; OS owners verify it during policy deployment (Figure 7).
+const CodeIdentity = "tsr-v1.0"
+
+// Error sentinels.
+var (
+	ErrNoRepo         = errors.New("tsr: unknown repository id")
+	ErrNoMirror       = errors.New("tsr: policy mirror not resolvable")
+	ErrNotInitialized = errors.New("tsr: repository not initialized (no refresh yet)")
+)
+
+// Config wires a Service to its environment.
+type Config struct {
+	// Platform is the SGX platform TSR launches on.
+	Platform *enclave.Platform
+	// TPM provides the monotonic counters for rollback protection.
+	TPM *tpm.TPM
+	// Clock and Link model network time; Local locates the TSR host
+	// (Europe in the paper's deployment).
+	Clock netsim.Clock
+	Link  *netsim.LinkModel
+	Local netsim.Continent
+	// Store is the untrusted package cache.
+	Store Store
+	// Resolve maps a policy mirror to a live connection.
+	Resolve func(m policy.Mirror) (quorum.Source, PackageFetcher, error)
+	// EPC selects the SGX cost model; zero value disables it (the
+	// "TSR without SGX" baseline of Figure 12).
+	EPC enclave.CostModel
+}
+
+// PackageFetcher downloads one package from a mirror.
+type PackageFetcher interface {
+	FetchPackage(name string) ([]byte, error)
+}
+
+// Service is a running TSR instance.
+type Service struct {
+	cfg     Config
+	enclave *enclave.Enclave
+
+	mu    sync.RWMutex
+	repos map[string]*Repo
+}
+
+// New launches TSR inside an enclave on the given platform.
+func New(cfg Config) (*Service, error) {
+	if cfg.Platform == nil {
+		return nil, fmt.Errorf("tsr: config requires a platform")
+	}
+	if cfg.Store == nil {
+		cfg.Store = NewMemStore()
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = netsim.RealClock{}
+	}
+	enc := cfg.Platform.Launch(enclave.MeasureCode(CodeIdentity))
+	return &Service{cfg: cfg, enclave: enc, repos: make(map[string]*Repo)}, nil
+}
+
+// Measurement returns the enclave measurement OS owners expect.
+func Measurement() enclave.Measurement { return enclave.MeasureCode(CodeIdentity) }
+
+// Attest produces an enclave report binding reportData (e.g. the hash
+// of a freshly returned public key) to the TSR code identity.
+func (s *Service) Attest(reportData [64]byte) (*enclave.Report, error) {
+	return s.enclave.Attest(reportData)
+}
+
+// DeployPolicy validates a policy, creates the tenant repository with a
+// fresh signing key generated inside the enclave, and returns the
+// repository id, the public signing key (PEM), and an attestation
+// report over the key — the Figure 7 protocol.
+func (s *Service) DeployPolicy(raw []byte) (repoID string, publicKeyPEM []byte, report *enclave.Report, err error) {
+	pol, err := policy.Parse(raw)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	if err := pol.Validate(); err != nil {
+		return "", nil, nil, err
+	}
+	var idBytes [8]byte
+	if _, err := rand.Read(idBytes[:]); err != nil {
+		return "", nil, nil, fmt.Errorf("tsr: repository id: %w", err)
+	}
+	repoID = "r" + hex.EncodeToString(idBytes[:])
+
+	signKey, err := keys.Generate("tsr-" + repoID)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	repo, err := newRepo(repoID, pol, signKey, s)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	s.mu.Lock()
+	s.repos[repoID] = repo
+	s.mu.Unlock()
+
+	publicKeyPEM, err = signKey.Public().MarshalPEM()
+	if err != nil {
+		return "", nil, nil, err
+	}
+	var rd [64]byte
+	sum := sha256.Sum256(publicKeyPEM)
+	copy(rd[:], sum[:])
+	report, err = s.enclave.Attest(rd)
+	if err != nil {
+		return "", nil, nil, err
+	}
+	return repoID, publicKeyPEM, report, nil
+}
+
+// Repo returns the tenant repository with the given id.
+func (s *Service) Repo(id string) (*Repo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.repos[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoRepo, id)
+	}
+	return r, nil
+}
+
+// RepoIDs lists the deployed repositories.
+func (s *Service) RepoIDs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.repos))
+	for id := range s.repos {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Seal seals data to this TSR enclave identity.
+func (s *Service) Seal(data []byte) ([]byte, error) { return s.enclave.Seal(data) }
+
+// Unseal recovers enclave-sealed data.
+func (s *Service) Unseal(blob []byte) ([]byte, error) { return s.enclave.Unseal(blob) }
