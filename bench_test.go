@@ -79,6 +79,103 @@ func BenchmarkAblationParallelDownload(b *testing.B) {
 	}
 }
 
+func BenchmarkAblationRefreshWorkers(b *testing.B) {
+	runner, err := experiments.ByID("ablation-workers")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchCfg()
+	cfg.Scale = 0.004
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- refresh pipeline ----------------------------------------------------
+
+// refreshWorld builds one simulated deployment shared by the refresh
+// benchmarks (the initial tenant is refreshed during construction).
+func refreshWorld(b *testing.B, scale float64) *experiments.World {
+	b.Helper()
+	w, err := experiments.NewWorld(experiments.Config{Scale: scale, Seed: 1}, nil, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// BenchmarkRefreshParallel measures a cold repository refresh (download
+// + plan + sanitize + sign) at several pipeline widths. Each iteration
+// deploys a fresh tenant (isolated caches) outside the timer, so the
+// timed region is exactly one full refresh cycle.
+func BenchmarkRefreshParallel(b *testing.B) {
+	w := refreshWorld(b, 0.006)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				id, _, _, err := w.Service.DeployPolicy(w.PolicyRaw)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tenant, err := w.Service.Repo(id)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tenant.SetWorkers(workers)
+				b.StartTimer()
+				stats, err := tenant.Refresh()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if stats.Sanitized == 0 {
+					b.Fatal("cold refresh sanitized nothing")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRefreshWarmCache measures a refresh over an unchanged
+// upstream: every package is answered by the content-addressed
+// sanitization cache and nothing is re-sanitized.
+func BenchmarkRefreshWarmCache(b *testing.B) {
+	w := refreshWorld(b, 0.006)
+	w.Tenant.SetWorkers(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, err := w.Tenant.Refresh()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Sanitized != 0 {
+			b.Fatalf("warm refresh sanitized %d packages", stats.Sanitized)
+		}
+	}
+}
+
+// BenchmarkRefreshForcedReplan measures the forced-replan path: the
+// plan is rebuilt from the script cache each iteration, but the
+// unchanged plan hash turns the whole population into cache hits.
+func BenchmarkRefreshForcedReplan(b *testing.B) {
+	w := refreshWorld(b, 0.006)
+	w.Tenant.SetWorkers(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Tenant.ForceReplan()
+		stats, err := w.Tenant.Refresh()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Sanitized != 0 || stats.CacheHits == 0 {
+			b.Fatalf("forced replan stats = %+v", stats)
+		}
+	}
+}
+
 // --- micro-benchmarks ----------------------------------------------------
 
 // benchSanitizer builds a sanitizer and an encoded package of the given

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	tsrd [-addr :8473] [-scale 0.02] [-seed 1]
+//	tsrd [-addr :8473] [-scale 0.02] [-seed 1] [-workers 4]
 //
 // A client session:
 //
@@ -47,10 +47,11 @@ func run(args []string) error {
 	addr := fs.String("addr", ":8473", "listen address")
 	scale := fs.Float64("scale", 0.02, "synthetic repository scale")
 	seed := fs.Int64("seed", 1, "workload seed")
+	workers := fs.Int("workers", 4, "refresh pipeline concurrency (1 = the paper's sequential prototype)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	svc, examplePolicy, err := buildService(*scale, *seed)
+	svc, examplePolicy, err := buildService(*scale, *seed, *workers)
 	if err != nil {
 		return err
 	}
@@ -67,7 +68,7 @@ func run(args []string) error {
 
 // buildService generates the synthetic deployment (repository, mirrors,
 // TSR service) and returns the service plus a ready-to-use policy text.
-func buildService(scaleV float64, seedV int64) (*tsr.Service, string, error) {
+func buildService(scaleV float64, seedV int64, workers int) (*tsr.Service, string, error) {
 	scale, seed := &scaleV, &seedV
 	fmt.Printf("tsrd: generating synthetic repository (scale %.2f)...\n", *scale)
 	distro, err := keys.Generate("alpine-distro")
@@ -110,6 +111,7 @@ func buildService(scaleV float64, seedV int64) (*tsr.Service, string, error) {
 		Local:    netsim.Europe,
 		Store:    tsr.NewMemStore(),
 		EPC:      enclave.DefaultCostModel(),
+		Workers:  workers,
 		Resolve: func(m policy.Mirror) (quorum.Source, tsr.PackageFetcher, error) {
 			mm, ok := mirrors[m.Hostname]
 			if !ok {

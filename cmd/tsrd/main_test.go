@@ -11,7 +11,7 @@ import (
 )
 
 func TestBuildServiceAndServe(t *testing.T) {
-	svc, examplePolicy, err := buildService(0.003, 9)
+	svc, examplePolicy, err := buildService(0.003, 9, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,21 @@
+package tsrbench
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// TestExamplesBuild compiles every program under examples/ so example
+// drift is caught by the tier-1 suite (the examples have no test files
+// of their own, so plain `go test ./...` would never build them).
+func TestExamplesBuild(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go binary not found: %v", err)
+	}
+	cmd := exec.Command(goBin, "build", "./examples/...")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build ./examples/... failed: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,3 @@
+module tsr
+
+go 1.22

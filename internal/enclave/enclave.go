@@ -221,6 +221,19 @@ func (m CostModel) Factor(workingSet int64) float64 {
 	return m.BaseFactor + (m.PagingFactor-m.BaseFactor)*excess
 }
 
+// SharedFactor returns the slowdown factor when several packages are
+// sanitized concurrently inside one enclave. Worker threads share the
+// EPC, so paging pressure is driven by the combined working set of the
+// batch, not by each package alone: a batch of small packages can
+// collectively spill out of the EPC even though none would on its own.
+func (m CostModel) SharedFactor(workingSets []int64) float64 {
+	var sum int64
+	for _, ws := range workingSets {
+		sum += ws
+	}
+	return m.Factor(sum)
+}
+
 // Overhead converts a natively measured duration into the extra virtual
 // time SGX execution would add for the given working set.
 func (m CostModel) Overhead(workingSet int64, native time.Duration) time.Duration {

@@ -256,7 +256,8 @@ func TestRegistryComplete(t *testing.T) {
 	runners := All()
 	want := []string{"table1", "table2", "table3", "table4",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-		"ablation-epc", "ablation-quorum", "ablation-parallel"}
+		"ablation-epc", "ablation-quorum", "ablation-parallel",
+		"ablation-workers"}
 	if len(runners) != len(want) {
 		t.Fatalf("registry has %d entries", len(runners))
 	}
@@ -318,5 +319,28 @@ func TestAblationParallelMonotone(t *testing.T) {
 	par8 := parseMs(t, tbl.Rows[len(tbl.Rows)-1][2])
 	if par8 >= seq {
 		t.Fatalf("8-way download %.1f ms not faster than sequential %.1f ms", par8, seq)
+	}
+}
+
+func TestAblationRefreshWorkers(t *testing.T) {
+	cfg := testCfg()
+	cfg.Scale = 0.004 // the sweep refreshes four fresh tenants
+	tbl, err := AblationRefreshWorkers(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 { // 1, 2, 4, 8 workers + the warm replan row
+		t.Fatalf("rows = %d:\n%s", len(tbl.Rows), tbl.Render())
+	}
+	// Modeled download time must drop with parallelism (round trips
+	// overlap) and the warm replan row must sanitize nothing.
+	seq := parseMs(t, tbl.Rows[0][4])
+	par8 := parseMs(t, tbl.Rows[3][4])
+	if par8 >= seq {
+		t.Fatalf("8-way download %.1f ms not faster than sequential %.1f ms", par8, seq)
+	}
+	warm := tbl.Rows[4]
+	if warm[2] != "0" || warm[3] == "0" {
+		t.Fatalf("warm replan row = %v (want 0 sanitized, >0 cache hits)", warm)
 	}
 }

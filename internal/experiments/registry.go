@@ -31,6 +31,7 @@ func All() []Runner {
 		{"ablation-epc", "DESIGN.md ablation 5", AblationEPCSize},
 		{"ablation-quorum", "DESIGN.md ablation 1", AblationQuorumStrategy},
 		{"ablation-parallel", "Table 3 future work", AblationParallelDownload},
+		{"ablation-workers", "refresh pipeline scaling", AblationRefreshWorkers},
 	}
 }
 

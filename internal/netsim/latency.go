@@ -105,6 +105,22 @@ func (m *LinkModel) RequestResponse(a, b Continent, respBytes int64) time.Durati
 	return m.RequestResponseShared(a, b, respBytes, 1)
 }
 
+// RequestResponseBatch models n request/response exchanges issued at
+// the same instant, transferring totalBytes in aggregate from b to a:
+// the batch costs one round trip plus the aggregate payload at the
+// path bandwidth, and zero when the batch is empty. Because the link
+// is work-conserving, the duration deliberately does not otherwise
+// depend on n — n transfers totaling B bytes finish together exactly
+// when one transfer of B bytes would. The batch saves the n-1 round
+// trips that issuing the transfers sequentially would have paid, which
+// is where the refresh worker pool gets its modeled download speedup.
+func (m *LinkModel) RequestResponseBatch(a, b Continent, totalBytes int64, n int) time.Duration {
+	if n < 1 {
+		return 0
+	}
+	return m.RequestResponseShared(a, b, totalBytes, 1)
+}
+
 // RequestResponseShared models a transfer that shares its path with
 // concurrent-1 other transfers started at the same time (the quorum
 // reader downloads the metadata index from f+1 mirrors in parallel, so

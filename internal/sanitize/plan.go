@@ -22,6 +22,8 @@
 package sanitize
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sort"
@@ -66,6 +68,34 @@ type Plan struct {
 	// Findings collects security findings discovered during the scan
 	// (e.g. accounts created with an empty password).
 	Findings []Finding
+}
+
+// Hash returns a digest of everything in the plan that determines the
+// sanitization output for a given input package: the provisioning
+// preamble, the predicted-config signatures, and the empty-file
+// signature. Two plans with equal hashes sanitize any package to
+// byte-identical results (sanitization and encoding are deterministic),
+// which makes the hash usable as half of a content-addressed
+// sanitization cache key.
+func (p *Plan) Hash() [32]byte {
+	h := sha256.New()
+	// Length-framed fields: without framing, two structurally different
+	// plans could concatenate to the same byte stream and collide.
+	writeField := func(b []byte) {
+		var n [8]byte
+		binary.BigEndian.PutUint64(n[:], uint64(len(b)))
+		h.Write(n[:])
+		h.Write(b)
+	}
+	writeField([]byte(p.Preamble))
+	for _, path := range sortedKeys(p.ConfigSigs) {
+		writeField([]byte(path))
+		writeField(p.ConfigSigs[path])
+	}
+	writeField(p.EmptyFileSig)
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
 }
 
 // Finding is a security observation made during sanitization — the

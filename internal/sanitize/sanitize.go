@@ -2,6 +2,7 @@ package sanitize
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"tsr/internal/apk"
@@ -66,7 +67,10 @@ func (r *Result) SizeOverheadPercent() float64 {
 	return 100 * float64(r.SanitizedSize-r.OriginalSize) / float64(r.OriginalSize)
 }
 
-// Sanitizer sanitizes packages under one policy-derived plan.
+// Sanitizer sanitizes packages under one policy-derived plan. A
+// Sanitizer is reentrant: Sanitize only reads the configuration fields,
+// so one instance may be shared by any number of worker goroutines
+// (the refresh pipeline sanitizes packages concurrently).
 type Sanitizer struct {
 	// Plan is the repository-wide account/config plan.
 	Plan *Plan
@@ -79,6 +83,21 @@ type Sanitizer struct {
 	// EPC models the SGX execution cost; the zero value disables the
 	// SGX overhead model (TSR outside SGX, the Figure 12 baseline).
 	EPC enclave.CostModel
+
+	// The preamble parse is shared across packages: it depends only on
+	// the plan, and re-parsing it per account-creating package was the
+	// dominant script-modification cost on large repositories.
+	preambleOnce   sync.Once
+	preambleParsed *script.Script
+	preambleErr    error
+}
+
+// parsedPreamble parses the plan preamble once per Sanitizer.
+func (s *Sanitizer) parsedPreamble() (*script.Script, error) {
+	s.preambleOnce.Do(func() {
+		s.preambleParsed, s.preambleErr = script.Parse(s.Plan.Preamble)
+	})
+	return s.preambleParsed, s.preambleErr
 }
 
 // Sanitize verifies, rewrites, re-signs and re-encodes one package.
@@ -207,7 +226,7 @@ func (s *Sanitizer) rewriteOne(parsed *script.Script, classes script.ClassSet) (
 	touchesFiles := classes[script.OpEmptyFile]
 
 	if createsAccounts {
-		pre, err := script.Parse(s.Plan.Preamble)
+		pre, err := s.parsedPreamble()
 		if err != nil {
 			return "", err
 		}

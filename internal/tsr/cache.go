@@ -1,0 +1,114 @@
+package tsr
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// The content-addressed sanitization cache maps (original package
+// digest, sanitization plan hash) to the size and hash of the sanitized
+// output. Because sanitization is deterministic, the pair fully
+// determines the result: an unchanged package under an unchanged plan
+// can re-enter the local index without being re-sanitized — or even
+// re-read — regardless of how the refresh was triggered (incremental
+// update, forced replan, restart).
+//
+// Entries live in the untrusted Store, so they are sealed to the
+// enclave identity (AES-GCM): a root adversary can delete entries
+// (a denial of cache, degrading to re-sanitization) but cannot forge or
+// swap them — the cache key is embedded in the sealed payload and
+// re-checked after unsealing, so an entry copied under a different key
+// is rejected.
+
+// sanCacheKey returns the Store key of the sanitization cache entry for
+// one (original digest, plan hash) pair.
+func (r *Repo) sanCacheKey(orig, plan [32]byte) string {
+	return r.ID + "/sancache/" + hex.EncodeToString(orig[:]) + "-" + hex.EncodeToString(plan[:])
+}
+
+// cacheEntry is the sealed payload of one sanitization cache entry.
+type cacheEntry struct {
+	// Key echoes the Store key the entry was sealed under, defeating
+	// entry-swapping by the untrusted store.
+	Key string
+	// Size and Hash describe the sanitized wire bytes; the bytes
+	// themselves live under the (also untrusted, index-verified)
+	// sanitized package key.
+	Size int64
+	Hash [32]byte
+}
+
+// storeCacheEntry seals and writes one cache entry.
+func (r *Repo) storeCacheEntry(e cacheEntry) error {
+	var buf bytes.Buffer
+	writeChunk(&buf, []byte(e.Key))
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], uint64(e.Size))
+	buf.Write(n[:])
+	buf.Write(e.Hash[:])
+	sealed, err := r.svc.Seal(buf.Bytes())
+	if err != nil {
+		return err
+	}
+	return r.svc.cfg.Store.Put(e.Key, sealed)
+}
+
+// loadCacheEntry reads, unseals and validates the entry stored under
+// key. Any failure — absent, tampered, or swapped from another key —
+// is reported as an error; the caller falls back to sanitizing.
+func (r *Repo) loadCacheEntry(key string) (cacheEntry, error) {
+	sealed, err := r.svc.cfg.Store.Get(key)
+	if err != nil {
+		return cacheEntry{}, err
+	}
+	blob, err := r.svc.Unseal(sealed)
+	if err != nil {
+		return cacheEntry{}, fmt.Errorf("%w: %v", ErrCacheTampered, err)
+	}
+	buf := bytes.NewReader(blob)
+	rawKey, err := readChunk(buf)
+	if err != nil {
+		return cacheEntry{}, err
+	}
+	e := cacheEntry{Key: string(rawKey)}
+	var n [8]byte
+	if _, err := buf.Read(n[:]); err != nil {
+		return cacheEntry{}, fmt.Errorf("tsr: cache entry: %w", err)
+	}
+	e.Size = int64(binary.BigEndian.Uint64(n[:]))
+	if _, err := buf.Read(e.Hash[:]); err != nil {
+		return cacheEntry{}, fmt.Errorf("tsr: cache entry: %w", err)
+	}
+	if e.Key != key {
+		return cacheEntry{}, fmt.Errorf("%w: cache entry moved from %q", ErrCacheTampered, e.Key)
+	}
+	return e, nil
+}
+
+// CacheStats are cumulative per-repository refresh pipeline counters,
+// exposed over the REST API (GET /repos/{id}/stats).
+type CacheStats struct {
+	// Refreshes counts completed Refresh cycles.
+	Refreshes int64 `json:"refreshes"`
+	// CacheHits counts packages whose sanitized result was reused from
+	// the content-addressed cache instead of being re-sanitized.
+	CacheHits int64 `json:"cache_hits"`
+	// Sanitized counts fresh (cache-miss) sanitizations.
+	Sanitized int64 `json:"sanitized"`
+	// Rejected counts packages excluded by policy or sanitization.
+	Rejected int64 `json:"rejected"`
+	// Downloaded counts mirror downloads.
+	Downloaded int64 `json:"downloaded"`
+	// Failed counts per-package errors that were surfaced in
+	// RefreshStats.Errors without aborting the cycle.
+	Failed int64 `json:"failed"`
+}
+
+// CacheStats returns the cumulative pipeline counters.
+func (r *Repo) CacheStats() CacheStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.totals
+}

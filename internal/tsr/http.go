@@ -28,6 +28,7 @@ const (
 //	GET  /repos/{id}/packages/{pkg} a sanitized package
 //	GET  /repos/{id}/rejected       rejected packages and reasons
 //	GET  /repos/{id}/findings       security findings
+//	GET  /repos/{id}/stats          cumulative refresh/cache counters
 //	GET  /healthz                   liveness
 func Handler(s *Service) http.Handler {
 	mux := http.NewServeMux()
@@ -67,9 +68,20 @@ func Handler(s *Service) http.Handler {
 			"rejected":          stats.Rejected,
 			"downloaded":        stats.Downloaded,
 			"unchanged":         stats.Unchanged,
+			"cache_hits":        stats.CacheHits,
+			"workers":           stats.Workers,
+			"errors":            stats.Errors,
 			"quorum_latency_ms": stats.QuorumLatency.Milliseconds(),
 			"mirrors_contacted": stats.MirrorsContacted,
 		})
+	})
+	mux.HandleFunc("GET /repos/{id}/stats", func(w http.ResponseWriter, r *http.Request) {
+		repo, err := s.Repo(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, repo.CacheStats())
 	})
 	mux.HandleFunc("GET /repos/{id}/index", func(w http.ResponseWriter, r *http.Request) {
 		repo, err := s.Repo(r.PathValue("id"))

@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -75,16 +76,35 @@ type RefreshStats struct {
 	MirrorsContacted int
 	// DownloadTime is the modeled time to download changed packages.
 	DownloadTime time.Duration
-	// SanitizeTime is the measured time sanitizing changed packages
-	// (native, excluding the SGX model).
+	// SanitizeTime is the measured CPU time sanitizing changed packages
+	// (native, excluding the SGX model), summed over workers.
 	SanitizeTime time.Duration
-	// SGXOverhead is the modeled additional in-enclave time.
+	// SGXOverhead is the modeled additional in-enclave time, charged
+	// per worker batch: concurrent sanitizations share the EPC, so the
+	// paging factor is driven by the batch's combined working set.
 	SGXOverhead time.Duration
 	// Downloaded, Sanitized, Rejected, Unchanged count packages.
 	Downloaded, Sanitized, Rejected, Unchanged int
+	// CacheHits counts packages whose sanitized result was reused from
+	// the content-addressed sanitization cache — keyed by (original
+	// digest, plan hash) — instead of being re-sanitized.
+	CacheHits int
+	// Workers is the pipeline concurrency this run used.
+	Workers int
+	// Errors lists per-package failures (mirror downloads, internal
+	// sanitization errors). They no longer abort the cycle: a failed
+	// package keeps its previous index entry while the plan is
+	// unchanged and is retried on the next refresh.
+	Errors []PackageError
 	// Results holds the per-package sanitization results of this run
 	// (consumed by the experiment harness; nil-able for big runs).
 	Results []*sanitize.Result
+}
+
+// PackageError is one per-package refresh failure.
+type PackageError struct {
+	Name string `json:"name"`
+	Err  string `json:"error"`
 }
 
 // Repo is one tenant repository inside a TSR service.
@@ -98,17 +118,23 @@ type Repo struct {
 	reader   *quorum.Reader
 	fetchers []PackageFetcher
 
-	mu        sync.Mutex
-	mode      CacheMode
-	parallel  int           // download parallelism (1 = sequential, the paper's default)
-	upstream  *index.Index  // latest verified upstream index
-	local     *index.Index  // index of sanitized packages
-	localSig  *index.Signed // signed local index served to clients
-	plan      *sanitize.Plan
-	preamble  string            // account plan fingerprint; changes force re-sanitization
-	rejected  map[string]string // package -> rejection reason
-	keepStats bool
-	seq       uint64 // local index sequence
+	mu             sync.Mutex
+	mode           CacheMode
+	workers        int           // refresh pipeline concurrency (1 = the paper's sequential prototype)
+	upstream       *index.Index  // latest verified upstream index
+	upstreamDigest [32]byte      // digest of the signed upstream index last planned against
+	local          *index.Index  // index of sanitized packages
+	localSig       *index.Signed // signed local index served to clients
+	plan           *sanitize.Plan
+	planHash       [32]byte                // content hash of the plan; half of every cache key
+	rejected       map[string]string       // package -> rejection reason
+	rejectedKey    map[string]string       // package -> cache key it was rejected under (negative cache)
+	scripts        map[string]scriptsEntry // package -> last decoded hook scripts (plan scan cache)
+	pinned         map[string]index.Entry  // packages serving a previous version after a failed refresh: name -> the upstream entry that version came from
+	planDebt       map[string]bool         // packages whose current-version scripts did not inform the plan (fetch failed); re-fetched and re-planned next refresh
+	keepStats      bool
+	seq            uint64 // local index sequence
+	totals         CacheStats
 }
 
 // newRepo builds the tenant repository and its quorum reader.
@@ -118,12 +144,17 @@ func newRepo(id string, pol *policy.Policy, signKey *keys.Pair, svc *Service) (*
 		return nil, err
 	}
 	r := &Repo{
-		ID:       id,
-		svc:      svc,
-		policy:   pol,
-		signKey:  signKey,
-		trust:    trust,
-		rejected: make(map[string]string),
+		ID:          id,
+		svc:         svc,
+		policy:      pol,
+		signKey:     signKey,
+		trust:       trust,
+		workers:     max(svc.cfg.Workers, 1),
+		rejected:    make(map[string]string),
+		rejectedKey: make(map[string]string),
+		scripts:     make(map[string]scriptsEntry),
+		pinned:      make(map[string]index.Entry),
+		planDebt:    make(map[string]bool),
 	}
 	members := make([]quorum.Member, 0, len(pol.Mirrors))
 	for _, m := range pol.Mirrors {
@@ -164,20 +195,37 @@ func (r *Repo) SetCacheMode(m CacheMode) {
 	r.mode = m
 }
 
-// SetDownloadParallelism sets how many packages Refresh downloads
-// concurrently. The paper's prototype downloads sequentially and notes
-// that "the download time can be greatly reduced by enabling parallel
-// downloading. This performance improvement is left as part of future
-// work" (Table 3) — this implements that future work. Parallel
-// transfers share the path bandwidth in the network model, so the
-// saving comes from overlapping round trips, not free bandwidth.
-func (r *Repo) SetDownloadParallelism(n int) {
+// SetWorkers bounds this repository's refresh pipeline concurrency:
+// downloads and sanitizations run in batches of n goroutines. The
+// paper's prototype is sequential and notes that "the download time
+// can be greatly reduced by enabling parallel downloading. This
+// performance improvement is left as part of future work" (Table 3) —
+// the worker pool implements that future work and extends it to
+// sanitization. Parallel transfers share the path bandwidth in the
+// network model, so the modeled download saving comes from overlapping
+// round trips, not free bandwidth; the sanitization saving is real CPU
+// parallelism.
+func (r *Repo) SetWorkers(n int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if n < 1 {
-		n = 1
-	}
-	r.parallel = n
+	r.workers = max(n, 1)
+}
+
+// SetDownloadParallelism is the historical name of SetWorkers, kept for
+// the parallel-download ablation.
+func (r *Repo) SetDownloadParallelism(n int) { r.SetWorkers(n) }
+
+// ForceReplan drops the in-memory sanitization plan and upstream
+// fingerprint so the next Refresh rebuilds the plan from scratch. When
+// the rebuilt plan comes out unchanged, every package returns as a
+// content-cache hit, so forcing a replan is cheap insurance rather than
+// a full re-sanitization.
+func (r *Repo) ForceReplan() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.plan = nil
+	r.planHash = [32]byte{}
+	r.upstreamDigest = [32]byte{}
 }
 
 // KeepStats makes Refresh retain per-package sanitization results.
@@ -217,10 +265,21 @@ func (r *Repo) sanitizedKey(name string) string { return r.ID + "/san/" + name }
 // index, download packages that changed since the previous refresh,
 // (re)build the sanitization plan, sanitize, cache, and publish a new
 // signed local index.
+//
+// The cycle runs as a bounded-concurrency pipeline: originals are
+// fetched and packages sanitized in batches of SetWorkers goroutines,
+// with modeled download and EPC costs charged per batch. The signed
+// local index is rebuilt incrementally from the content-addressed
+// sanitization cache plus fresh results, so a refresh over an unchanged
+// upstream — or after a forced replan or restart that left the plan
+// intact — performs zero sanitizations. Per-package failures are
+// collected in RefreshStats.Errors instead of aborting the cycle.
 func (r *Repo) Refresh() (*RefreshStats, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	stats := &RefreshStats{}
+	workers := r.workers
+	mode := r.mode
+	stats := &RefreshStats{Workers: workers}
 
 	qres, err := r.reader.Read()
 	if err != nil {
@@ -237,6 +296,7 @@ func (r *Repo) Refresh() (*RefreshStats, error) {
 		// already verified: treat as replay and refuse.
 		return nil, fmt.Errorf("%w: upstream sequence %d < %d", ErrRollback, newUpstream.Sequence, r.upstream.Sequence)
 	}
+	upstreamDigest := qres.Index.Digest()
 
 	// Determine work: on the first refresh everything is "added".
 	var added, changed []string
@@ -246,6 +306,7 @@ func (r *Repo) Refresh() (*RefreshStats, error) {
 		added, changed, _ = index.Diff(r.upstream, newUpstream)
 	}
 	work := make([]string, 0, len(added)+len(changed))
+	inWork := make(map[string]bool, len(added)+len(changed))
 	for _, name := range append(append([]string(nil), added...), changed...) {
 		// The §4.5 private/closed policy variant: packages outside the
 		// whitelist (or on the blacklist) are excluded up front.
@@ -255,53 +316,103 @@ func (r *Repo) Refresh() (*RefreshStats, error) {
 			continue
 		}
 		work = append(work, name)
+		inWork[name] = true
+	}
+	// Re-fetch packages carrying plan debt: their current scripts never
+	// informed the plan (the fetch failed), so they must be retried
+	// even though the upstream diff does not list them.
+	for name := range r.planDebt {
+		if inWork[name] || !r.policy.Allows(name) {
+			continue
+		}
+		if _, err := newUpstream.Lookup(name); err != nil {
+			continue
+		}
+		work = append(work, name)
+		inWork[name] = true
 	}
 	stats.Unchanged = len(newUpstream.Entries) - len(work)
 
-	// Download (or reuse cached originals for) the packages to process.
-	// With parallelism p the transfers are issued in batches of p; each
-	// batch costs one round trip plus its total payload at the path
-	// bandwidth, so parallelism saves the per-package round trips.
-	parallel := r.parallel
-	if parallel < 1 {
-		parallel = 1
-	}
+	// Stage 1: fetch originals of added/changed packages in worker
+	// batches and decode their scripts for the plan scan. Each batch of
+	// concurrent transfers costs one round trip plus its aggregate
+	// payload at the path bandwidth. Failures are per-package, not
+	// fatal.
+	failed := make(map[string]string)
 	raws := make(map[string][]byte, len(work))
-	var batchBytes int64
-	inBatch := 0
-	for _, name := range work {
-		entry, err := newUpstream.Lookup(name)
-		if err != nil {
-			return nil, err
-		}
-		raw, dlBytes, err := r.obtainOriginalLocked(name, entry)
-		if err != nil {
-			return nil, err
-		}
-		if dlBytes > 0 {
-			stats.Downloaded++
-			batchBytes += dlBytes
-			inBatch++
-			if inBatch == parallel {
-				stats.DownloadTime += r.chargeDownload(batchBytes, inBatch)
-				batchBytes, inBatch = 0, 0
-			}
-		}
-		raws[name] = raw
+	type fetchOut struct {
+		raw     []byte
+		dlBytes int64
+		scripts map[string]string
+		decoded bool
+		err     error
 	}
-	stats.DownloadTime += r.chargeDownload(batchBytes, inBatch)
+	fouts := make([]fetchOut, len(work))
+	for base := 0; base < len(work); base += workers {
+		batch := work[base:min(base+workers, len(work))]
+		var wg sync.WaitGroup
+		for j := range batch {
+			wg.Add(1)
+			go func(out *fetchOut, name string) {
+				defer wg.Done()
+				entry, err := newUpstream.Lookup(name)
+				if err != nil {
+					out.err = err
+					return
+				}
+				out.raw, out.dlBytes, out.err = r.obtainOriginal(mode, name, entry)
+				if out.err != nil {
+					return
+				}
+				if p, err := apk.Decode(out.raw); err == nil {
+					out.scripts, out.decoded = p.Scripts, true
+				}
+			}(&fouts[base+j], batch[j])
+		}
+		wg.Wait()
+		batchDl := make([]int64, 0, len(batch))
+		for j := range batch {
+			batchDl = append(batchDl, fouts[base+j].dlBytes)
+		}
+		r.chargeBatchDownloads(stats, batchDl)
+	}
+	// Plan debt: packages whose scripts at the current upstream version
+	// are still unknown after stage 1. They keep forcing plan rebuilds
+	// and re-fetches until they heal — reusing a plan that never saw a
+	// package's scripts would strip its account commands without
+	// provisioning the accounts.
+	newPlanDebt := make(map[string]bool)
+	for i, name := range work {
+		if fouts[i].err != nil {
+			failed[name] = fouts[i].err.Error()
+			newPlanDebt[name] = true
+			continue
+		}
+		raws[name] = fouts[i].raw
+		if fouts[i].decoded {
+			if entry, err := newUpstream.Lookup(name); err == nil {
+				r.scripts[name] = scriptsEntry{digest: entry.Hash, scripts: fouts[i].scripts}
+			}
+		} else {
+			newPlanDebt[name] = true
+		}
+	}
 
 	// (Re)build the sanitization plan from ALL package scripts (the
-	// repository-wide scan of §4.2). Unchanged packages' scripts come
-	// from the original cache.
-	planSrc := &repoScriptSource{repo: r, idx: newUpstream, fresh: raws}
-	plan, err := sanitize.BuildPlan(planSrc, r.policy.InitConfigFiles, r.signKey)
-	if err != nil {
-		return nil, err
+	// repository-wide scan of §4.2). When the upstream index is
+	// byte-identical to the last one planned against — and no package
+	// carries plan debt — the existing plan is reused outright;
+	// otherwise the scan runs over the script cache, decoding only
+	// packages it has not seen.
+	plan := r.plan
+	if plan == nil || upstreamDigest != r.upstreamDigest || len(r.planDebt) > 0 || len(newPlanDebt) > 0 {
+		plan, err = sanitize.BuildPlan(&scriptCacheSource{repo: r, idx: newUpstream, failed: failed}, r.policy.InitConfigFiles, r.signKey)
+		if err != nil {
+			return nil, err
+		}
 	}
-	replanned := r.plan == nil || plan.Preamble != r.preamble
-	r.plan = plan
-	r.preamble = plan.Preamble
+	planHash := plan.Hash()
+	replanned := planHash != r.planHash
 
 	san := &sanitize.Sanitizer{
 		Plan:      plan,
@@ -310,102 +421,248 @@ func (r *Repo) Refresh() (*RefreshStats, error) {
 		EPC:       r.svc.cfg.EPC,
 	}
 
-	// Decide the sanitization set: changed packages always; everything
-	// when the account plan changed (stale preambles must not survive).
-	targets := work
-	if replanned {
-		targets = newUpstream.Names()
-	}
-
-	newLocal := &index.Index{Origin: "tsr-" + r.ID, Sequence: r.seq + 1}
-	if r.local != nil && !replanned {
-		// Start from the previous local index; changed entries are
-		// replaced below.
-		newLocal.Entries = append(newLocal.Entries, r.local.Entries...)
-	}
-	for _, name := range targets {
-		if !r.policy.Allows(name) {
-			// Replans iterate the whole upstream index; policy-excluded
-			// packages stay excluded (already counted in Rejected).
+	// Stage 2 targets: every policy-allowed package in the upstream
+	// index. The content-addressed cache — keyed by (original digest,
+	// plan hash) — decides which actually get sanitized, so unchanged
+	// packages under an unchanged plan cost one sealed-metadata read
+	// regardless of why they were targeted. Packages that failed stage
+	// 1 are skipped here; previously rejected packages stay rejected
+	// without a new attempt while their (digest, plan) pair is
+	// unchanged. Under CacheNone the sanitization cache is off, so
+	// unchanged packages carry their previous index entries forward
+	// instead of being re-sanitized (CacheNone is a Figure 10 package
+	// *serving* scenario; the refresh stays incremental).
+	var carried []index.Entry
+	targets := make([]index.Entry, 0, len(newUpstream.Entries))
+	for _, e := range newUpstream.Entries {
+		if !r.policy.Allows(e.Name) {
 			continue
 		}
-		entry, err := newUpstream.Lookup(name)
-		if err != nil {
-			return nil, err
+		if _, ok := failed[e.Name]; ok {
+			continue
 		}
-		raw := raws[name]
-		if raw == nil {
-			var dlBytes int64
-			raw, dlBytes, err = r.obtainOriginalLocked(name, entry)
-			if err != nil {
-				return nil, err
-			}
-			if dlBytes > 0 {
-				stats.Downloaded++
-				stats.DownloadTime += r.chargeDownload(dlBytes, 1)
-			}
-			raws[name] = raw
+		if r.rejectedKey[e.Name] == r.sanCacheKey(e.Hash, planHash) {
+			continue
 		}
-		res, err := san.Sanitize(raw)
-		if err != nil {
-			// Policy enforcement (§4.5): packages with unsupported
-			// scripts or not "created by trusted entities" are excluded
-			// from the repository, not fatal to the refresh.
-			if errors.Is(err, sanitize.ErrUnsupported) || errors.Is(err, apk.ErrUntrusted) {
-				r.rejected[name] = err.Error()
-				stats.Rejected++
+		if mode == CacheNone && !replanned && !inWork[e.Name] && r.local != nil {
+			if old, err := r.local.Lookup(e.Name); err == nil {
+				carried = append(carried, old)
 				continue
 			}
-			return nil, fmt.Errorf("tsr: sanitizing %s: %w", name, err)
 		}
-		delete(r.rejected, name)
-		stats.Sanitized++
-		stats.SanitizeTime += res.Phases.Total()
-		stats.SGXOverhead += res.SGXOverhead
-		if r.keepStats {
-			stats.Results = append(stats.Results, res)
-		}
-		if err := r.svc.cfg.Store.Put(r.sanitizedKey(name), res.Raw); err != nil {
-			return nil, err
-		}
-		newLocal.Add(index.Entry{
-			Name:    name,
-			Version: entry.Version,
-			Size:    int64(len(res.Raw)),
-			Hash:    sha256.Sum256(res.Raw),
-			Depends: entry.Depends,
-		})
-	}
-	// Drop removed/rejected packages from the local index.
-	pruned := &index.Index{Origin: newLocal.Origin, Sequence: newLocal.Sequence}
-	for _, e := range newLocal.Entries {
-		if _, err := newUpstream.Lookup(e.Name); err != nil {
-			continue
-		}
-		if _, rejectedNow := r.rejected[e.Name]; rejectedNow {
-			continue
-		}
-		pruned.Add(e)
+		targets = append(targets, e)
 	}
 
-	signedLocal, err := index.Sign(pruned, r.signKey)
+	// Workers keep only the result metadata needed for accounting; the
+	// full Result (sanitized bytes plus the decoded package) is
+	// retained only under KeepStats, and each fetched original is
+	// released once its stage-2 batch completes. Peak memory is the
+	// stage-1 originals still awaiting sanitization plus one batch of
+	// in-flight packages — not the whole repository's results.
+	type sanOut struct {
+		newEntry   index.Entry
+		ok         bool
+		fresh      bool          // a cache miss that was sanitized
+		native     time.Duration // measured sanitization CPU time
+		workingSet int64         // modeled enclave working set
+		res        *sanitize.Result
+		cacheHit   bool
+		dlBytes    int64
+		reject     string
+		err        error
+	}
+	keepStats := r.keepStats
+	souts := make([]sanOut, len(targets))
+	for base := 0; base < len(targets); base += workers {
+		batch := targets[base:min(base+workers, len(targets))]
+		var wg sync.WaitGroup
+		for j := range batch {
+			wg.Add(1)
+			go func(out *sanOut, e index.Entry) {
+				defer wg.Done()
+				key := r.sanCacheKey(e.Hash, planHash)
+				if mode != CacheNone {
+					if ce, err := r.loadCacheEntry(key); err == nil {
+						out.newEntry = index.Entry{Name: e.Name, Version: e.Version, Size: ce.Size, Hash: ce.Hash, Depends: e.Depends}
+						out.ok, out.cacheHit = true, true
+						return
+					}
+				}
+				raw := raws[e.Name]
+				if raw == nil {
+					var err error
+					raw, out.dlBytes, err = r.obtainOriginal(mode, e.Name, e)
+					if err != nil {
+						out.err = err
+						return
+					}
+				}
+				res, err := san.Sanitize(raw)
+				if err != nil {
+					// Policy enforcement (§4.5): packages with
+					// unsupported scripts or not "created by trusted
+					// entities" are excluded from the repository, not
+					// fatal to the refresh.
+					if errors.Is(err, sanitize.ErrUnsupported) || errors.Is(err, apk.ErrUntrusted) {
+						out.reject = err.Error()
+						return
+					}
+					out.err = fmt.Errorf("tsr: sanitizing %s: %w", e.Name, err)
+					return
+				}
+				if err := r.svc.cfg.Store.Put(r.sanitizedKey(e.Name), res.Raw); err != nil {
+					out.err = err
+					return
+				}
+				sum := sha256.Sum256(res.Raw)
+				if mode != CacheNone {
+					if err := r.storeCacheEntry(cacheEntry{Key: key, Size: int64(len(res.Raw)), Hash: sum}); err != nil {
+						out.err = err
+						return
+					}
+				}
+				out.fresh = true
+				out.native = res.Phases.Total()
+				out.workingSet = res.WorkingSet
+				if keepStats {
+					out.res = res
+				}
+				out.newEntry = index.Entry{Name: e.Name, Version: e.Version, Size: int64(len(res.Raw)), Hash: sum, Depends: e.Depends}
+				out.ok = true
+			}(&souts[base+j], batch[j])
+		}
+		wg.Wait()
+		// Charge the batch's modeled costs: downloads as one round of
+		// concurrent transfers, and SGX paging from the batch's
+		// combined working set (worker threads share the EPC).
+		batchDl := make([]int64, 0, len(batch))
+		var workingSets []int64
+		for j := range batch {
+			batchDl = append(batchDl, souts[base+j].dlBytes)
+			if souts[base+j].fresh {
+				workingSets = append(workingSets, souts[base+j].workingSet)
+			}
+		}
+		r.chargeBatchDownloads(stats, batchDl)
+		if f := r.svc.cfg.EPC.SharedFactor(workingSets); f > 1 && len(workingSets) > 0 {
+			for j := range batch {
+				if souts[base+j].fresh {
+					stats.SGXOverhead += time.Duration(float64(souts[base+j].native) * (f - 1))
+				}
+			}
+		}
+		// The originals of this batch are no longer needed in memory
+		// (serving paths re-read them from the original cache).
+		for j := range batch {
+			delete(raws, batch[j].Name)
+		}
+	}
+
+	// Rebuild the local index from cache hits plus fresh results.
+	newLocal := &index.Index{Origin: "tsr-" + r.ID, Sequence: r.seq + 1}
+	for i := range souts {
+		out := &souts[i]
+		name := targets[i].Name
+		switch {
+		case out.err != nil:
+			failed[name] = out.err.Error()
+		case out.reject != "":
+			r.rejected[name] = out.reject
+			r.rejectedKey[name] = r.sanCacheKey(targets[i].Hash, planHash)
+			stats.Rejected++
+		case out.ok:
+			delete(r.rejected, name)
+			delete(r.rejectedKey, name)
+			newLocal.Add(out.newEntry)
+			if out.cacheHit {
+				stats.CacheHits++
+			} else {
+				stats.Sanitized++
+				stats.SanitizeTime += out.native
+				if out.res != nil {
+					stats.Results = append(stats.Results, out.res)
+				}
+			}
+		}
+	}
+	// CacheNone carries unchanged packages' previous entries forward.
+	for _, e := range carried {
+		newLocal.Add(e)
+	}
+	// Per-package failures are surfaced, not fatal. While the plan is
+	// unchanged the previous (still consistent) entry keeps serving;
+	// after a replan a stale entry would carry the old preamble, so the
+	// package drops out until a later refresh succeeds. The upstream
+	// entry the served version came from is pinned so that on-demand
+	// re-sanitization keeps verifying against the right original until
+	// the update succeeds — without the pin, a fetch would rebuild the
+	// NEW version and raise a spurious tamper alarm when its hash does
+	// not match the carried index entry.
+	newPinned := make(map[string]index.Entry)
+	for name, msg := range failed {
+		stats.Errors = append(stats.Errors, PackageError{Name: name, Err: msg})
+		if !replanned && r.local != nil {
+			if old, err := r.local.Lookup(name); err == nil {
+				newLocal.Add(old)
+				if pe, ok := r.pinned[name]; ok {
+					newPinned[name] = pe
+				} else if r.upstream != nil {
+					if pe, err := r.upstream.Lookup(name); err == nil {
+						newPinned[name] = pe
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(stats.Errors, func(i, j int) bool { return stats.Errors[i].Name < stats.Errors[j].Name })
+
+	signedLocal, err := index.Sign(newLocal, r.signKey)
 	if err != nil {
 		return nil, err
 	}
+
+	// Evict state for packages that left the upstream: script cache and
+	// rejection bookkeeping would otherwise grow forever under churn.
+	for name := range r.scripts {
+		if _, err := newUpstream.Lookup(name); err != nil {
+			delete(r.scripts, name)
+		}
+	}
+	for name := range r.rejected {
+		if _, err := newUpstream.Lookup(name); err != nil {
+			delete(r.rejected, name)
+			delete(r.rejectedKey, name)
+		}
+	}
+
 	r.upstream = newUpstream
-	r.local = pruned
+	r.upstreamDigest = upstreamDigest
+	r.plan = plan
+	r.planHash = planHash
+	r.local = newLocal
 	r.localSig = signedLocal
-	r.seq = pruned.Sequence
+	r.seq = newLocal.Sequence
+	r.pinned = newPinned
+	r.planDebt = newPlanDebt
+
+	r.totals.Refreshes++
+	r.totals.CacheHits += int64(stats.CacheHits)
+	r.totals.Sanitized += int64(stats.Sanitized)
+	r.totals.Rejected += int64(stats.Rejected)
+	r.totals.Downloaded += int64(stats.Downloaded)
+	r.totals.Failed += int64(len(stats.Errors))
 	return stats, nil
 }
 
-// obtainOriginalLocked returns the original package bytes, from the
+// obtainOriginal returns the original package bytes, from the
 // original cache when allowed, else from a mirror (verifying size and
 // hash against the trusted upstream index entry). The returned count is
 // the number of bytes downloaded over the network (zero on cache hit);
 // the caller charges the modeled transfer time via chargeDownload.
-func (r *Repo) obtainOriginalLocked(name string, entry index.Entry) ([]byte, int64, error) {
-	if r.mode != CacheNone {
+// It takes the cache mode explicitly so refresh workers can call it
+// without holding the repository lock.
+func (r *Repo) obtainOriginal(mode CacheMode, name string, entry index.Entry) ([]byte, int64, error) {
+	if mode != CacheNone {
 		if raw, err := r.svc.cfg.Store.Get(r.origKey(name)); err == nil {
 			if int64(len(raw)) == entry.Size && sha256.Sum256(raw) == entry.Hash {
 				return raw, 0, nil
@@ -424,7 +681,7 @@ func (r *Repo) obtainOriginalLocked(name string, entry index.Entry) ([]byte, int
 			lastErr = fmt.Errorf("tsr: mirror served wrong bytes for %s", name)
 			continue
 		}
-		if r.mode != CacheNone {
+		if mode != CacheNone {
 			if err := r.svc.cfg.Store.Put(r.origKey(name), raw); err != nil {
 				return nil, 0, err
 			}
@@ -435,6 +692,22 @@ func (r *Repo) obtainOriginalLocked(name string, entry index.Entry) ([]byte, int
 		lastErr = fmt.Errorf("tsr: no mirrors configured")
 	}
 	return nil, 0, fmt.Errorf("tsr: downloading %s: %w", name, lastErr)
+}
+
+// chargeBatchDownloads accounts one worker batch's downloads: per-item
+// byte counts are summed (zero means a cache hit) and charged as one
+// round of concurrent transfers.
+func (r *Repo) chargeBatchDownloads(stats *RefreshStats, dlBytes []int64) {
+	var total int64
+	n := 0
+	for _, b := range dlBytes {
+		if b > 0 {
+			total += b
+			n++
+		}
+	}
+	stats.Downloaded += n
+	stats.DownloadTime += r.chargeDownload(total, n)
 }
 
 // chargeDownload charges the modeled transfer time for a batch of
@@ -450,42 +723,75 @@ func (r *Repo) chargeDownload(bytes int64, packageCount int) time.Duration {
 	if len(r.reader.Members) > 0 {
 		remote = r.reader.Members[0].Continent
 	}
-	d := r.svc.cfg.Link.RequestResponse(r.svc.cfg.Local, remote, bytes)
+	d := r.svc.cfg.Link.RequestResponseBatch(r.svc.cfg.Local, remote, bytes, packageCount)
 	if r.svc.cfg.Clock != nil {
 		r.svc.cfg.Clock.Sleep(d)
 	}
 	return d
 }
 
-// repoScriptSource feeds BuildPlan the scripts of every package in the
-// upstream index: fresh downloads first, then cached originals.
-type repoScriptSource struct {
-	repo  *Repo
-	idx   *index.Index
-	fresh map[string][]byte
-	pos   int
+// scriptsEntry caches one package's hook scripts together with the
+// original digest they were decoded from.
+type scriptsEntry struct {
+	digest  [32]byte
+	scripts map[string]string
+}
+
+// scriptCacheSource feeds BuildPlan the scripts of every package in the
+// upstream index through the repository's script cache: freshly fetched
+// packages were decoded in stage 1, unchanged packages hit the cache
+// from earlier refreshes, and anything else (e.g. the first replan
+// after a restart) is decoded from the original cache once and
+// remembered. For a package whose download failed this cycle, the
+// previous version's cached scripts stand in — a transient mirror
+// failure must not shift the account plan (and with it every package's
+// canonical uid/gid assignment and cache key). It runs under the
+// repository lock.
+type scriptCacheSource struct {
+	repo   *Repo
+	idx    *index.Index
+	failed map[string]string
+	pos    int
 }
 
 // NextScripts implements sanitize.PackageSource.
-func (s *repoScriptSource) NextScripts() (string, map[string]string, bool) {
+func (s *scriptCacheSource) NextScripts() (string, map[string]string, bool) {
 	for s.pos < len(s.idx.Entries) {
 		entry := s.idx.Entries[s.pos]
 		s.pos++
-		raw := s.fresh[entry.Name]
-		if raw == nil {
-			cached, err := s.repo.svc.cfg.Store.Get(s.repo.origKey(entry.Name))
-			if err != nil {
-				continue // no script info available; skip
-			}
-			raw = cached
+		ce, cached := s.repo.scripts[entry.Name]
+		if cached && ce.digest == entry.Hash {
+			return entry.Name, ce.scripts, true
 		}
-		p, err := apk.Decode(raw)
-		if err != nil {
-			continue
+		if scripts, ok := s.fromStore(entry); ok {
+			return entry.Name, scripts, true
 		}
-		return entry.Name, p.Scripts, true
+		if _, fetchFailed := s.failed[entry.Name]; fetchFailed && cached {
+			// Stale but plan-stabilizing: the last version this package
+			// contributed to the plan. Retried next refresh.
+			return entry.Name, ce.scripts, true
+		}
+		continue // no script info available; skip
 	}
 	return "", nil, false
+}
+
+// fromStore decodes a package's scripts from the cached original,
+// verifying the bytes against the trusted index entry first.
+func (s *scriptCacheSource) fromStore(entry index.Entry) (map[string]string, bool) {
+	cached, err := s.repo.svc.cfg.Store.Get(s.repo.origKey(entry.Name))
+	if err != nil {
+		return nil, false
+	}
+	if int64(len(cached)) != entry.Size || sha256.Sum256(cached) != entry.Hash {
+		return nil, false // stale or tampered original cache; do not trust
+	}
+	p, err := apk.Decode(cached)
+	if err != nil {
+		return nil, false
+	}
+	s.repo.scripts[entry.Name] = scriptsEntry{digest: entry.Hash, scripts: p.Scripts}
+	return p.Scripts, true
 }
 
 // FetchIndex implements pkgmgr.Source: serves the signed local index.
@@ -553,12 +859,19 @@ func (r *Repo) FetchPackageTraced(name string) ([]byte, *FetchResult, error) {
 // result must be byte-identical to the indexed version because both
 // sanitization and encoding are deterministic.
 func (r *Repo) resanitizeLocked(name string, entry index.Entry, start time.Time) ([]byte, *FetchResult, error) {
-	upEntry, err := r.upstream.Lookup(name)
-	if err != nil {
-		return nil, nil, err
+	// A package whose last refresh failed still serves its previous
+	// version; rebuild that version from its pinned upstream entry, not
+	// from the newer upstream the repository has already verified.
+	upEntry, ok := r.pinned[name]
+	if !ok {
+		var err error
+		upEntry, err = r.upstream.Lookup(name)
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 	from := ServedOriginalCache
-	orig, dlBytes, err := r.obtainOriginalLocked(name, upEntry)
+	orig, dlBytes, err := r.obtainOriginal(r.mode, name, upEntry)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -45,6 +45,10 @@ type Config struct {
 	// EPC selects the SGX cost model; zero value disables it (the
 	// "TSR without SGX" baseline of Figure 12).
 	EPC enclave.CostModel
+	// Workers bounds the refresh pipeline concurrency: each refresh
+	// downloads originals and sanitizes packages in batches of Workers
+	// goroutines. 0 or 1 runs the paper's sequential prototype.
+	Workers int
 }
 
 // PackageFetcher downloads one package from a mirror.

@@ -567,7 +567,7 @@ func TestHTTPAPI(t *testing.T) {
 		t.Fatalf("deployed = %+v", deployed)
 	}
 
-	// Refresh over HTTP.
+	// Refresh over HTTP; the response carries the pipeline stats.
 	resp, err = srv.Client().Post(srv.URL+"/repos/"+deployed.RepositoryID+"/refresh", "", nil)
 	if err != nil {
 		t.Fatal(err)
@@ -575,7 +575,33 @@ func TestHTTPAPI(t *testing.T) {
 	if resp.StatusCode != 200 {
 		t.Fatalf("refresh status = %d", resp.StatusCode)
 	}
-	resp.Body.Close()
+	var refreshed struct {
+		Sanitized int `json:"sanitized"`
+		CacheHits int `json:"cache_hits"`
+		Workers   int `json:"workers"`
+	}
+	if err := jsonDecode(resp, &refreshed); err != nil {
+		t.Fatal(err)
+	}
+	if refreshed.Sanitized != 1 || refreshed.Workers < 1 {
+		t.Fatalf("refresh response = %+v", refreshed)
+	}
+
+	// Cumulative counters over HTTP.
+	resp, err = srv.Client().Get(srv.URL + "/repos/" + deployed.RepositoryID + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("stats status = %d", resp.StatusCode)
+	}
+	var totals CacheStats
+	if err := jsonDecode(resp, &totals); err != nil {
+		t.Fatal(err)
+	}
+	if totals.Refreshes != 1 || totals.Sanitized != 1 {
+		t.Fatalf("stats = %+v", totals)
+	}
 
 	// The package manager consumes TSR through the HTTP client.
 	pub, err := keys.ParsePEM("tsr-"+deployed.RepositoryID, []byte(deployed.PublicKey))
