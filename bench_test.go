@@ -17,8 +17,10 @@ import (
 	"tsr/internal/apk"
 	"tsr/internal/enclave"
 	"tsr/internal/experiments"
+	"tsr/internal/index"
 	"tsr/internal/keys"
 	"tsr/internal/sanitize"
+	"tsr/internal/stats"
 	"tsr/internal/workload"
 )
 
@@ -173,6 +175,88 @@ func BenchmarkRefreshForcedReplan(b *testing.B) {
 		if stats.Sanitized != 0 || stats.CacheHits == 0 {
 			b.Fatalf("forced replan stats = %+v", stats)
 		}
+	}
+}
+
+// BenchmarkConcurrentReads measures read-tier latency while a cold
+// refresh runs: each iteration publishes a plan-invalidating package
+// (forcing a full re-sanitization cycle), starts the refresh in the
+// background, and hammers FetchIndex/FetchPackage until it publishes.
+// Reported metrics are the p50/p99 of the index reads issued during the
+// refresh — served lock-free from the previous snapshot, they stay in
+// the microsecond range while the pipeline grinds for seconds.
+func BenchmarkConcurrentReads(b *testing.B) {
+	w := refreshWorld(b, 0.004)
+	w.Tenant.SetWorkers(4)
+	signed, err := w.Tenant.FetchIndex()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := index.Decode(signed.Raw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(ix.Entries) == 0 {
+		b.Fatal("served index is empty")
+	}
+	probe := ix.Entries[0].Name
+
+	var idxLat, pkgLat []float64 // milliseconds, during-refresh only
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		// A fresh account name changes the sanitization plan hash, so
+		// the refresh re-sanitizes the whole population.
+		p := &apk.Package{
+			Name: "bench-acct", Version: fmt.Sprintf("1.%d-r0", i),
+			Files:   []apk.File{{Path: "/usr/bin/bench-acct", Mode: 0o755, Content: []byte("bench")}},
+			Scripts: map[string]string{"post-install": fmt.Sprintf("adduser -S acct%d\n", i)},
+		}
+		if err := apk.Sign(p, w.Distro); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Repo.Publish(p); err != nil {
+			b.Fatal(err)
+		}
+		for _, m := range w.Mirrors {
+			m.Sync(w.Repo)
+		}
+		b.StartTimer()
+		done := make(chan error, 1)
+		go func() {
+			_, err := w.Tenant.Refresh()
+			done <- err
+		}()
+	sample:
+		for {
+			select {
+			case err := <-done:
+				if err != nil {
+					b.Fatal(err)
+				}
+				break sample
+			default:
+			}
+			t0 := time.Now()
+			if _, err := w.Tenant.FetchIndex(); err != nil {
+				b.Fatal(err)
+			}
+			idxLat = append(idxLat, float64(time.Since(t0))/float64(time.Millisecond))
+			t0 = time.Now()
+			if _, err := w.Tenant.FetchPackage(probe); err != nil {
+				b.Fatal(err)
+			}
+			pkgLat = append(pkgLat, float64(time.Since(t0))/float64(time.Millisecond))
+		}
+	}
+	b.StopTimer()
+	if len(idxLat) > 0 {
+		b.ReportMetric(stats.MustPercentile(idxLat, 50), "idx-p50-ms")
+		b.ReportMetric(stats.MustPercentile(idxLat, 99), "idx-p99-ms")
+	}
+	if len(pkgLat) > 0 {
+		b.ReportMetric(stats.MustPercentile(pkgLat, 50), "pkg-p50-ms")
+		b.ReportMetric(stats.MustPercentile(pkgLat, 99), "pkg-p99-ms")
 	}
 }
 

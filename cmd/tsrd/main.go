@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	tsrd [-addr :8473] [-scale 0.02] [-seed 1] [-workers 4]
+//	tsrd [-addr :8473] [-scale 0.02] [-seed 1] [-workers 4] [-auto-refresh 0]
 //
 // A client session:
 //
@@ -48,6 +48,7 @@ func run(args []string) error {
 	scale := fs.Float64("scale", 0.02, "synthetic repository scale")
 	seed := fs.Int64("seed", 1, "workload seed")
 	workers := fs.Int("workers", 4, "refresh pipeline concurrency (1 = the paper's sequential prototype)")
+	autoRefresh := fs.Duration("auto-refresh", 0, "refresh every deployed repository at this interval (0 disables); reads keep serving the previous snapshot while cycles run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,6 +58,10 @@ func run(args []string) error {
 	}
 	fmt.Println("tsrd: example policy for this deployment:")
 	fmt.Println(examplePolicy)
+	if *autoRefresh > 0 {
+		go autoRefreshLoop(svc, *autoRefresh)
+		fmt.Printf("tsrd: auto-refreshing every %s\n", *autoRefresh)
+	}
 	server := &http.Server{
 		Addr:              *addr,
 		Handler:           tsr.Handler(svc),
@@ -64,6 +69,26 @@ func run(args []string) error {
 	}
 	fmt.Printf("tsrd: listening on %s\n", *addr)
 	return server.ListenAndServe()
+}
+
+// autoRefreshLoop periodically refreshes every deployed repository.
+// The snapshot read path keeps serving the previous published state
+// during each cycle, so the daemon stays fully responsive to package
+// managers while the trusted pipeline runs in the background.
+func autoRefreshLoop(svc *tsr.Service, every time.Duration) {
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for range ticker.C {
+		for _, id := range svc.RepoIDs() {
+			repo, err := svc.Repo(id)
+			if err != nil {
+				continue // deleted between listing and lookup
+			}
+			if _, err := repo.Refresh(); err != nil {
+				fmt.Fprintf(os.Stderr, "tsrd: auto-refresh %s: %v\n", id, err)
+			}
+		}
+	}
 }
 
 // buildService generates the synthetic deployment (repository, mirrors,

@@ -32,6 +32,7 @@ func All() []Runner {
 		{"ablation-quorum", "DESIGN.md ablation 1", AblationQuorumStrategy},
 		{"ablation-parallel", "Table 3 future work", AblationParallelDownload},
 		{"ablation-workers", "refresh pipeline scaling", AblationRefreshWorkers},
+		{"read-under-refresh", "non-blocking snapshot read path", ReadUnderRefresh},
 	}
 }
 

@@ -231,6 +231,15 @@ func (s *Signed) Digest() [32]byte {
 	return out
 }
 
+// ETag returns the strong HTTP entity tag of the signed index: the
+// quoted hex Digest. Two signed indexes carry the same ETag iff their
+// raw bytes, key name, and signature all match, so If-None-Match
+// revalidation against it is exactly as strong as re-downloading.
+func (s *Signed) ETag() string {
+	d := s.Digest()
+	return `"` + hex.EncodeToString(d[:]) + `"`
+}
+
 // Clone returns a deep copy of the signed index.
 func (s *Signed) Clone() *Signed {
 	return &Signed{

@@ -209,6 +209,30 @@ func TestTotalSize(t *testing.T) {
 	}
 }
 
+func TestSignedETag(t *testing.T) {
+	pair := keys.Shared.MustGet("index-signer")
+	s1, err := Sign(sampleIndex(), pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag := s1.ETag()
+	if len(tag) != 66 || tag[0] != '"' || tag[len(tag)-1] != '"' {
+		t.Fatalf("ETag = %q, want a quoted 64-hex-char digest", tag)
+	}
+	if s1.Clone().ETag() != tag {
+		t.Fatal("clone changed the ETag")
+	}
+	ix2 := sampleIndex()
+	ix2.Sequence++
+	s2, err := Sign(ix2, pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.ETag() == tag {
+		t.Fatal("different indexes share an ETag")
+	}
+}
+
 func TestSignedSize(t *testing.T) {
 	pair := keys.Shared.MustGet("index-signer")
 	s, err := Sign(sampleIndex(), pair)

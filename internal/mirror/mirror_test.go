@@ -3,6 +3,7 @@ package mirror
 import (
 	"bytes"
 	"errors"
+	"sync"
 	"testing"
 
 	"tsr/internal/apk"
@@ -160,6 +161,127 @@ func TestFetchMissingPackage(t *testing.T) {
 	if _, err := m.FetchPackage("nothere"); !errors.Is(err, repo.ErrNoPackage) {
 		t.Fatalf("err = %v", err)
 	}
+}
+
+// TestReplayBeforeFirstSync: a mirror turned malicious before ever
+// syncing has nothing to replay — requests fail with ErrNoIndex — and
+// the first Sync pins that first snapshot as the stale view it keeps
+// serving from then on.
+func TestReplayBeforeFirstSync(t *testing.T) {
+	r := repo.New("alpine-main", keys.Shared.MustGet("repo-index-signer"))
+	p := &apk.Package{
+		Name: "musl", Version: "1.1-r0",
+		Files: []apk.File{{Path: "/lib/libc.so", Mode: 0o755, Content: []byte("v1")}},
+	}
+	if err := r.Publish(p); err != nil {
+		t.Fatal(err)
+	}
+	m := New("https://mirror.example/", netsim.Europe)
+	m.SetBehavior(Replay)
+	if _, err := m.FetchIndex(); !errors.Is(err, ErrNoIndex) {
+		t.Fatalf("pre-sync replay err = %v, want ErrNoIndex", err)
+	}
+	if _, err := m.FetchPackage("musl"); !errors.Is(err, ErrNoIndex) {
+		t.Fatalf("pre-sync replay err = %v, want ErrNoIndex", err)
+	}
+	m.Sync(r)
+	if got := seqOf(t, m); got != 1 {
+		t.Fatalf("seq = %d, want the first synced snapshot", got)
+	}
+	publishV2(t, r)
+	m.Sync(r)
+	if got := seqOf(t, m); got != 1 {
+		t.Fatalf("seq = %d, want the pinned first snapshot", got)
+	}
+}
+
+// TestReplayToHonestRecovery: a replay mirror that returns to honesty
+// serves the latest synced snapshot again (Sync kept recording new
+// snapshots underneath the pinned one).
+func TestReplayToHonestRecovery(t *testing.T) {
+	r, m := setup(t)
+	m.SetBehavior(Replay)
+	publishV2(t, r)
+	m.Sync(r)
+	if got := seqOf(t, m); got != 1 {
+		t.Fatalf("replaying seq = %d", got)
+	}
+	m.SetBehavior(Honest)
+	if got := seqOf(t, m); got != 2 {
+		t.Fatalf("recovered seq = %d, want latest", got)
+	}
+	raw, err := m.FetchPackage("musl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := r.Fetch("musl")
+	if !bytes.Equal(raw, want) {
+		t.Fatal("recovered mirror still serves stale bytes")
+	}
+}
+
+// TestCorruptTinyPackages: the corruption byte-flip on the smallest
+// possible bodies — a 1-byte package must come back flipped, and an
+// empty package must not panic.
+func TestCorruptTinyPackages(t *testing.T) {
+	r := repo.New("alpine-main", keys.Shared.MustGet("repo-index-signer"))
+	if err := r.PublishRaw("tiny", "1.0-r0", nil, []byte{0x42}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.PublishRaw("empty", "1.0-r0", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	m := New("https://mirror.example/", netsim.Europe)
+	m.Sync(r)
+	m.SetBehavior(Corrupt)
+	raw, err := m.FetchPackage("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 1 || raw[0] != 0x42^0xFF {
+		t.Fatalf("tiny = %x, want the single byte flipped", raw)
+	}
+	if raw, err = m.FetchPackage("empty"); err != nil || len(raw) != 0 {
+		t.Fatalf("empty = %x, %v", raw, err)
+	}
+}
+
+// TestConcurrentFetchDuringSyncAndBehaviorFlips hammers the mirror's
+// read path while snapshots and behaviors change — the mirror-side
+// analogue of TSR's reads-during-refresh guarantee (run under -race).
+func TestConcurrentFetchDuringSyncAndBehaviorFlips(t *testing.T) {
+	r, m := setup(t)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if _, err := m.FetchIndex(); err != nil && !errors.Is(err, ErrOffline) {
+					t.Errorf("FetchIndex: %v", err)
+					return
+				}
+				if _, err := m.FetchPackage("musl"); err != nil && !errors.Is(err, ErrOffline) {
+					t.Errorf("FetchPackage: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		publishV2(t, r)
+		m.Sync(r)
+		m.SetBehavior(Behavior(i % 5))
+	}
+	m.SetBehavior(Honest)
+	close(done)
+	wg.Wait()
 }
 
 func TestBehaviorString(t *testing.T) {

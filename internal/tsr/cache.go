@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"sync/atomic"
 )
 
 // The content-addressed sanitization cache maps (original package
@@ -87,8 +88,19 @@ func (r *Repo) loadCacheEntry(key string) (cacheEntry, error) {
 	return e, nil
 }
 
-// CacheStats are cumulative per-repository refresh pipeline counters,
-// exposed over the REST API (GET /repos/{id}/stats).
+// counters are the cumulative per-repository counters. They are plain
+// atomics — updated by the refresh pipeline and the lock-free serving
+// path alike — so reading them never touches Repo.mu: GET /stats stays
+// responsive while a cold refresh holds the repository lock.
+type counters struct {
+	// Refresh pipeline (RefreshStats aggregates).
+	refreshes, cacheHits, sanitized, rejected, downloaded, failed atomic.Int64
+	// Read tier (snapshot serving path).
+	indexReads, packageReads, notModified atomic.Int64
+}
+
+// CacheStats are cumulative per-repository counters, exposed over the
+// REST API (GET /repos/{id}/stats).
 type CacheStats struct {
 	// Refreshes counts completed Refresh cycles.
 	Refreshes int64 `json:"refreshes"`
@@ -104,11 +116,27 @@ type CacheStats struct {
 	// Failed counts per-package errors that were surfaced in
 	// RefreshStats.Errors without aborting the cycle.
 	Failed int64 `json:"failed"`
+	// IndexReads and PackageReads count read-tier requests served from
+	// the published snapshot (including conditional revalidations).
+	IndexReads   int64 `json:"index_reads"`
+	PackageReads int64 `json:"package_reads"`
+	// NotModified counts If-None-Match revalidations answered with
+	// 304 Not Modified by the HTTP layer.
+	NotModified int64 `json:"not_modified"`
 }
 
-// CacheStats returns the cumulative pipeline counters.
+// CacheStats returns the cumulative counters. Lock-free: safe to call
+// at any rate while a refresh runs.
 func (r *Repo) CacheStats() CacheStats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.totals
+	return CacheStats{
+		Refreshes:    r.totals.refreshes.Load(),
+		CacheHits:    r.totals.cacheHits.Load(),
+		Sanitized:    r.totals.sanitized.Load(),
+		Rejected:     r.totals.rejected.Load(),
+		Downloaded:   r.totals.downloaded.Load(),
+		Failed:       r.totals.failed.Load(),
+		IndexReads:   r.totals.indexReads.Load(),
+		PackageReads: r.totals.packageReads.Load(),
+		NotModified:  r.totals.notModified.Load(),
+	}
 }

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 
 	"tsr/internal/index"
 )
@@ -18,6 +19,10 @@ const (
 	headerKeyName   = "X-Tsr-Key-Name"
 	headerSignature = "X-Tsr-Signature"
 )
+
+// maxPolicyBytes caps POST /policies request bodies; larger bodies are
+// refused with 413 rather than silently truncated.
+const maxPolicyBytes = 10 << 20
 
 // Handler exposes the Service as the REST API of §5.2:
 //
@@ -33,8 +38,17 @@ const (
 func Handler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /policies", func(w http.ResponseWriter, r *http.Request) {
-		body, err := io.ReadAll(io.LimitReader(r.Body, 10<<20))
+		// MaxBytesReader (unlike a silent LimitReader) fails the read
+		// when the body exceeds the cap, instead of truncating the
+		// policy and parsing the prefix as if it were complete.
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxPolicyBytes))
 		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				httpError(w, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("policy body exceeds %d bytes", tooBig.Limit))
+				return
+			}
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
@@ -60,7 +74,10 @@ func Handler(s *Service) http.Handler {
 		}
 		stats, err := repo.Refresh()
 		if err != nil {
-			httpError(w, http.StatusBadGateway, err)
+			// 502 is reserved for upstream mirror/quorum failures;
+			// local validation/seal/plan errors map to 500 and a
+			// replay-detected refusal surfaces the rollback sentinel.
+			httpError(w, statusFor(err), err)
 			return
 		}
 		writeJSON(w, map[string]any{
@@ -89,11 +106,29 @@ func Handler(s *Service) http.Handler {
 			httpError(w, http.StatusNotFound, err)
 			return
 		}
-		signed, err := repo.FetchIndex()
+		// The ETag is the digest of the signed index: it changes exactly
+		// when a refresh publishes a new snapshot, so clients revalidate
+		// with If-None-Match instead of re-downloading the full index. A
+		// match is answered from the tag alone — the index body is never
+		// even cloned.
+		etag, err := repo.IndexETag()
 		if err != nil {
 			httpError(w, statusFor(err), err)
 			return
 		}
+		w.Header().Set("Cache-Control", "no-cache")
+		if etagMatch(r.Header.Get("If-None-Match"), etag) {
+			repo.noteIndexNotModified()
+			w.Header().Set("ETag", etag)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		signed, etag, err := repo.FetchIndexTagged()
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		w.Header().Set("ETag", etag)
 		w.Header().Set(headerKeyName, signed.KeyName)
 		w.Header().Set(headerSignature, base64.StdEncoding.EncodeToString(signed.Sig))
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -105,11 +140,25 @@ func Handler(s *Service) http.Handler {
 			httpError(w, http.StatusNotFound, err)
 			return
 		}
-		raw, res, err := repo.FetchPackageTraced(r.PathValue("pkg"))
+		pkg := r.PathValue("pkg")
+		// Conditional fast path: the package ETag is its content hash
+		// from the signed index, so a match skips the cache read (and
+		// any re-sanitization) entirely.
+		if etag, err := repo.PackageETag(pkg); err == nil &&
+			etagMatch(r.Header.Get("If-None-Match"), etag) {
+			repo.notePackageNotModified()
+			w.Header().Set("ETag", etag)
+			w.Header().Set("Cache-Control", "no-cache")
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		raw, res, err := repo.FetchPackageTraced(pkg)
 		if err != nil {
 			httpError(w, statusFor(err), err)
 			return
 		}
+		w.Header().Set("ETag", res.ETag)
+		w.Header().Set("Cache-Control", "no-cache")
 		w.Header().Set("X-Tsr-Served-From", res.From.String())
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Write(raw)
@@ -171,15 +220,41 @@ func statusFor(err error) int {
 		return http.StatusForbidden
 	case errors.Is(err, index.ErrNotFound):
 		return http.StatusNotFound
+	case errors.Is(err, ErrUpstream):
+		return http.StatusBadGateway
 	default:
 		return http.StatusInternalServerError
 	}
 }
 
+// etagMatch implements If-None-Match matching against a strong ETag
+// (RFC 9110 §13.1.2: the comparison is weak, so W/ prefixes on listed
+// tags are ignored).
+func etagMatch(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	if strings.TrimSpace(header) == "*" {
+		return true
+	}
+	for _, candidate := range strings.Split(header, ",") {
+		candidate = strings.TrimSpace(candidate)
+		candidate = strings.TrimPrefix(candidate, "W/")
+		if candidate == etag {
+			return true
+		}
+	}
+	return false
+}
+
 // Client is a package-manager-side HTTP client for one TSR repository.
 // It implements pkgmgr.Source, so an OS can be pointed at TSR exactly
 // like at a plain mirror (§4.3: "Package managers recognize TSR as a
-// standard repository mirror").
+// standard repository mirror"). The client revalidates the index with
+// If-None-Match: an unchanged index costs a 304 round trip instead of a
+// full download. Callers still verify the returned signature — the
+// cached copy carries it, so a 304 answer is exactly as trustworthy as
+// a fresh 200.
 type Client struct {
 	// BaseURL is the TSR server base (e.g. "http://host:8473").
 	BaseURL string
@@ -187,6 +262,10 @@ type Client struct {
 	RepoID string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+
+	mu        sync.Mutex
+	cached    *index.Signed // last 200 index response (body + signature)
+	cachedTag string        // its ETag, sent as If-None-Match
 }
 
 func (c *Client) client() *http.Client {
@@ -198,11 +277,30 @@ func (c *Client) client() *http.Client {
 
 // FetchIndex implements pkgmgr.Source.
 func (c *Client) FetchIndex() (*index.Signed, error) {
-	resp, err := c.client().Get(c.BaseURL + "/repos/" + c.RepoID + "/index")
+	req, err := http.NewRequest(http.MethodGet, c.BaseURL+"/repos/"+c.RepoID+"/index", nil)
+	if err != nil {
+		return nil, fmt.Errorf("tsr client: %w", err)
+	}
+	c.mu.Lock()
+	prevTag := c.cachedTag
+	c.mu.Unlock()
+	if prevTag != "" {
+		req.Header.Set("If-None-Match", prevTag)
+	}
+	resp, err := c.client().Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("tsr client: %w", err)
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotModified {
+		c.mu.Lock()
+		cached := c.cached
+		c.mu.Unlock()
+		if cached == nil {
+			return nil, fmt.Errorf("tsr client: index: 304 Not Modified without a cached index")
+		}
+		return cached.Clone(), nil
+	}
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("tsr client: index: %s", readErr(resp))
 	}
@@ -210,15 +308,32 @@ func (c *Client) FetchIndex() (*index.Signed, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tsr client: %w", err)
 	}
-	sig, err := base64.StdEncoding.DecodeString(resp.Header.Get(headerSignature))
+	// A response without the signature headers cannot be verified: fail
+	// fast with the cause instead of returning an index whose empty
+	// signature mysteriously fails verification downstream.
+	keyName := resp.Header.Get(headerKeyName)
+	sigB64 := resp.Header.Get(headerSignature)
+	if keyName == "" || sigB64 == "" {
+		return nil, fmt.Errorf("tsr client: index response missing %s/%s headers (not a TSR signed index?)",
+			headerKeyName, headerSignature)
+	}
+	sig, err := base64.StdEncoding.DecodeString(sigB64)
 	if err != nil {
 		return nil, fmt.Errorf("tsr client: bad signature header: %w", err)
 	}
-	return &index.Signed{
-		Raw:     raw,
-		KeyName: resp.Header.Get(headerKeyName),
-		Sig:     sig,
-	}, nil
+	signed := &index.Signed{Raw: raw, KeyName: keyName, Sig: sig}
+	if etag := resp.Header.Get("ETag"); etag != "" {
+		c.mu.Lock()
+		// Store only if no concurrent FetchIndex cached a different
+		// (necessarily newer-or-equal) response meanwhile: a slow older
+		// 200 must not clobber a fresher tag and silently defeat future
+		// revalidations.
+		if c.cachedTag == prevTag {
+			c.cached, c.cachedTag = signed.Clone(), etag
+		}
+		c.mu.Unlock()
+	}
+	return signed, nil
 }
 
 // FetchPackage implements pkgmgr.Source.

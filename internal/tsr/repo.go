@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tsr/internal/apk"
@@ -25,6 +27,11 @@ var (
 	ErrCacheTampered  = errors.New("tsr: cached package does not match the trusted index (tamper or rollback)")
 	ErrRollback       = errors.New("tsr: sealed state is older than the TPM monotonic counter (rollback attack)")
 	ErrUnsupportedPkg = errors.New("tsr: package rejected by sanitization policy")
+	// ErrUpstream marks refresh failures caused by the mirror fleet —
+	// quorum reads, upstream index verification, upstream replay. The
+	// HTTP layer maps these to 502 Bad Gateway; local failures
+	// (planning, sealing, signing) are not wrapped and map to 500.
+	ErrUpstream = errors.New("tsr: upstream mirror failure")
 )
 
 // CacheMode selects which cache levels are active — the three scenarios
@@ -118,6 +125,10 @@ type Repo struct {
 	reader   *quorum.Reader
 	fetchers []PackageFetcher
 
+	// mu guards the refresh-side (trusted pipeline) state below. The
+	// serving path never takes it: reads go through the atomically
+	// published snapshot instead, so a cold refresh holding mu for its
+	// whole cycle does not block a single client request.
 	mu             sync.Mutex
 	mode           CacheMode
 	workers        int           // refresh pipeline concurrency (1 = the paper's sequential prototype)
@@ -134,7 +145,22 @@ type Repo struct {
 	planDebt       map[string]bool         // packages whose current-version scripts did not inform the plan (fetch failed); re-fetched and re-planned next refresh
 	keepStats      bool
 	seq            uint64 // local index sequence
-	totals         CacheStats
+
+	// served is the published read state; see snapshot.go. Swapped in
+	// one atomic store at the end of a successful Refresh/RestoreState.
+	served atomic.Pointer[snapshot]
+	// totals are the cumulative serving/pipeline counters. All-atomic,
+	// so CacheStats never touches mu either.
+	totals counters
+
+	// servedWrites records every store key the lock-free serving path
+	// wrote (cache repairs, re-downloads). A reader racing a publish can
+	// re-create a blob the refresh's eviction pass just deleted; each
+	// refresh reconciles these records against the keep-set it publishes
+	// and deletes the resurrected stale generations, so the race costs
+	// at most one refresh interval of extra storage, never a leak.
+	servedWritesMu sync.Mutex
+	servedWrites   map[string]struct{}
 }
 
 // newRepo builds the tenant repository and its quorum reader.
@@ -144,17 +170,18 @@ func newRepo(id string, pol *policy.Policy, signKey *keys.Pair, svc *Service) (*
 		return nil, err
 	}
 	r := &Repo{
-		ID:          id,
-		svc:         svc,
-		policy:      pol,
-		signKey:     signKey,
-		trust:       trust,
-		workers:     max(svc.cfg.Workers, 1),
-		rejected:    make(map[string]string),
-		rejectedKey: make(map[string]string),
-		scripts:     make(map[string]scriptsEntry),
-		pinned:      make(map[string]index.Entry),
-		planDebt:    make(map[string]bool),
+		ID:           id,
+		svc:          svc,
+		policy:       pol,
+		signKey:      signKey,
+		trust:        trust,
+		workers:      max(svc.cfg.Workers, 1),
+		rejected:     make(map[string]string),
+		rejectedKey:  make(map[string]string),
+		scripts:      make(map[string]scriptsEntry),
+		pinned:       make(map[string]index.Entry),
+		planDebt:     make(map[string]bool),
+		servedWrites: make(map[string]struct{}),
 	}
 	members := make([]quorum.Member, 0, len(pol.Mirrors))
 	for _, m := range pol.Mirrors {
@@ -188,11 +215,18 @@ func (r *Repo) PublicKey() *keys.Public { return r.signKey.Public() }
 // Policy returns the deployed policy.
 func (r *Repo) Policy() *policy.Policy { return r.policy }
 
-// SetCacheMode selects the Figure 10 cache scenario.
+// SetCacheMode selects the Figure 10 cache scenario. The published
+// snapshot is republished with the new mode so the serving path picks
+// it up immediately.
 func (r *Repo) SetCacheMode(m CacheMode) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.mode = m
+	if snap := r.served.Load(); snap != nil {
+		cp := *snap // maps/indexes are immutable; sharing them is safe
+		cp.mode = m
+		r.served.Store(&cp)
+	}
 }
 
 // SetWorkers bounds this repository's refresh pipeline concurrency:
@@ -236,9 +270,23 @@ func (r *Repo) KeepStats(keep bool) {
 }
 
 // RejectedPackages returns the packages rejected by sanitization and
-// their reasons.
+// their reasons, as of the published snapshot — lock-free, so the
+// endpoint answers instantly while a refresh runs. Before the first
+// publish it falls back to the refresh-side state.
 func (r *Repo) RejectedPackages() map[string]string {
-	r.mu.Lock()
+	if snap := r.served.Load(); snap != nil {
+		out := make(map[string]string, len(snap.rejected))
+		for k, v := range snap.rejected {
+			out[k] = v
+		}
+		return out
+	}
+	if !r.mu.TryLock() {
+		// Nothing published yet and the first refresh is in flight:
+		// report the empty pre-publish state instead of blocking a read
+		// on the pipeline.
+		return map[string]string{}
+	}
 	defer r.mu.Unlock()
 	out := make(map[string]string, len(r.rejected))
 	for k, v := range r.rejected {
@@ -247,9 +295,19 @@ func (r *Repo) RejectedPackages() map[string]string {
 	return out
 }
 
-// Findings returns the security findings of the current plan.
+// Findings returns the security findings of the published plan
+// (lock-free; falls back to the refresh-side plan before the first
+// publish).
 func (r *Repo) Findings() []sanitize.Finding {
-	r.mu.Lock()
+	if snap := r.served.Load(); snap != nil {
+		if snap.plan == nil {
+			return nil
+		}
+		return append([]sanitize.Finding(nil), snap.plan.Findings...)
+	}
+	if !r.mu.TryLock() {
+		return nil // first refresh in flight; nothing published yet
+	}
 	defer r.mu.Unlock()
 	if r.plan == nil {
 		return nil
@@ -257,9 +315,18 @@ func (r *Repo) Findings() []sanitize.Finding {
 	return append([]sanitize.Finding(nil), r.plan.Findings...)
 }
 
-// cacheKey builders.
-func (r *Repo) origKey(name string) string      { return r.ID + "/orig/" + name }
-func (r *Repo) sanitizedKey(name string) string { return r.ID + "/san/" + name }
+// Cache key builders. Package byte caches are content-addressed per
+// generation: the key embeds the (truncated) content hash of the exact
+// bytes it should hold, so a refresh writing a package's next version
+// never overwrites the bytes the previously published snapshot still
+// references — stale-snapshot readers keep hitting their own
+// generation until it is evicted after the next publish.
+func (r *Repo) origKey(name string, hash [32]byte) string {
+	return r.ID + "/orig/" + name + "@" + hex.EncodeToString(hash[:16])
+}
+func (r *Repo) sanitizedKey(name string, hash [32]byte) string {
+	return r.ID + "/san/" + name + "@" + hex.EncodeToString(hash[:16])
+}
 
 // Refresh performs the §5.4 cycle: quorum-read the upstream metadata
 // index, download packages that changed since the previous refresh,
@@ -274,6 +341,12 @@ func (r *Repo) sanitizedKey(name string) string { return r.ID + "/san/" + name }
 // upstream — or after a forced replan or restart that left the plan
 // intact — performs zero sanitizations. Per-package failures are
 // collected in RefreshStats.Errors instead of aborting the cycle.
+//
+// Refresh holds the repository lock for the whole cycle, but the
+// serving path reads the previously published snapshot, so clients are
+// never blocked: the new state becomes visible all at once via
+// publishLocked, and any early error return keeps the old snapshot
+// serving.
 func (r *Repo) Refresh() (*RefreshStats, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -283,18 +356,18 @@ func (r *Repo) Refresh() (*RefreshStats, error) {
 
 	qres, err := r.reader.Read()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrUpstream, err)
 	}
 	stats.QuorumLatency = qres.Elapsed
 	stats.MirrorsContacted = qres.Contacted
 	newUpstream, err := qres.Index.Verify(r.trust)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: verifying upstream index: %w", ErrUpstream, err)
 	}
 	if r.upstream != nil && newUpstream.Sequence < r.upstream.Sequence {
 		// A quorum of mirrors agreeing on an older index than one we
 		// already verified: treat as replay and refuse.
-		return nil, fmt.Errorf("%w: upstream sequence %d < %d", ErrRollback, newUpstream.Sequence, r.upstream.Sequence)
+		return nil, fmt.Errorf("%w: %w: upstream sequence %d < %d", ErrUpstream, ErrRollback, newUpstream.Sequence, r.upstream.Sequence)
 	}
 	upstreamDigest := qres.Index.Digest()
 
@@ -510,11 +583,11 @@ func (r *Repo) Refresh() (*RefreshStats, error) {
 					out.err = fmt.Errorf("tsr: sanitizing %s: %w", e.Name, err)
 					return
 				}
-				if err := r.svc.cfg.Store.Put(r.sanitizedKey(e.Name), res.Raw); err != nil {
+				sum := sha256.Sum256(res.Raw)
+				if err := r.svc.cfg.Store.Put(r.sanitizedKey(e.Name, sum), res.Raw); err != nil {
 					out.err = err
 					return
 				}
-				sum := sha256.Sum256(res.Raw)
 				if mode != CacheNone {
 					if err := r.storeCacheEntry(cacheEntry{Key: key, Size: int64(len(res.Raw)), Hash: sum}); err != nil {
 						out.err = err
@@ -635,6 +708,8 @@ func (r *Repo) Refresh() (*RefreshStats, error) {
 		}
 	}
 
+	oldLocal, oldUpstream, oldPinned := r.local, r.upstream, r.pinned
+	oldPlanHash := r.planHash
 	r.upstream = newUpstream
 	r.upstreamDigest = upstreamDigest
 	r.plan = plan
@@ -644,13 +719,97 @@ func (r *Repo) Refresh() (*RefreshStats, error) {
 	r.seq = newLocal.Sequence
 	r.pinned = newPinned
 	r.planDebt = newPlanDebt
+	// Build-then-publish: the new read state becomes visible to clients
+	// in one atomic store, only now that the whole cycle succeeded.
+	r.publishLocked()
 
-	r.totals.Refreshes++
-	r.totals.CacheHits += int64(stats.CacheHits)
-	r.totals.Sanitized += int64(stats.Sanitized)
-	r.totals.Rejected += int64(stats.Rejected)
-	r.totals.Downloaded += int64(stats.Downloaded)
-	r.totals.Failed += int64(len(stats.Errors))
+	// Evict cache generations nothing references anymore: byte blobs
+	// addressed by (name, hash) pairs that appear in the outgoing
+	// indexes but in neither the incoming ones nor the pinned set that
+	// on-demand rebuilds still need. Old-snapshot readers in flight at
+	// publish time can race an eviction; FetchPackageTraced retries
+	// against the fresh snapshot when that happens.
+	if oldLocal != nil {
+		for _, e := range oldLocal.Entries {
+			if ne, err := newLocal.Lookup(e.Name); err == nil && ne.Hash == e.Hash {
+				continue
+			}
+			_ = r.svc.cfg.Store.Delete(r.sanitizedKey(e.Name, e.Hash))
+		}
+	}
+	evictOrig := func(name string, hash [32]byte) {
+		if pe, ok := newPinned[name]; ok && pe.Hash == hash {
+			return
+		}
+		if ne, err := newUpstream.Lookup(name); err == nil && ne.Hash == hash {
+			return
+		}
+		_ = r.svc.cfg.Store.Delete(r.origKey(name, hash))
+	}
+	if oldUpstream != nil {
+		for _, e := range oldUpstream.Entries {
+			evictOrig(e.Name, e.Hash)
+		}
+	}
+	for name, pe := range oldPinned {
+		evictOrig(name, pe.Hash)
+	}
+	// The sealed sanitization-cache metadata follows its generation:
+	// (digest, plan) pairs the new state no longer produces are deleted
+	// together with their byte blobs. Otherwise a recurring pair — e.g.
+	// an upstream version rollback A→B→A — would cache-hit metadata
+	// whose sanitized bytes were evicted with the old generation and
+	// publish an index entry with no bytes behind it. (After a
+	// ForceReplan oldPlanHash is zero and these deletes address keys
+	// that never existed — harmless no-ops.)
+	if oldUpstream != nil && oldPlanHash != planHash {
+		for _, e := range oldUpstream.Entries {
+			_ = r.svc.cfg.Store.Delete(r.sanCacheKey(e.Hash, oldPlanHash))
+		}
+	} else if oldUpstream != nil {
+		for _, e := range oldUpstream.Entries {
+			if ne, err := newUpstream.Lookup(e.Name); err == nil && ne.Hash == e.Hash {
+				continue
+			}
+			_ = r.svc.cfg.Store.Delete(r.sanCacheKey(e.Hash, oldPlanHash))
+		}
+	}
+	// Reconcile serving-path writes: a reader racing an earlier publish
+	// may have re-created a blob its eviction pass had already deleted
+	// (repairing a tampered cache, or re-downloading an original). Any
+	// recorded key the state just published does not reference is such
+	// a resurrected stale generation — delete it now. Steady state has
+	// no recorded writes, so the keep-set is only built when needed.
+	r.servedWritesMu.Lock()
+	recorded := r.servedWrites
+	if len(recorded) > 0 {
+		r.servedWrites = make(map[string]struct{})
+	}
+	r.servedWritesMu.Unlock()
+	if len(recorded) > 0 {
+		keep := make(map[string]struct{}, len(newLocal.Entries)+len(newUpstream.Entries)+len(newPinned))
+		for _, e := range newLocal.Entries {
+			keep[r.sanitizedKey(e.Name, e.Hash)] = struct{}{}
+		}
+		for _, e := range newUpstream.Entries {
+			keep[r.origKey(e.Name, e.Hash)] = struct{}{}
+		}
+		for name, pe := range newPinned {
+			keep[r.origKey(name, pe.Hash)] = struct{}{}
+		}
+		for key := range recorded {
+			if _, ok := keep[key]; !ok {
+				_ = r.svc.cfg.Store.Delete(key)
+			}
+		}
+	}
+
+	r.totals.refreshes.Add(1)
+	r.totals.cacheHits.Add(int64(stats.CacheHits))
+	r.totals.sanitized.Add(int64(stats.Sanitized))
+	r.totals.rejected.Add(int64(stats.Rejected))
+	r.totals.downloaded.Add(int64(stats.Downloaded))
+	r.totals.failed.Add(int64(len(stats.Errors)))
 	return stats, nil
 }
 
@@ -663,7 +822,7 @@ func (r *Repo) Refresh() (*RefreshStats, error) {
 // without holding the repository lock.
 func (r *Repo) obtainOriginal(mode CacheMode, name string, entry index.Entry) ([]byte, int64, error) {
 	if mode != CacheNone {
-		if raw, err := r.svc.cfg.Store.Get(r.origKey(name)); err == nil {
+		if raw, err := r.svc.cfg.Store.Get(r.origKey(name, entry.Hash)); err == nil {
 			if int64(len(raw)) == entry.Size && sha256.Sum256(raw) == entry.Hash {
 				return raw, 0, nil
 			}
@@ -682,7 +841,7 @@ func (r *Repo) obtainOriginal(mode CacheMode, name string, entry index.Entry) ([
 			continue
 		}
 		if mode != CacheNone {
-			if err := r.svc.cfg.Store.Put(r.origKey(name), raw); err != nil {
+			if err := r.svc.cfg.Store.Put(r.origKey(name, entry.Hash), raw); err != nil {
 				return nil, 0, err
 			}
 		}
@@ -779,7 +938,7 @@ func (s *scriptCacheSource) NextScripts() (string, map[string]string, bool) {
 // fromStore decodes a package's scripts from the cached original,
 // verifying the bytes against the trusted index entry first.
 func (s *scriptCacheSource) fromStore(entry index.Entry) (map[string]string, bool) {
-	cached, err := s.repo.svc.cfg.Store.Get(s.repo.origKey(entry.Name))
+	cached, err := s.repo.svc.cfg.Store.Get(s.repo.origKey(entry.Name, entry.Hash))
 	if err != nil {
 		return nil, false
 	}
@@ -792,116 +951,6 @@ func (s *scriptCacheSource) fromStore(entry index.Entry) (map[string]string, boo
 	}
 	s.repo.scripts[entry.Name] = scriptsEntry{digest: entry.Hash, scripts: p.Scripts}
 	return p.Scripts, true
-}
-
-// FetchIndex implements pkgmgr.Source: serves the signed local index.
-func (r *Repo) FetchIndex() (*index.Signed, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.localSig == nil {
-		return nil, ErrNotInitialized
-	}
-	return r.localSig.Clone(), nil
-}
-
-// FetchResult describes how a FetchPackage request was served.
-type FetchResult struct {
-	From ServedFrom
-	// Latency is the server-side time to produce the bytes: real time
-	// for cache reads and sanitization plus modeled download time.
-	Latency time.Duration
-}
-
-// FetchPackage implements pkgmgr.Source.
-func (r *Repo) FetchPackage(name string) ([]byte, error) {
-	raw, _, err := r.FetchPackageTraced(name)
-	return raw, err
-}
-
-// FetchPackageTraced serves a sanitized package and reports how.
-// Before returning cached bytes it re-verifies them against the
-// in-enclave local index — the §5.5 defense against cache tampering.
-func (r *Repo) FetchPackageTraced(name string) ([]byte, *FetchResult, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.local == nil {
-		return nil, nil, ErrNotInitialized
-	}
-	start := time.Now()
-	entry, err := r.local.Lookup(name)
-	if err != nil {
-		if reason, rejected := r.rejected[name]; rejected {
-			return nil, nil, fmt.Errorf("%w: %s: %s", ErrUnsupportedPkg, name, reason)
-		}
-		return nil, nil, err
-	}
-	if r.mode == CacheBoth {
-		if raw, err := r.svc.cfg.Store.Get(r.sanitizedKey(name)); err == nil {
-			if int64(len(raw)) == entry.Size && sha256.Sum256(raw) == entry.Hash {
-				return raw, &FetchResult{From: ServedSanitizedCache, Latency: time.Since(start)}, nil
-			}
-			// Cache tampered or rolled back. Re-sanitize from original.
-			if raw, res, err := r.resanitizeLocked(name, entry, start); err == nil {
-				return raw, res, nil
-			}
-			return nil, nil, fmt.Errorf("%w: %s", ErrCacheTampered, name)
-		}
-	}
-	raw, res, err := r.resanitizeLocked(name, entry, start)
-	if err != nil {
-		return nil, nil, err
-	}
-	return raw, res, nil
-}
-
-// resanitizeLocked rebuilds the sanitized package from the original
-// (cached or downloaded) and checks it matches the local index. The
-// result must be byte-identical to the indexed version because both
-// sanitization and encoding are deterministic.
-func (r *Repo) resanitizeLocked(name string, entry index.Entry, start time.Time) ([]byte, *FetchResult, error) {
-	// A package whose last refresh failed still serves its previous
-	// version; rebuild that version from its pinned upstream entry, not
-	// from the newer upstream the repository has already verified.
-	upEntry, ok := r.pinned[name]
-	if !ok {
-		var err error
-		upEntry, err = r.upstream.Lookup(name)
-		if err != nil {
-			return nil, nil, err
-		}
-	}
-	from := ServedOriginalCache
-	orig, dlBytes, err := r.obtainOriginal(r.mode, name, upEntry)
-	if err != nil {
-		return nil, nil, err
-	}
-	var dl time.Duration
-	if dlBytes > 0 {
-		from = ServedMirror
-		dl = r.chargeDownload(dlBytes, 1)
-	}
-	san := &sanitize.Sanitizer{
-		Plan:      r.plan,
-		TrustRing: r.trust,
-		SignKey:   r.signKey,
-		EPC:       r.svc.cfg.EPC,
-	}
-	res, err := san.Sanitize(orig)
-	if err != nil {
-		return nil, nil, err
-	}
-	// Sanitization is fully deterministic (PKCS#1 v1.5 signatures and
-	// the archive encoding are both deterministic), so the re-sanitized
-	// bytes must hash to exactly the in-enclave index entry.
-	if int64(len(res.Raw)) != entry.Size || sha256.Sum256(res.Raw) != entry.Hash {
-		return nil, nil, fmt.Errorf("%w: %s (re-sanitized bytes differ from index)", ErrCacheTampered, name)
-	}
-	if r.mode == CacheBoth {
-		if err := r.svc.cfg.Store.Put(r.sanitizedKey(name), res.Raw); err != nil {
-			return nil, nil, err
-		}
-	}
-	return res.Raw, &FetchResult{From: from, Latency: time.Since(start) + dl}, nil
 }
 
 // --- sealed state (§5.5) ----------------------------------------------
@@ -952,6 +1001,10 @@ func (r *Repo) RestoreState(sealed []byte) error {
 	r.local = local
 	r.localSig = localSig
 	r.seq = seq
+	// Publish the restored state so serving resumes immediately (the
+	// sanitization plan is rebuilt by the next refresh; until then,
+	// requests are answered from the sanitized cache).
+	r.publishLocked()
 	return nil
 }
 
@@ -1023,9 +1076,16 @@ func readChunk(buf *bytes.Reader) ([]byte, error) {
 	return out, nil
 }
 
-// Plan exposes the current sanitization plan (for examples/experiments).
+// Plan exposes the published sanitization plan (for examples and
+// experiments); lock-free, with a refresh-side fallback before the
+// first publish.
 func (r *Repo) Plan() *sanitize.Plan {
-	r.mu.Lock()
+	if snap := r.served.Load(); snap != nil {
+		return snap.plan
+	}
+	if !r.mu.TryLock() {
+		return nil // first refresh in flight; nothing published yet
+	}
 	defer r.mu.Unlock()
 	return r.plan
 }

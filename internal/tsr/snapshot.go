@@ -1,0 +1,299 @@
+package tsr
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"time"
+
+	"tsr/internal/index"
+	"tsr/internal/sanitize"
+)
+
+// snapshot is the immutable published read state of a repository: the
+// signed local index plus everything the serving path needs to answer
+// requests without touching Repo.mu. Refresh (and RestoreState) build a
+// new snapshot off to the side and swap it in with one atomic pointer
+// store, so package managers read the previous consistent state for the
+// whole 10–25s sanitization cycle — TSR behaves "exactly like a plain
+// mirror" (§4.3) even while the trusted pipeline runs. A failed refresh
+// returns before publishing and the previous snapshot keeps serving.
+//
+// Invariant: every field reachable from a snapshot is immutable after
+// publication. The refresh path replaces indexes, plan, and maps
+// wholesale (never mutates them in place once assigned), and
+// publishLocked copies the maps that refresh updates incrementally.
+type snapshot struct {
+	mode     CacheMode
+	upstream *index.Index  // verified upstream index the local entries derive from
+	local    *index.Index  // index of sanitized packages
+	localSig *index.Signed // signed local index served to clients
+	plan     *sanitize.Plan
+	pinned   map[string]index.Entry // packages serving a previous version after a failed refresh
+	rejected map[string]string      // package -> rejection reason
+	etag     string                 // strong ETag derived from the signed index digest
+}
+
+// publishLocked builds a snapshot from the current refresh-side state
+// and publishes it atomically. Caller holds r.mu. No-op until the first
+// successful refresh or restore produces a signed index.
+func (r *Repo) publishLocked() {
+	if r.local == nil || r.localSig == nil {
+		return
+	}
+	snap := &snapshot{
+		mode:     r.mode,
+		upstream: r.upstream,
+		local:    r.local,
+		localSig: r.localSig,
+		plan:     r.plan,
+		pinned:   make(map[string]index.Entry, len(r.pinned)),
+		rejected: make(map[string]string, len(r.rejected)),
+		etag:     r.localSig.ETag(),
+	}
+	for k, v := range r.pinned {
+		snap.pinned[k] = v
+	}
+	for k, v := range r.rejected {
+		snap.rejected[k] = v
+	}
+	r.served.Store(snap)
+}
+
+// FetchIndex implements pkgmgr.Source: serves the signed local index
+// from the published snapshot, without taking the repository lock.
+func (r *Repo) FetchIndex() (*index.Signed, error) {
+	signed, _, err := r.FetchIndexTagged()
+	return signed, err
+}
+
+// FetchIndexTagged returns the signed local index together with its
+// strong ETag (the quoted hex digest of the signed representation).
+// The HTTP layer uses the tag for If-None-Match revalidation.
+func (r *Repo) FetchIndexTagged() (*index.Signed, string, error) {
+	snap := r.served.Load()
+	if snap == nil {
+		return nil, "", ErrNotInitialized
+	}
+	r.totals.indexReads.Add(1)
+	return snap.localSig.Clone(), snap.etag, nil
+}
+
+// IndexETag returns the current index ETag without cloning the index —
+// the cheap path for If-None-Match revalidation, where a match means
+// the body is never materialized at all.
+func (r *Repo) IndexETag() (string, error) {
+	snap := r.served.Load()
+	if snap == nil {
+		return "", ErrNotInitialized
+	}
+	return snap.etag, nil
+}
+
+// PackageETag returns the strong ETag of a served package without
+// touching its bytes: the quoted hex content hash from the signed
+// index. Callers that only revalidate (If-None-Match) skip the cache
+// read entirely.
+func (r *Repo) PackageETag(name string) (string, error) {
+	snap := r.served.Load()
+	if snap == nil {
+		return "", ErrNotInitialized
+	}
+	entry, err := snap.local.Lookup(name)
+	if err != nil {
+		return "", err
+	}
+	return entryETag(entry), nil
+}
+
+// entryETag renders an index entry's content hash as a strong ETag.
+func entryETag(e index.Entry) string {
+	return `"` + hex.EncodeToString(e.Hash[:]) + `"`
+}
+
+// noteIndexNotModified / notePackageNotModified count an If-None-Match
+// revalidation answered 304. The read counter is bumped too: a 304 is
+// an index/package read served from the snapshot, just a cheaper one.
+func (r *Repo) noteIndexNotModified() {
+	r.totals.indexReads.Add(1)
+	r.totals.notModified.Add(1)
+}
+
+func (r *Repo) notePackageNotModified() {
+	r.totals.packageReads.Add(1)
+	r.totals.notModified.Add(1)
+}
+
+// FetchResult describes how a FetchPackage request was served.
+type FetchResult struct {
+	From ServedFrom
+	// Latency is the server-side time to produce the bytes: real time
+	// for cache reads and sanitization plus modeled download time.
+	Latency time.Duration
+	// ETag is the strong entity tag of the served bytes (the quoted hex
+	// content hash from the signed index).
+	ETag string
+}
+
+// FetchPackage implements pkgmgr.Source.
+func (r *Repo) FetchPackage(name string) ([]byte, error) {
+	raw, _, err := r.FetchPackageTraced(name)
+	return raw, err
+}
+
+// FetchPackageTraced serves a sanitized package and reports how. It
+// reads the published snapshot — never Repo.mu — so requests proceed at
+// full speed while a refresh runs. Before returning cached bytes it
+// re-verifies them against the in-enclave local index — the §5.5
+// defense against cache tampering.
+//
+// The byte caches are content-addressed per generation, so a refresh
+// rewriting the population never invalidates the bytes this snapshot
+// references. The one remaining race — a request in flight at the
+// publish instant, whose generation the refresh just evicted — is
+// resolved by retrying once against the freshly published snapshot.
+func (r *Repo) FetchPackageTraced(name string) ([]byte, *FetchResult, error) {
+	snap := r.served.Load()
+	if snap == nil {
+		return nil, nil, ErrNotInitialized
+	}
+	r.totals.packageReads.Add(1)
+	raw, res, err := r.fetchFromSnapshot(snap, name)
+	if err == nil {
+		return raw, res, nil
+	}
+	if cur := r.served.Load(); cur != snap {
+		return r.fetchFromSnapshot(cur, name)
+	}
+	if retryableServeError(err) {
+		// The snapshot hasn't changed, so the failure may be an
+		// artifact of reading through a state an in-flight refresh is
+		// about to replace (e.g. an upstream-changed package whose old
+		// bytes are gone and whose new bytes are not yet published).
+		// Wait out any running refresh — the pre-snapshot behavior for
+		// exactly this case — and retry once on what it published.
+		// Loading the pointer under the lock guarantees we observe that
+		// refresh's publish.
+		r.mu.Lock()
+		cur := r.served.Load()
+		r.mu.Unlock()
+		if cur != snap {
+			return r.fetchFromSnapshot(cur, name)
+		}
+	}
+	return nil, nil, err
+}
+
+// noteServedWrite records a store key the serving path wrote, for the
+// next refresh's stale-generation reconcile (see Repo.servedWrites).
+func (r *Repo) noteServedWrite(key string) {
+	r.servedWritesMu.Lock()
+	r.servedWrites[key] = struct{}{}
+	r.servedWritesMu.Unlock()
+}
+
+// retryableServeError reports whether a package-serve failure is worth
+// retrying against a newer snapshot: definitive answers (unknown
+// package, rejected package, repository not initialized) are not.
+func retryableServeError(err error) bool {
+	return !errors.Is(err, index.ErrNotFound) &&
+		!errors.Is(err, ErrUnsupportedPkg) &&
+		!errors.Is(err, ErrNotInitialized)
+}
+
+// fetchFromSnapshot answers one package request from the given
+// snapshot.
+func (r *Repo) fetchFromSnapshot(snap *snapshot, name string) ([]byte, *FetchResult, error) {
+	start := time.Now()
+	entry, err := snap.local.Lookup(name)
+	if err != nil {
+		if reason, rejected := snap.rejected[name]; rejected {
+			return nil, nil, fmt.Errorf("%w: %s: %s", ErrUnsupportedPkg, name, reason)
+		}
+		return nil, nil, err
+	}
+	if snap.mode == CacheBoth {
+		if raw, err := r.svc.cfg.Store.Get(r.sanitizedKey(name, entry.Hash)); err == nil {
+			if int64(len(raw)) == entry.Size && sha256.Sum256(raw) == entry.Hash {
+				return raw, &FetchResult{From: ServedSanitizedCache, Latency: time.Since(start), ETag: entryETag(entry)}, nil
+			}
+			// Cache tampered or rolled back. Re-sanitize from original.
+			if raw, res, err := r.resanitize(snap, name, entry, start); err == nil {
+				return raw, res, nil
+			}
+			return nil, nil, fmt.Errorf("%w: %s", ErrCacheTampered, name)
+		}
+	}
+	return r.resanitize(snap, name, entry, start)
+}
+
+// resanitize rebuilds the sanitized package from the original (cached
+// or downloaded) and checks it matches the snapshot's local index. The
+// result must be byte-identical to the indexed version because both
+// sanitization and encoding are deterministic. It runs entirely off the
+// snapshot plus immutable Repo fields, so concurrent requests — and a
+// concurrent refresh — never contend.
+func (r *Repo) resanitize(snap *snapshot, name string, entry index.Entry, start time.Time) ([]byte, *FetchResult, error) {
+	// A package whose last refresh failed still serves its previous
+	// version; rebuild that version from its pinned upstream entry, not
+	// from the newer upstream the repository has already verified.
+	if snap.plan == nil {
+		// Restored state serves from the sanitized cache only; the plan
+		// (and with it on-demand re-sanitization) returns with the next
+		// refresh.
+		return nil, nil, fmt.Errorf("%w: %s: no sanitization plan until the next refresh", ErrCacheTampered, name)
+	}
+	upEntry, ok := snap.pinned[name]
+	if !ok {
+		var err error
+		upEntry, err = snap.upstream.Lookup(name)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	from := ServedOriginalCache
+	orig, dlBytes, err := r.obtainOriginal(snap.mode, name, upEntry)
+	if err != nil {
+		return nil, nil, err
+	}
+	var dl time.Duration
+	if dlBytes > 0 {
+		from = ServedMirror
+		dl = r.chargeDownload(dlBytes, 1)
+		if snap.mode != CacheNone {
+			// obtainOriginal cached the download; record the write so
+			// the next refresh can reconcile it (see Repo.servedWrites).
+			r.noteServedWrite(r.origKey(name, upEntry.Hash))
+		}
+	}
+	san := &sanitize.Sanitizer{
+		Plan:      snap.plan,
+		TrustRing: r.trust,
+		SignKey:   r.signKey,
+		EPC:       r.svc.cfg.EPC,
+	}
+	res, err := san.Sanitize(orig)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Sanitization is fully deterministic (PKCS#1 v1.5 signatures and
+	// the archive encoding are both deterministic), so the re-sanitized
+	// bytes must hash to exactly the in-enclave index entry.
+	if int64(len(res.Raw)) != entry.Size || sha256.Sum256(res.Raw) != entry.Hash {
+		return nil, nil, fmt.Errorf("%w: %s (re-sanitized bytes differ from index)", ErrCacheTampered, name)
+	}
+	// Repair the sanitized cache only when this snapshot is still the
+	// published one: a stale-snapshot rebuild should not resurrect a
+	// generation the refresh that replaced it has already evicted. The
+	// check is best-effort (a publish can land between it and the Put),
+	// so the write is also recorded for the next refresh's reconcile.
+	if snap.mode == CacheBoth && r.served.Load() == snap {
+		key := r.sanitizedKey(name, entry.Hash)
+		if err := r.svc.cfg.Store.Put(key, res.Raw); err != nil {
+			return nil, nil, err
+		}
+		r.noteServedWrite(key)
+	}
+	return res.Raw, &FetchResult{From: from, Latency: time.Since(start) + dl, ETag: entryETag(entry)}, nil
+}

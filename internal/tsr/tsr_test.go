@@ -359,7 +359,13 @@ func TestCacheTamperDetected(t *testing.T) {
 	// Root adversary flips bytes in the sanitized cache: TSR must not
 	// serve the tampered bytes — it transparently re-sanitizes from the
 	// original and the result matches the trusted index again.
-	if err := w.store.Tamper(r.sanitizedKey("app")); err != nil {
+	r.mu.Lock()
+	sanEntry, err := r.local.Lookup("app")
+	r.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.store.Tamper(r.sanitizedKey("app", sanEntry.Hash)); err != nil {
 		t.Fatal(err)
 	}
 	raw, res, err := r.FetchPackageTraced("app")
@@ -660,7 +666,13 @@ func TestOriginalCacheTamperFallsBackToMirror(t *testing.T) {
 	r.SetCacheMode(CacheOriginalOnly)
 	// Root adversary corrupts the ORIGINAL cache entry; TSR must detect
 	// the hash mismatch against the upstream index and re-download.
-	if err := w.store.Tamper(r.origKey("app")); err != nil {
+	r.mu.Lock()
+	upEntry, err := r.upstream.Lookup("app")
+	r.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.store.Tamper(r.origKey("app", upEntry.Hash)); err != nil {
 		t.Fatal(err)
 	}
 	raw, res, err := r.FetchPackageTraced("app")
