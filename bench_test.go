@@ -96,6 +96,31 @@ func BenchmarkAblationRefreshWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkEdgeFanout measures the edge replication tier: aggregate
+// client fetch throughput (modeled, over clients on five continents)
+// and the origin request reduction at 1, 4, and 16 warm replicas.
+// Reported metrics per sub-benchmark: pkg/s (aggregate throughput),
+// %absorbed (share of warm package requests the edges served without
+// contacting the origin), and origin-pulls (absolute origin package
+// fetches during the measured pass).
+func BenchmarkEdgeFanout(b *testing.B) {
+	for _, replicas := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("replicas=%d", replicas), func(b *testing.B) {
+			cfg := benchCfg()
+			cfg.Scale = 0.004
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.EdgeFanoutRun(cfg, replicas)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Throughput, "pkg/s")
+				b.ReportMetric(res.Absorption*100, "%absorbed")
+				b.ReportMetric(float64(res.OriginPackagePulls), "origin-pulls")
+			}
+		})
+	}
+}
+
 // --- refresh pipeline ----------------------------------------------------
 
 // refreshWorld builds one simulated deployment shared by the refresh

@@ -16,10 +16,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"tsr/internal/apk"
@@ -36,13 +40,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "tsrd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("tsrd", flag.ContinueOnError)
 	addr := fs.String("addr", ":8473", "listen address")
 	scale := fs.Float64("scale", 0.02, "synthetic repository scale")
@@ -59,7 +65,7 @@ func run(args []string) error {
 	fmt.Println("tsrd: example policy for this deployment:")
 	fmt.Println(examplePolicy)
 	if *autoRefresh > 0 {
-		go autoRefreshLoop(svc, *autoRefresh)
+		go autoRefreshLoop(ctx, svc, *autoRefresh)
 		fmt.Printf("tsrd: auto-refreshing every %s\n", *autoRefresh)
 	}
 	server := &http.Server{
@@ -68,17 +74,48 @@ func run(args []string) error {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	fmt.Printf("tsrd: listening on %s\n", *addr)
-	return server.ListenAndServe()
+	return serveUntilDone(ctx, server, "tsrd")
 }
 
-// autoRefreshLoop periodically refreshes every deployed repository.
-// The snapshot read path keeps serving the previous published state
-// during each cycle, so the daemon stays fully responsive to package
-// managers while the trusted pipeline runs in the background.
-func autoRefreshLoop(svc *tsr.Service, every time.Duration) {
+// serveUntilDone runs the server until it fails or the context is
+// canceled (SIGINT/SIGTERM), then drains in-flight requests through
+// http.Server.Shutdown with a deadline. (cmd/tsredge carries the same
+// helper; main packages cannot share code.)
+func serveUntilDone(ctx context.Context, server *http.Server, name string) error {
+	errCh := make(chan error, 1)
+	go func() { errCh <- server.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		fmt.Printf("%s: signal received, draining connections...\n", name)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := server.Shutdown(shutdownCtx); err != nil {
+			return fmt.Errorf("%s: shutdown: %w", name, err)
+		}
+		fmt.Printf("%s: stopped\n", name)
+		return nil
+	}
+}
+
+// autoRefreshLoop periodically refreshes every deployed repository
+// until the context is canceled. The snapshot read path keeps serving
+// the previous published state during each cycle, so the daemon stays
+// fully responsive to package managers while the trusted pipeline runs
+// in the background.
+func autoRefreshLoop(ctx context.Context, svc *tsr.Service, every time.Duration) {
 	ticker := time.NewTicker(every)
 	defer ticker.Stop()
-	for range ticker.C {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
 		for _, id := range svc.RepoIDs() {
 			repo, err := svc.Repo(id)
 			if err != nil {

@@ -1,11 +1,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"tsr/internal/tsr"
 )
@@ -55,7 +57,31 @@ func TestBuildServiceAndServe(t *testing.T) {
 }
 
 func TestRunBadFlag(t *testing.T) {
-	if err := run([]string{"-nope"}); err == nil {
+	if err := run(context.Background(), []string{"-nope"}); err == nil {
 		t.Fatal("want flag error")
+	}
+}
+
+// TestRunShutsDownGracefully: a canceled context (the SIGINT/SIGTERM
+// path) makes run drain the server and return nil instead of leaking
+// the listener and the auto-refresh goroutine.
+func TestRunShutsDownGracefully(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-scale", "0.003", "-auto-refresh", "1h"})
+	}()
+	// Let the service build and the listener start, then deliver the
+	// shutdown signal. (If cancel lands before ListenAndServe, Shutdown
+	// still wins: the server refuses to start and run returns nil.)
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("run did not return after context cancellation")
 	}
 }

@@ -1,0 +1,137 @@
+// Command tsredge runs an untrusted edge replica in front of a TSR
+// origin (cmd/tsrd). The replica needs no enclave and no keys: it
+// syncs the origin's published snapshot — a full signed index on first
+// contact, then deltas keyed by the index ETag — keeps a byte-budgeted
+// pull-through package cache, and re-exposes the origin's signature
+// headers verbatim so clients verify end-to-end. Any number of
+// tsredge instances can fan out one origin's traffic; a stale or
+// tampering instance is detected and routed around client-side.
+//
+// Usage:
+//
+//	tsredge -origin http://localhost:8473 -repo <id> [-addr :8474]
+//	        [-sync 30s] [-cache-mb 256] [-name edge-1]
+//
+// A client session (identical to the origin's read API):
+//
+//	curl localhost:8474/repos/<id>/index
+//	curl -O localhost:8474/repos/<id>/packages/<name>
+//	curl localhost:8474/repos/<id>/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"tsr/internal/edge"
+	"tsr/internal/tsr"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tsredge:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("tsredge", flag.ContinueOnError)
+	addr := fs.String("addr", ":8474", "listen address")
+	originURL := fs.String("origin", "http://localhost:8473", "TSR origin base URL")
+	repoID := fs.String("repo", "", "tenant repository id to replicate (required)")
+	syncEvery := fs.Duration("sync", 30*time.Second, "origin sync interval (delta syncs once warm)")
+	cacheMB := fs.Int64("cache-mb", 256, "pull-through package cache budget in MiB")
+	name := fs.String("name", "", "edge name reported in X-Tsr-Edge (default: the listen address)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *repoID == "" {
+		return errors.New("-repo is required (the tenant repository id printed by policy deployment)")
+	}
+	if *name == "" {
+		*name = "tsredge" + *addr
+	}
+
+	origin := &tsr.Client{
+		BaseURL: strings.TrimRight(*originURL, "/"),
+		RepoID:  *repoID,
+		// A bounded client: a black-holed origin connection must fail
+		// the sync (retried next tick) instead of wedging the loop
+		// forever behind http.DefaultClient's absent timeout.
+		HTTPClient: &http.Client{Timeout: 2 * time.Minute},
+	}
+	rep := &edge.Replica{
+		RepoID:      *repoID,
+		Origin:      origin,
+		CacheBudget: *cacheMB << 20,
+	}
+	if err := rep.Sync(); err != nil {
+		// The origin may be unreachable or not refreshed yet: serve
+		// 503s and let the sync loop catch up rather than flapping.
+		fmt.Fprintf(os.Stderr, "tsredge: initial sync: %v (retrying every %s)\n", err, *syncEvery)
+	} else {
+		fmt.Printf("tsredge: synced %s from %s (etag %s)\n", *repoID, *originURL, rep.ETag())
+	}
+	go syncLoop(ctx, rep, *syncEvery)
+
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           edge.Handler(map[string]*edge.Replica{*repoID: rep}, *name),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("tsredge: serving %s on %s (cache budget %d MiB, sync every %s)\n",
+		*repoID, *addr, *cacheMB, *syncEvery)
+	return serveUntilDone(ctx, server)
+}
+
+// syncLoop keeps the replica converging on the origin until the context
+// is canceled. Warm iterations are delta syncs (or 304-style no-ops);
+// failures are logged and retried on the next tick.
+func syncLoop(ctx context.Context, rep *edge.Replica, every time.Duration) {
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		if err := rep.Sync(); err != nil {
+			fmt.Fprintf(os.Stderr, "tsredge: sync: %v\n", err)
+		}
+	}
+}
+
+// serveUntilDone runs the server until it fails or the context is
+// canceled (SIGINT/SIGTERM), then drains in-flight requests through
+// http.Server.Shutdown with a deadline.
+func serveUntilDone(ctx context.Context, server *http.Server) error {
+	errCh := make(chan error, 1)
+	go func() { errCh <- server.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		fmt.Println("tsredge: signal received, draining connections...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := server.Shutdown(shutdownCtx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		fmt.Println("tsredge: stopped")
+		return nil
+	}
+}

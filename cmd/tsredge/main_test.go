@@ -1,0 +1,119 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"tsr/internal/apk"
+	"tsr/internal/edge"
+	"tsr/internal/experiments"
+	"tsr/internal/keys"
+	"tsr/internal/tsr"
+)
+
+// TestReplicateOverHTTP wires the full daemon topology in-process:
+// origin service behind an httptest server, a replica syncing through
+// tsr.Client (exactly what run() builds), and a client reading the
+// replica through edge.Handler. The second origin refresh must reach
+// the replica as a delta.
+func TestReplicateOverHTTP(t *testing.T) {
+	w, err := experiments.NewWorld(experiments.Config{Scale: 0.003, Seed: 5}, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	originSrv := httptest.NewServer(tsr.Handler(w.Service))
+	defer originSrv.Close()
+
+	origin := &tsr.Client{BaseURL: originSrv.URL, RepoID: w.Tenant.ID, HTTPClient: originSrv.Client()}
+	rep := &edge.Replica{RepoID: w.Tenant.ID, Origin: origin, CacheBudget: 64 << 20}
+	if err := rep.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if s := rep.Stats(); s.FullSyncs != 1 {
+		t.Fatalf("stats = %+v, want one full sync", s)
+	}
+
+	// A new origin generation: publish, mirror-sync, refresh.
+	p := &apk.Package{Name: "zzz-edge", Version: "1.0-r0",
+		Files: []apk.File{{Path: "/usr/bin/zzz-edge", Mode: 0o755, Content: []byte("edge")}}}
+	if err := apk.Sign(p, w.Distro); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Repo.Publish(p); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range w.Mirrors {
+		m.Sync(w.Repo)
+	}
+	if _, err := w.Tenant.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if s := rep.Stats(); s.DeltaSyncs != 1 {
+		t.Fatalf("stats = %+v, want one delta sync over HTTP", s)
+	}
+
+	// Clients read the edge like an origin, end-to-end verified.
+	edgeSrv := httptest.NewServer(edge.Handler(map[string]*edge.Replica{w.Tenant.ID: rep}, "edge-test"))
+	defer edgeSrv.Close()
+	client := &tsr.Client{BaseURL: edgeSrv.URL, RepoID: w.Tenant.ID, HTTPClient: edgeSrv.Client()}
+	signed, err := client.FetchIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := signed.Verify(keys.NewRing(w.Tenant.PublicKey()))
+	if err != nil {
+		t.Fatalf("edge-served index does not verify: %v", err)
+	}
+	if _, err := ix.Lookup("zzz-edge"); err != nil {
+		t.Fatal("delta-synced package missing from edge index")
+	}
+	if _, err := client.FetchPackage("zzz-edge"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRequiresRepo(t *testing.T) {
+	if err := run(context.Background(), nil); err == nil {
+		t.Fatal("want error when -repo is missing")
+	}
+	if err := run(context.Background(), []string{"-nope"}); err == nil {
+		t.Fatal("want flag error")
+	}
+}
+
+// TestRunShutsDownGracefully: cancellation drains the server and stops
+// the sync loop; run returns nil.
+func TestRunShutsDownGracefully(t *testing.T) {
+	w, err := experiments.NewWorld(experiments.Config{Scale: 0.003, Seed: 5}, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	originSrv := httptest.NewServer(tsr.Handler(w.Service))
+	defer originSrv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-origin", originSrv.URL,
+			"-repo", w.Tenant.ID,
+			"-sync", "1h",
+		})
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("run did not return after context cancellation")
+	}
+}

@@ -1,0 +1,425 @@
+package edge
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"tsr/internal/index"
+	"tsr/internal/keys"
+	"tsr/internal/netsim"
+	"tsr/internal/quorum"
+)
+
+// Client-side error sentinels.
+var (
+	// ErrNoEndpoints: the client has no endpoints configured.
+	ErrNoEndpoints = errors.New("edge: no endpoints configured")
+	// ErrStale marks an index that verified correctly but carries a
+	// lower sequence than one this client already accepted — the
+	// frozen/replayed-replica signature failure mode.
+	ErrStale = errors.New("edge: endpoint served a stale (replayed) index")
+	// ErrAllEndpointsFailed: every endpoint was tried and rejected.
+	ErrAllEndpointsFailed = errors.New("edge: all endpoints failed")
+)
+
+// Fetcher is the read surface every tier serves: *tsr.Repo (origin,
+// in-process), *tsr.Client (origin or edge over HTTP), and *Replica all
+// satisfy it.
+type Fetcher interface {
+	FetchIndexTagged() (*index.Signed, string, error)
+	FetchPackage(name string) ([]byte, error)
+}
+
+// Endpoint is one place a FailoverClient can read from.
+type Endpoint struct {
+	// Name identifies the endpoint in stats and errors.
+	Name string
+	// Continent locates it for latency-aware selection.
+	Continent netsim.Continent
+	// Fetcher serves the reads.
+	Fetcher Fetcher
+}
+
+// failPenalty is the modeled latency handicap added per consecutive
+// failure when ranking endpoints: a misbehaving nearby edge is retried
+// eventually (the penalty is finite) but stops being the first choice
+// immediately.
+const failPenalty = 250 * time.Millisecond
+
+// FailoverClient reads one TSR repository through a set of endpoints —
+// the trusted origin plus any number of untrusted edge replicas. It
+// implements pkgmgr.Source, so package managers use it like a single
+// repository and get, transparently:
+//
+//   - latency-aware selection: endpoints are ranked by modeled RTT from
+//     the client's continent (netsim), demoted while they misbehave;
+//   - end-to-end verification: every index must carry a valid origin
+//     signature AND a sequence no older than the freshest this client
+//     has accepted (defeating frozen/replaying replicas); every package
+//     must hash to its entry in that verified index (defeating
+//     tampering replicas) — unverified bytes are never returned;
+//   - automatic failover: any verification or transport failure moves
+//     on to the next-best endpoint;
+//   - an optional quorum mode (QuorumK ≥ 3): FetchIndex cross-checks
+//     the K nearest endpoints through the §4.5 quorum machinery, so a
+//     byzantine minority of edges cannot even delay freshness.
+type FailoverClient struct {
+	// Local is the client's continent.
+	Local netsim.Continent
+	// Link models request latency; nil disables both modeled time and
+	// latency-aware ranking (endpoint order is then configuration
+	// order).
+	Link *netsim.LinkModel
+	// Clock is advanced by the modeled transfer time of each request.
+	Clock netsim.Clock
+	// TrustRing verifies index signatures: the tenant repository's
+	// public key from policy deployment (Figure 7).
+	TrustRing *keys.Ring
+	// Endpoints are the origin and edges to read from.
+	Endpoints []Endpoint
+	// QuorumK, when ≥ 2, makes FetchIndex read the K nearest endpoints
+	// through quorum agreement instead of trusting the first verifiable
+	// answer. Use an odd K ≥ 3 to tolerate (K-1)/2 byzantine edges.
+	QuorumK int
+
+	mu       sync.Mutex
+	minSeq   uint64       // freshness floor: highest verified sequence accepted
+	cachedIx *index.Index // decoded verified index (package hash lookups)
+	failures []int        // consecutive failures per endpoint
+	stats    FailoverStats
+}
+
+// FailoverStats counts what the client observed.
+type FailoverStats struct {
+	IndexFetches   int64 `json:"index_fetches"`
+	PackageFetches int64 `json:"package_fetches"`
+	// Failovers counts requests not answered by the first-ranked
+	// endpoint.
+	Failovers int64 `json:"failovers"`
+	// Rejection reasons (each also triggers a failover attempt).
+	RejectedSignature int64 `json:"rejected_signature"`
+	RejectedStale     int64 `json:"rejected_stale"`
+	RejectedBytes     int64 `json:"rejected_bytes"`
+	// PerEndpoint counts requests successfully served by each endpoint.
+	PerEndpoint map[string]int64 `json:"per_endpoint"`
+}
+
+// Stats returns a copy of the counters.
+func (c *FailoverClient) Stats() FailoverStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.stats
+	out.PerEndpoint = make(map[string]int64, len(c.stats.PerEndpoint))
+	for k, v := range c.stats.PerEndpoint {
+		out.PerEndpoint[k] = v
+	}
+	return out
+}
+
+// rank returns endpoint indexes ordered by modeled RTT from the
+// client's continent plus a penalty per consecutive failure, so nearby
+// healthy endpoints come first and misbehaving ones sink.
+func (c *FailoverClient) rank() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.failures) != len(c.Endpoints) {
+		c.failures = make([]int, len(c.Endpoints))
+	}
+	order := make([]int, len(c.Endpoints))
+	cost := make([]time.Duration, len(c.Endpoints))
+	for i, ep := range c.Endpoints {
+		order[i] = i
+		if c.Link != nil {
+			cost[i] = c.Link.RTT[c.Local][ep.Continent]
+		}
+		cost[i] += time.Duration(c.failures[i]) * failPenalty
+	}
+	sort.SliceStable(order, func(a, b int) bool { return cost[order[a]] < cost[order[b]] })
+	return order
+}
+
+func (c *FailoverClient) noteFailure(i int) {
+	c.mu.Lock()
+	if len(c.failures) == len(c.Endpoints) && c.failures[i] < 16 {
+		c.failures[i]++
+	}
+	c.mu.Unlock()
+}
+
+func (c *FailoverClient) noteServed(i int, attempt int) {
+	c.mu.Lock()
+	if len(c.failures) == len(c.Endpoints) {
+		c.failures[i] = 0
+	}
+	if c.stats.PerEndpoint == nil {
+		c.stats.PerEndpoint = make(map[string]int64)
+	}
+	c.stats.PerEndpoint[c.Endpoints[i].Name]++
+	if attempt > 0 {
+		c.stats.Failovers++
+	}
+	c.mu.Unlock()
+}
+
+// charge advances the clock by the modeled transfer time.
+func (c *FailoverClient) charge(ep Endpoint, bytes int64) {
+	if c.Link == nil {
+		return
+	}
+	d := c.Link.RequestResponse(c.Local, ep.Continent, bytes)
+	if c.Clock != nil {
+		c.Clock.Sleep(d)
+	}
+}
+
+// FetchIndex implements pkgmgr.Source. The returned index is verified
+// (signature + freshness) before it is returned; the decoded form is
+// cached for package hash checks.
+func (c *FailoverClient) FetchIndex() (*index.Signed, error) {
+	if len(c.Endpoints) == 0 {
+		return nil, ErrNoEndpoints
+	}
+	c.mu.Lock()
+	c.stats.IndexFetches++
+	c.mu.Unlock()
+	if c.QuorumK >= 2 {
+		return c.fetchIndexQuorum()
+	}
+	var errs []error
+	for attempt, i := range c.rank() {
+		ep := c.Endpoints[i]
+		signed, _, err := ep.Fetcher.FetchIndexTagged()
+		if err != nil {
+			c.noteFailure(i)
+			errs = append(errs, fmt.Errorf("%s: %w", ep.Name, err))
+			continue
+		}
+		c.charge(ep, signed.Size())
+		ix, err := c.verify(signed)
+		if err != nil {
+			c.noteFailure(i)
+			errs = append(errs, fmt.Errorf("%s: %w", ep.Name, err))
+			continue
+		}
+		c.accept(ix)
+		c.noteServed(i, attempt)
+		return signed, nil
+	}
+	return nil, fmt.Errorf("%w: index: %w", ErrAllEndpointsFailed, errors.Join(errs...))
+}
+
+// fetchIndexQuorum cross-checks the K nearest endpoints through the
+// quorum reader (§4.5): at least ⌊K/2⌋+1 endpoints must agree on the
+// same signed index, so a byzantine minority of frozen or tampering
+// edges can neither win nor stall the read. The agreed index still
+// passes the client's own freshness floor.
+func (c *FailoverClient) fetchIndexQuorum() (*index.Signed, error) {
+	ranked := c.rank()
+	k := c.QuorumK
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	sources := make([]*quorumSource, 0, k)
+	members := make([]quorum.Member, 0, k)
+	for _, i := range ranked[:k] {
+		ep := c.Endpoints[i]
+		src := &quorumSource{c: c, ep: i}
+		sources = append(sources, src)
+		members = append(members, quorum.Member{
+			Host:      ep.Name,
+			Continent: ep.Continent,
+			Source:    src,
+		})
+	}
+	reader := &quorum.Reader{
+		Local:     c.Local,
+		Link:      c.Link,
+		Clock:     c.Clock,
+		TrustRing: c.TrustRing,
+		Members:   members,
+	}
+	res, err := reader.Read()
+	if err != nil {
+		return nil, fmt.Errorf("edge: quorum cross-check: %w", err)
+	}
+	ix, err := c.verify(res.Index)
+	if err != nil {
+		return nil, fmt.Errorf("edge: quorum cross-check: %w", err)
+	}
+	c.accept(ix)
+	// Health and stats mirror the single-endpoint path: members that
+	// served the agreed index are credited and healed; members that
+	// served something else (a frozen or tampering edge the quorum
+	// outvoted) are demoted so later reads — quorum or not — stop
+	// preferring them, and an outvoted index older than the agreed one
+	// counts as a stale rejection. Transport failures were noted by the
+	// adapter.
+	winner := res.Index.Digest()
+	for _, src := range sources {
+		switch {
+		case src.got == nil:
+		case src.got.Digest() == winner:
+			c.noteServed(src.ep, 0)
+		default:
+			if lost, err := index.Decode(src.got.Raw); err == nil && lost.Sequence < ix.Sequence {
+				c.mu.Lock()
+				c.stats.RejectedStale++
+				c.mu.Unlock()
+			}
+			c.noteFailure(src.ep)
+		}
+	}
+	return res.Index, nil
+}
+
+// quorumSource adapts one endpoint to quorum.Source, recording the
+// outcome for post-agreement health bookkeeping.
+type quorumSource struct {
+	c   *FailoverClient
+	ep  int           // index into c.Endpoints
+	got *index.Signed // the endpoint's (unverified) response, if any
+}
+
+func (s *quorumSource) FetchIndex() (*index.Signed, error) {
+	signed, _, err := s.c.Endpoints[s.ep].Fetcher.FetchIndexTagged()
+	if err != nil {
+		s.c.noteFailure(s.ep)
+		return nil, err
+	}
+	s.got = signed
+	return signed, nil
+}
+
+// verify checks the origin signature and the freshness floor, returning
+// the decoded index.
+func (c *FailoverClient) verify(signed *index.Signed) (*index.Index, error) {
+	if c.TrustRing != nil {
+		if err := signed.VerifySignature(c.TrustRing); err != nil {
+			c.mu.Lock()
+			c.stats.RejectedSignature++
+			c.mu.Unlock()
+			return nil, err
+		}
+	}
+	ix, err := index.Decode(signed.Raw)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ix.Sequence < c.minSeq {
+		c.stats.RejectedStale++
+		return nil, fmt.Errorf("%w: sequence %d < accepted %d", ErrStale, ix.Sequence, c.minSeq)
+	}
+	return ix, nil
+}
+
+// accept records a verified index as the client's current view. The
+// cached index only moves forward: a concurrent fetch that verified an
+// older (pre-floor-raise) generation must not replace a newer one.
+func (c *FailoverClient) accept(ix *index.Index) {
+	c.mu.Lock()
+	if ix.Sequence > c.minSeq {
+		c.minSeq = ix.Sequence
+	}
+	if c.cachedIx == nil || ix.Sequence >= c.cachedIx.Sequence {
+		c.cachedIx = ix
+	}
+	c.mu.Unlock()
+}
+
+// FetchPackage implements pkgmgr.Source: the bytes are verified against
+// the entry hash in the client's verified index before they are
+// returned, trying endpoints in latency order. A replica serving
+// tampered bytes costs one failover, never an unverified byte. When
+// every endpoint is rejected, the mismatch may mean this client's
+// cached index is simply stale (the origin republished and the fleet
+// moved on), so the index is revalidated once and the fetch retried
+// against the fresh entry before the failure is final.
+func (c *FailoverClient) FetchPackage(name string) ([]byte, error) {
+	if len(c.Endpoints) == 0 {
+		return nil, ErrNoEndpoints
+	}
+	entry, err := c.entryFor(name)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.stats.PackageFetches++
+	c.mu.Unlock()
+	raw, firstErr := c.fetchPackageVerified(name, entry)
+	if firstErr == nil {
+		return raw, nil
+	}
+	if _, err := c.FetchIndex(); err != nil {
+		return nil, firstErr
+	}
+	c.mu.Lock()
+	ix := c.cachedIx
+	c.mu.Unlock()
+	fresh, err := ix.Lookup(name)
+	if err != nil || (fresh.Hash == entry.Hash && fresh.Size == entry.Size) {
+		// The package vanished, or the entry is unchanged: the original
+		// failure stands.
+		return nil, firstErr
+	}
+	return c.fetchPackageVerified(name, fresh)
+}
+
+// fetchPackageVerified tries endpoints in latency order until one
+// serves bytes matching the given index entry.
+func (c *FailoverClient) fetchPackageVerified(name string, entry index.Entry) ([]byte, error) {
+	var errs []error
+	for attempt, i := range c.rank() {
+		ep := c.Endpoints[i]
+		raw, err := ep.Fetcher.FetchPackage(name)
+		if err != nil {
+			c.noteFailure(i)
+			errs = append(errs, fmt.Errorf("%s: %w", ep.Name, err))
+			continue
+		}
+		c.charge(ep, entry.Size)
+		if int64(len(raw)) != entry.Size || sha256.Sum256(raw) != entry.Hash {
+			c.mu.Lock()
+			c.stats.RejectedBytes++
+			c.mu.Unlock()
+			c.noteFailure(i)
+			errs = append(errs, fmt.Errorf("%s: served bytes do not match the signed index entry", ep.Name))
+			continue
+		}
+		c.noteServed(i, attempt)
+		return raw, nil
+	}
+	return nil, fmt.Errorf("%w: package %s: %w", ErrAllEndpointsFailed, name, errors.Join(errs...))
+}
+
+// entryFor looks the package up in the verified index, fetching the
+// index first when none is cached and refreshing once when the name is
+// unknown.
+func (c *FailoverClient) entryFor(name string) (index.Entry, error) {
+	c.mu.Lock()
+	ix := c.cachedIx
+	c.mu.Unlock()
+	if ix == nil {
+		if _, err := c.FetchIndex(); err != nil {
+			return index.Entry{}, err
+		}
+		c.mu.Lock()
+		ix = c.cachedIx
+		c.mu.Unlock()
+	}
+	if e, err := ix.Lookup(name); err == nil {
+		return e, nil
+	}
+	if _, err := c.FetchIndex(); err != nil {
+		return index.Entry{}, err
+	}
+	c.mu.Lock()
+	ix = c.cachedIx
+	c.mu.Unlock()
+	return ix.Lookup(name)
+}

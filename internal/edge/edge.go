@@ -1,0 +1,398 @@
+// Package edge implements the untrusted edge replication tier in front
+// of a TSR origin. The TSR design makes trust travel with the data: the
+// metadata index is signed inside the origin's enclave and every
+// package is content-addressed by that index, so *any* host can serve
+// them and be verified end-to-end by the client — exactly like the
+// byzantine upstream mirrors the paper models (§3.1). An edge replica
+// therefore needs no enclave, no keys, and no trust: it syncs the
+// published snapshot from the origin (delta syncs keyed by the index
+// ETag, falling back to full fetches), keeps a bounded pull-through
+// package cache, and re-exposes the origin's signature headers
+// verbatim. It never re-signs anything — a tampering or stale replica
+// is detected client-side, and the multi-endpoint FailoverClient
+// (client.go) routes around it.
+package edge
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"tsr/internal/index"
+	"tsr/internal/keys"
+	"tsr/internal/netsim"
+)
+
+// Error sentinels.
+var (
+	// ErrNotSynced: the replica has not completed a sync yet.
+	ErrNotSynced = errors.New("edge: replica not synced yet")
+	// ErrOffline: the replica is simulated as down.
+	ErrOffline = errors.New("edge: replica offline")
+)
+
+// Origin is the upstream a replica syncs from: a *tsr.Repo (in-process
+// deployments, experiments) or a *tsr.Client (the tsredge daemon
+// replicating over HTTP) — both satisfy it.
+type Origin interface {
+	FetchIndexTagged() (*index.Signed, string, error)
+	FetchIndexDelta(sinceETag string) (*index.Delta, error)
+	FetchPackage(name string) ([]byte, error)
+}
+
+// Behavior selects how a replica (mis)behaves — the same adversary
+// classes the mirror model exposes, because an edge replica is exactly
+// as untrusted as a mirror.
+type Behavior int
+
+const (
+	// Honest replicas sync and serve faithfully.
+	Honest Behavior = iota
+	// Freeze replicas stop syncing and replay their current (validly
+	// signed, increasingly stale) snapshot forever.
+	Freeze
+	// Corrupt replicas serve the current index but flip bits in
+	// package bodies.
+	Corrupt
+	// Offline replicas fail every request.
+	Offline
+)
+
+// String implements fmt.Stringer.
+func (b Behavior) String() string {
+	switch b {
+	case Honest:
+		return "honest"
+	case Freeze:
+		return "freeze"
+	case Corrupt:
+		return "corrupt"
+	case Offline:
+		return "offline"
+	default:
+		return fmt.Sprintf("Behavior(%d)", int(b))
+	}
+}
+
+// DefaultCacheBudget bounds the pull-through package cache when the
+// replica does not set one.
+const DefaultCacheBudget = 64 << 20
+
+// Replica is one edge replica of a single TSR tenant repository.
+type Replica struct {
+	// RepoID is the tenant repository this replica serves.
+	RepoID string
+	// Origin is the upstream to sync from.
+	Origin Origin
+	// Continent locates the replica for the latency model.
+	Continent netsim.Continent
+	// TrustRing optionally holds the origin repository's public signing
+	// key. A replica that has it self-verifies every synced index — a
+	// broken origin (or a middlebox) is then detected at sync time
+	// instead of at the clients. The replica works without it: clients
+	// verify end-to-end regardless.
+	TrustRing *keys.Ring
+	// CacheBudget bounds the package cache in bytes (default
+	// DefaultCacheBudget).
+	CacheBudget int64
+
+	// syncMu serializes syncs. It is NEVER held while serving: the
+	// origin round trips a sync performs happen under syncMu alone, so
+	// a slow origin cannot block package requests.
+	syncMu sync.Mutex
+	// mu guards the package cache only (short critical sections).
+	mu    sync.Mutex
+	cache *byteLRU
+
+	// served is the replica's published read state, swapped atomically
+	// like the origin's snapshot: reads never wait on a running sync.
+	served   atomic.Pointer[replicaState]
+	behavior atomic.Int32
+	stats    replicaCounters
+}
+
+// replicaState is the immutable published state of a replica.
+type replicaState struct {
+	signed *index.Signed
+	etag   string
+	ix     *index.Index
+}
+
+// replicaCounters are the cumulative counters behind Stats.
+type replicaCounters struct {
+	syncs, deltaSyncs, fullSyncs, noopSyncs, fullFallbacks atomic.Int64
+	indexReads, packageReads, packageHits                  atomic.Int64
+	originPackages, notModified                            atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of a replica's counters.
+type Stats struct {
+	// Sync tier.
+	Syncs         int64 `json:"syncs"`          // Sync calls that contacted the origin
+	DeltaSyncs    int64 `json:"delta_syncs"`    // syncs answered by an applied delta
+	FullSyncs     int64 `json:"full_syncs"`     // syncs that transferred the full index
+	NoopSyncs     int64 `json:"noop_syncs"`     // syncs finding the replica current
+	FullFallbacks int64 `json:"full_fallbacks"` // delta attempts that fell back to full fetch
+	// Serving tier.
+	IndexReads     int64 `json:"index_reads"`
+	PackageReads   int64 `json:"package_reads"`
+	PackageHits    int64 `json:"package_hits"`    // served from the local cache
+	OriginPackages int64 `json:"origin_packages"` // pull-through misses forwarded to the origin
+	NotModified    int64 `json:"not_modified"`
+	// Cache occupancy.
+	CacheBytes   int64 `json:"cache_bytes"`
+	CacheEntries int   `json:"cache_entries"`
+	Evictions    int64 `json:"evictions"`
+	// Published generation.
+	Sequence uint64 `json:"sequence"`
+	ETag     string `json:"etag"`
+}
+
+// SetBehavior switches the replica's behavior.
+func (rep *Replica) SetBehavior(b Behavior) { rep.behavior.Store(int32(b)) }
+
+// Behavior returns the current behavior.
+func (rep *Replica) Behavior() Behavior { return Behavior(rep.behavior.Load()) }
+
+// Stats returns the cumulative counters.
+func (rep *Replica) Stats() Stats {
+	s := Stats{
+		Syncs:          rep.stats.syncs.Load(),
+		DeltaSyncs:     rep.stats.deltaSyncs.Load(),
+		FullSyncs:      rep.stats.fullSyncs.Load(),
+		NoopSyncs:      rep.stats.noopSyncs.Load(),
+		FullFallbacks:  rep.stats.fullFallbacks.Load(),
+		IndexReads:     rep.stats.indexReads.Load(),
+		PackageReads:   rep.stats.packageReads.Load(),
+		PackageHits:    rep.stats.packageHits.Load(),
+		OriginPackages: rep.stats.originPackages.Load(),
+		NotModified:    rep.stats.notModified.Load(),
+	}
+	rep.mu.Lock()
+	if rep.cache != nil {
+		s.CacheBytes = rep.cache.bytes
+		s.CacheEntries = len(rep.cache.items)
+		s.Evictions = rep.cache.evictions
+	}
+	rep.mu.Unlock()
+	if st := rep.served.Load(); st != nil {
+		s.Sequence = st.ix.Sequence
+		s.ETag = st.etag
+	}
+	return s
+}
+
+// Sync brings the replica up to date with its origin: the full signed
+// index on first contact, then deltas keyed by the current ETag. Every
+// path self-verifies — an applied delta must reproduce the advertised
+// signed index byte-for-byte (index.Delta.Apply checks the ETag), the
+// sequence must not regress, and the signature is checked when the
+// replica carries the origin's public key. Any delta failure falls back
+// to a full fetch; a Freeze replica returns immediately and keeps
+// replaying its pinned state.
+func (rep *Replica) Sync() error {
+	if rep.Behavior() == Freeze {
+		return nil
+	}
+	rep.syncMu.Lock()
+	defer rep.syncMu.Unlock()
+	cur := rep.served.Load()
+	rep.stats.syncs.Add(1)
+	if cur == nil {
+		return rep.fullSync(nil)
+	}
+	d, err := rep.Origin.FetchIndexDelta(cur.etag)
+	if errors.Is(err, index.ErrDeltaUnchanged) {
+		rep.stats.noopSyncs.Add(1)
+		return nil
+	}
+	if err == nil {
+		var signed *index.Signed
+		var ix *index.Index
+		if signed, ix, err = d.Apply(cur.ix); err == nil {
+			if ix.Sequence < cur.ix.Sequence {
+				err = fmt.Errorf("edge: delta regressed sequence %d -> %d", cur.ix.Sequence, ix.Sequence)
+			} else if err = rep.selfVerify(signed); err == nil {
+				rep.stats.deltaSyncs.Add(1)
+				rep.publish(signed, ix)
+				return nil
+			}
+		}
+	}
+	// Delta unavailable (base older than the origin's retained
+	// history), corrupt, or failed self-verification: full fetch.
+	rep.stats.fullFallbacks.Add(1)
+	return rep.fullSync(cur)
+}
+
+// fullSync fetches and publishes the complete signed index. Caller
+// holds syncMu (not mu).
+func (rep *Replica) fullSync(cur *replicaState) error {
+	signed, _, err := rep.Origin.FetchIndexTagged()
+	if err != nil {
+		return fmt.Errorf("edge: sync: %w", err)
+	}
+	ix, err := index.Decode(signed.Raw)
+	if err != nil {
+		return fmt.Errorf("edge: sync: %w", err)
+	}
+	if cur != nil && ix.Sequence < cur.ix.Sequence {
+		return fmt.Errorf("edge: origin served sequence %d < replica's %d (origin replay?)", ix.Sequence, cur.ix.Sequence)
+	}
+	if err := rep.selfVerify(signed); err != nil {
+		return fmt.Errorf("edge: sync: %w", err)
+	}
+	rep.stats.fullSyncs.Add(1)
+	rep.publish(signed, ix)
+	return nil
+}
+
+// selfVerify checks the origin signature when a trust ring is present.
+func (rep *Replica) selfVerify(signed *index.Signed) error {
+	if rep.TrustRing == nil {
+		return nil
+	}
+	return signed.VerifySignature(rep.TrustRing)
+}
+
+// publish swaps in the new state and prunes cached packages the new
+// index no longer references. Caller holds syncMu; the cache lock is
+// taken only for the prune.
+func (rep *Replica) publish(signed *index.Signed, ix *index.Index) {
+	// The locally computed ETag is by construction what the origin
+	// serves for this generation (the digest of the signed form), so
+	// delta syncs and client If-None-Match revalidation agree on it.
+	rep.served.Store(&replicaState{signed: signed, etag: signed.ETag(), ix: ix})
+	keep := make(map[string]struct{}, len(ix.Entries))
+	for _, e := range ix.Entries {
+		keep[cacheKey(e.Hash)] = struct{}{}
+	}
+	rep.mu.Lock()
+	if rep.cache != nil {
+		rep.cache.prune(keep)
+	}
+	rep.mu.Unlock()
+}
+
+// cacheKey addresses a cached package purely by content.
+func cacheKey(hash [32]byte) string { return hex.EncodeToString(hash[:]) }
+
+// ETag returns the replica's current index ETag ("" before first sync).
+func (rep *Replica) ETag() string {
+	if st := rep.served.Load(); st != nil {
+		return st.etag
+	}
+	return ""
+}
+
+// FetchIndex implements pkgmgr.Source (and quorum.Source): the signed
+// index is served exactly as the origin published it — same bytes, same
+// key name, same signature.
+func (rep *Replica) FetchIndex() (*index.Signed, error) {
+	signed, _, err := rep.FetchIndexTagged()
+	return signed, err
+}
+
+// FetchIndexTagged serves the replica's current signed index and ETag.
+func (rep *Replica) FetchIndexTagged() (*index.Signed, string, error) {
+	if rep.Behavior() == Offline {
+		return nil, "", ErrOffline
+	}
+	st := rep.served.Load()
+	if st == nil {
+		return nil, "", ErrNotSynced
+	}
+	rep.stats.indexReads.Add(1)
+	return st.signed.Clone(), st.etag, nil
+}
+
+// PackageETag returns the strong ETag of a package (its content hash
+// from the index), for conditional requests.
+func (rep *Replica) PackageETag(name string) (string, error) {
+	st := rep.served.Load()
+	if st == nil {
+		return "", ErrNotSynced
+	}
+	e, err := st.ix.Lookup(name)
+	if err != nil {
+		return "", err
+	}
+	return `"` + hex.EncodeToString(e.Hash[:]) + `"`, nil
+}
+
+// FetchPackage implements pkgmgr.Source: serve from the local cache,
+// pulling through from the origin on a miss. Downloaded bytes are
+// verified against the index entry hash BEFORE they are cached or
+// served, so a corrupt origin path cannot poison the cache; cached
+// bytes are re-verified on every hit, so local disk tampering degrades
+// to a pull-through miss instead of serving garbage.
+func (rep *Replica) FetchPackage(name string) ([]byte, error) {
+	if rep.Behavior() == Offline {
+		return nil, ErrOffline
+	}
+	st := rep.served.Load()
+	if st == nil {
+		return nil, ErrNotSynced
+	}
+	entry, err := st.ix.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	rep.stats.packageReads.Add(1)
+	key := cacheKey(entry.Hash)
+
+	rep.mu.Lock()
+	raw, ok := rep.cacheLocked().get(key)
+	rep.mu.Unlock()
+	if ok && int64(len(raw)) == entry.Size && sha256.Sum256(raw) == entry.Hash {
+		rep.stats.packageHits.Add(1)
+	} else {
+		if ok {
+			// Tampered or truncated cache entry: drop and re-pull.
+			rep.mu.Lock()
+			rep.cacheLocked().remove(key)
+			rep.mu.Unlock()
+		}
+		raw, err = rep.Origin.FetchPackage(name)
+		if err != nil {
+			return nil, fmt.Errorf("edge: pull-through %s: %w", name, err)
+		}
+		rep.stats.originPackages.Add(1)
+		if int64(len(raw)) != entry.Size || sha256.Sum256(raw) != entry.Hash {
+			return nil, fmt.Errorf("edge: origin served wrong bytes for %s (not cached)", name)
+		}
+		rep.mu.Lock()
+		rep.cacheLocked().put(key, raw)
+		rep.mu.Unlock()
+	}
+	out := append([]byte(nil), raw...)
+	if rep.Behavior() == Corrupt && len(out) > 0 {
+		out[len(out)/2] ^= 0xFF
+	}
+	return out, nil
+}
+
+// cacheLocked lazily builds the LRU. Caller holds rep.mu.
+func (rep *Replica) cacheLocked() *byteLRU {
+	if rep.cache == nil {
+		budget := rep.CacheBudget
+		if budget <= 0 {
+			budget = DefaultCacheBudget
+		}
+		rep.cache = newByteLRU(budget)
+	}
+	return rep.cache
+}
+
+func (rep *Replica) noteIndexNotModified() {
+	rep.stats.indexReads.Add(1)
+	rep.stats.notModified.Add(1)
+}
+
+func (rep *Replica) notePackageNotModified() {
+	rep.stats.packageReads.Add(1)
+	rep.stats.notModified.Add(1)
+}

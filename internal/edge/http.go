@@ -1,0 +1,143 @@
+package edge
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"tsr/internal/index"
+	"tsr/internal/tsr"
+)
+
+// Wire headers. The index signature headers are the origin's, re-exposed
+// verbatim (an edge never re-signs); X-Tsr-Edge names the replica that
+// answered, so clients and operators can tell the tiers apart.
+const (
+	headerKeyName   = "X-Tsr-Key-Name"
+	headerSignature = "X-Tsr-Signature"
+	headerEdge      = "X-Tsr-Edge"
+)
+
+// Handler exposes replicas over the same read API as the origin, so a
+// tsr.Client (or any package manager) can be pointed at an edge
+// interchangeably:
+//
+//	GET  /repos/{id}/index          the origin-signed metadata index
+//	GET  /repos/{id}/packages/{pkg} a sanitized package (pull-through cache)
+//	GET  /repos/{id}/stats          replica sync/cache counters
+//	POST /repos/{id}/sync           trigger a sync now
+//	GET  /healthz                   liveness
+//
+// Write/trust endpoints (POST /policies, /refresh) intentionally do not
+// exist here: an edge cannot perform trusted operations.
+func Handler(replicas map[string]*Replica, name string) http.Handler {
+	mux := http.NewServeMux()
+	lookup := func(w http.ResponseWriter, r *http.Request) *Replica {
+		rep, ok := replicas[r.PathValue("id")]
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("edge: unknown repository %q", r.PathValue("id")))
+			return nil
+		}
+		return rep
+	}
+	mux.HandleFunc("GET /repos/{id}/index", func(w http.ResponseWriter, r *http.Request) {
+		rep := lookup(w, r)
+		if rep == nil {
+			return
+		}
+		w.Header().Set(headerEdge, name)
+		w.Header().Set("Cache-Control", "no-cache")
+		if etag := rep.ETag(); etag != "" && tsr.ETagMatch(r.Header.Get("If-None-Match"), etag) {
+			rep.noteIndexNotModified()
+			w.Header().Set("ETag", etag)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		signed, etag, err := rep.FetchIndexTagged()
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		w.Header().Set("ETag", etag)
+		w.Header().Set(headerKeyName, signed.KeyName)
+		w.Header().Set(headerSignature, base64.StdEncoding.EncodeToString(signed.Sig))
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write(signed.Raw)
+	})
+	mux.HandleFunc("GET /repos/{id}/packages/{pkg}", func(w http.ResponseWriter, r *http.Request) {
+		rep := lookup(w, r)
+		if rep == nil {
+			return
+		}
+		pkg := r.PathValue("pkg")
+		w.Header().Set(headerEdge, name)
+		w.Header().Set("Cache-Control", "no-cache")
+		if etag, err := rep.PackageETag(pkg); err == nil &&
+			tsr.ETagMatch(r.Header.Get("If-None-Match"), etag) {
+			rep.notePackageNotModified()
+			w.Header().Set("ETag", etag)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		raw, err := rep.FetchPackage(pkg)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		if etag, err := rep.PackageETag(pkg); err == nil {
+			w.Header().Set("ETag", etag)
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(raw)
+	})
+	mux.HandleFunc("GET /repos/{id}/stats", func(w http.ResponseWriter, r *http.Request) {
+		rep := lookup(w, r)
+		if rep == nil {
+			return
+		}
+		writeJSON(w, rep.Stats())
+	})
+	mux.HandleFunc("POST /repos/{id}/sync", func(w http.ResponseWriter, r *http.Request) {
+		rep := lookup(w, r)
+		if rep == nil {
+			return
+		}
+		if err := rep.Sync(); err != nil {
+			httpError(w, http.StatusBadGateway, err)
+			return
+		}
+		writeJSON(w, rep.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]string{"status": "ok", "role": "edge", "edge": name})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrNotSynced):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrOffline):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, index.ErrNotFound):
+		return http.StatusNotFound
+	default:
+		return http.StatusBadGateway // pull-through/origin failures
+	}
+}

@@ -1,0 +1,85 @@
+package edge
+
+import "container/list"
+
+// byteLRU is a byte-budgeted LRU of package blobs. Entries are keyed by
+// content hash, so a changed package naturally occupies a new slot and
+// the old generation ages out; prune drops generations the current
+// index no longer references at sync time.
+type byteLRU struct {
+	budget    int64
+	bytes     int64
+	evictions int64
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	raw []byte
+}
+
+func newByteLRU(budget int64) *byteLRU {
+	return &byteLRU{budget: budget, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the blob and marks it most recently used.
+func (c *byteLRU) get(key string) ([]byte, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).raw, true
+}
+
+// put inserts or refreshes a blob, then evicts from the cold end until
+// the budget holds. A blob larger than the whole budget is not cached.
+func (c *byteLRU) put(key string, raw []byte) {
+	if int64(len(raw)) > c.budget {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		c.bytes += int64(len(raw)) - int64(len(el.Value.(*lruEntry).raw))
+		el.Value.(*lruEntry).raw = raw
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&lruEntry{key: key, raw: raw})
+		c.bytes += int64(len(raw))
+	}
+	for c.bytes > c.budget {
+		cold := c.ll.Back()
+		if cold == nil {
+			break
+		}
+		c.removeElement(cold)
+		c.evictions++
+	}
+}
+
+// remove drops one entry.
+func (c *byteLRU) remove(key string) {
+	if el, ok := c.items[key]; ok {
+		c.removeElement(el)
+	}
+}
+
+// prune drops every entry whose key is not in keep.
+func (c *byteLRU) prune(keep map[string]struct{}) {
+	var drop []*list.Element
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		if _, ok := keep[el.Value.(*lruEntry).key]; !ok {
+			drop = append(drop, el)
+		}
+	}
+	for _, el := range drop {
+		c.removeElement(el)
+	}
+}
+
+func (c *byteLRU) removeElement(el *list.Element) {
+	e := el.Value.(*lruEntry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.bytes -= int64(len(e.raw))
+}

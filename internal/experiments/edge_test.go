@@ -1,0 +1,59 @@
+package experiments
+
+import "testing"
+
+// TestEdgeFanoutAbsorption: with warm replicas on every continent, the
+// edge tier must absorb ≥90% of package requests and beat the
+// single-replica configuration on aggregate throughput.
+func TestEdgeFanoutAbsorption(t *testing.T) {
+	one, err := EdgeFanoutRun(testCfg(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := EdgeFanoutRun(testCfg(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range []*EdgeFanoutResult{one, four} {
+		if res.Absorption < 0.9 {
+			t.Fatalf("replicas=%d: absorption = %.2f, want >= 0.90 (origin pulls %d of %d)",
+				res.Replicas, res.Absorption, res.OriginPackagePulls, res.PackageRequests)
+		}
+		if res.Throughput <= 0 {
+			t.Fatalf("replicas=%d: throughput = %v", res.Replicas, res.Throughput)
+		}
+	}
+	// More replicas → nearer edges → higher aggregate modeled
+	// throughput. Both runs are deterministic (jitter-free link, virtual
+	// clocks), so a strict comparison is safe.
+	if four.Throughput <= one.Throughput {
+		t.Fatalf("throughput did not scale: 1 replica %.1f pkg/s, 4 replicas %.1f pkg/s",
+			one.Throughput, four.Throughput)
+	}
+}
+
+// TestEdgeFanoutByzantine: one frozen and one tampering replica out of
+// four. Clients must converge on the origin's current sequence, reject
+// the stale index and the tampered bytes, and accept zero unverified
+// bytes.
+func TestEdgeFanoutByzantine(t *testing.T) {
+	res, err := EdgeFanoutByzantine(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalSequence != res.CurrentSequence {
+		t.Fatalf("clients converged on sequence %d, origin is at %d", res.FinalSequence, res.CurrentSequence)
+	}
+	if res.RejectedStale == 0 {
+		t.Fatal("frozen replica's stale index was never rejected")
+	}
+	if res.RejectedBytes == 0 {
+		t.Fatal("tampering replica's bytes were never rejected")
+	}
+	if res.Failovers == 0 {
+		t.Fatal("no failovers recorded despite byzantine replicas")
+	}
+	if res.UnverifiedBytes != 0 {
+		t.Fatalf("unverified bytes accepted: %d", res.UnverifiedBytes)
+	}
+}

@@ -33,6 +33,7 @@ func All() []Runner {
 		{"ablation-parallel", "Table 3 future work", AblationParallelDownload},
 		{"ablation-workers", "refresh pipeline scaling", AblationRefreshWorkers},
 		{"read-under-refresh", "non-blocking snapshot read path", ReadUnderRefresh},
+		{"edge-fanout", "edge replication tier", EdgeFanout},
 	}
 }
 

@@ -1,0 +1,142 @@
+package index
+
+import (
+	"crypto/sha256"
+	"errors"
+	"reflect"
+	"testing"
+
+	"tsr/internal/keys"
+)
+
+// evolve returns a second generation of the sample index: one changed
+// entry, one added, one removed.
+func evolve(old *Index) *Index {
+	next := old.Clone()
+	e, _ := next.Lookup("musl")
+	e.Version = "1.9-r0"
+	e.Hash = sha256.Sum256([]byte("musl-1.9"))
+	next.Add(e)
+	next.Add(Entry{Name: "zlib", Version: "1.3-r0", Size: 900, Hash: sha256.Sum256([]byte("zlib")), Depends: []string{"musl"}})
+	next.Remove("openssl")
+	next.Sequence = old.Sequence + 1
+	return next
+}
+
+func signIndex(t *testing.T, ix *Index) *Signed {
+	t.Helper()
+	pair := keys.Shared.MustGet("index-delta-test-key")
+	signed, err := Sign(ix, pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return signed
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	old := sampleIndex()
+	oldSigned := signIndex(t, old)
+	cur := evolve(old)
+	curSigned := signIndex(t, cur)
+
+	d, err := ComputeDelta(oldSigned.ETag(), old, curSigned, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Upsert) != 2 || len(d.Remove) != 1 || d.Remove[0] != "openssl" {
+		t.Fatalf("delta = %+v", d)
+	}
+
+	// Wire round trip.
+	decoded, err := DecodeDelta(d.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(decoded, d) {
+		t.Fatalf("decode mismatch:\n got %+v\nwant %+v", decoded, d)
+	}
+
+	// Applying to the base reproduces the exact signed generation.
+	gotSigned, gotIx, err := decoded.Apply(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSigned.ETag() != curSigned.ETag() {
+		t.Fatalf("etag = %s, want %s", gotSigned.ETag(), curSigned.ETag())
+	}
+	if string(gotSigned.Raw) != string(curSigned.Raw) {
+		t.Fatal("raw bytes differ")
+	}
+	if gotIx.Sequence != cur.Sequence {
+		t.Fatalf("sequence = %d", gotIx.Sequence)
+	}
+	// The reconstructed signature verifies like a full fetch would.
+	ring := keys.NewRing(keys.Shared.MustGet("index-delta-test-key").Public())
+	if _, err := gotSigned.Verify(ring); err != nil {
+		t.Fatal(err)
+	}
+	// The base index is untouched.
+	if _, err := old.Lookup("openssl"); err != nil {
+		t.Fatal("Apply mutated the base index")
+	}
+}
+
+func TestDeltaApplyDetectsTamper(t *testing.T) {
+	old := sampleIndex()
+	cur := evolve(old)
+	curSigned := signIndex(t, cur)
+	d, err := ComputeDelta("\"base\"", old, curSigned, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tampered entry: the reconstructed index no longer hashes to the
+	// advertised ETag.
+	tampered := *d
+	tampered.Upsert = append([]Entry(nil), d.Upsert...)
+	tampered.Upsert[0].Size++
+	if _, _, err := tampered.Apply(old); !errors.Is(err, ErrDeltaMismatch) {
+		t.Fatalf("err = %v, want ErrDeltaMismatch", err)
+	}
+
+	// Dropped removal: same.
+	tampered = *d
+	tampered.Remove = nil
+	if _, _, err := tampered.Apply(old); !errors.Is(err, ErrDeltaMismatch) {
+		t.Fatalf("err = %v, want ErrDeltaMismatch", err)
+	}
+
+	// Applying to a diverged base (an extra package the delta does not
+	// remove): same.
+	diverged := old.Clone()
+	diverged.Add(Entry{Name: "extra", Version: "0.1-r0", Size: 1, Hash: sha256.Sum256([]byte("extra"))})
+	if _, _, err := d.Apply(diverged); !errors.Is(err, ErrDeltaMismatch) {
+		t.Fatalf("err = %v, want ErrDeltaMismatch", err)
+	}
+}
+
+func TestDecodeDeltaRejectsMalformed(t *testing.T) {
+	for _, raw := range []string{
+		"from = \"a\"\nto = \"b\"\n",                                      // missing sequence+signature
+		"from = \"a\"\nto = \"b\"\nsequence = x\nsignature = AA==\n",      // bad sequence
+		"from = \"a\"\nto = \"b\"\nsequence = 1\nsignature = !!\n",        // bad base64
+		"from = \"a\"\nto = \"b\"\nsequence = 1\nsignature = AA==\nbogus", // bad line
+	} {
+		if _, err := DecodeDelta([]byte(raw)); !errors.Is(err, ErrFormat) {
+			t.Fatalf("raw %q: err = %v, want ErrFormat", raw, err)
+		}
+	}
+}
+
+func TestIndexRemoveAndClone(t *testing.T) {
+	ix := sampleIndex()
+	cp := ix.Clone()
+	cp.Remove("musl")
+	cp.Remove("not-there") // no-op
+	if len(cp.Entries) != 2 {
+		t.Fatalf("entries = %v", cp.Names())
+	}
+	if _, err := ix.Lookup("musl"); err != nil {
+		t.Fatal("Remove on clone affected original")
+	}
+}

@@ -70,6 +70,25 @@ func (ix *Index) Add(e Entry) {
 	ix.Entries[i] = e
 }
 
+// Remove deletes the entry for the named package, if present.
+func (ix *Index) Remove(name string) {
+	i := sort.Search(len(ix.Entries), func(i int) bool { return ix.Entries[i].Name >= name })
+	if i < len(ix.Entries) && ix.Entries[i].Name == name {
+		ix.Entries = append(ix.Entries[:i], ix.Entries[i+1:]...)
+	}
+}
+
+// Clone returns a copy whose Entries slice is independent of the
+// original (entry Depends slices are shared; they are never mutated in
+// place).
+func (ix *Index) Clone() *Index {
+	return &Index{
+		Origin:   ix.Origin,
+		Sequence: ix.Sequence,
+		Entries:  append([]Entry(nil), ix.Entries...),
+	}
+}
+
 // Names returns all package names in order.
 func (ix *Index) Names() []string {
 	out := make([]string, len(ix.Entries))

@@ -17,6 +17,11 @@ const (
 	NorthAmerica
 	// Asia hosts the far mirrors.
 	Asia
+	// SouthAmerica and Oceania host no mirrors in the paper's testbed;
+	// they exist so the edge replication tier can place replicas (and
+	// clients) on continents the mirror fleet never reaches.
+	SouthAmerica
+	Oceania
 	numContinents
 )
 
@@ -29,13 +34,21 @@ func (c Continent) String() string {
 		return "North America"
 	case Asia:
 		return "Asia"
+	case SouthAmerica:
+		return "South America"
+	case Oceania:
+		return "Oceania"
 	default:
 		return fmt.Sprintf("Continent(%d)", int(c))
 	}
 }
 
-// Continents lists all modeled continents.
-func Continents() []Continent { return []Continent{Europe, NorthAmerica, Asia} }
+// Continents lists all modeled continents. The paper's three mirror
+// continents come first, so code indexing the historical trio (e.g.
+// Figure 13's mirror placement) keeps its meaning.
+func Continents() []Continent {
+	return []Continent{Europe, NorthAmerica, Asia, SouthAmerica, Oceania}
+}
 
 // LinkModel computes transfer durations between continents. RTTs are
 // calibrated to the paper: the intra-continent mirror used in §6.1 has an
@@ -78,6 +91,17 @@ func DefaultLinkModel(rng *RNG) *LinkModel {
 	set(Europe, NorthAmerica, 95*time.Millisecond, 6e6)
 	set(Europe, Asia, 240*time.Millisecond, 4e6)
 	set(NorthAmerica, Asia, 160*time.Millisecond, 5e6)
+	// Edge-tier continents (public RTT measurements, same order of
+	// magnitude as the paper's WAN paths).
+	set(SouthAmerica, SouthAmerica, 35*time.Millisecond, 10e6)
+	set(Oceania, Oceania, 32*time.Millisecond, 10e6)
+	set(Europe, SouthAmerica, 210*time.Millisecond, 4e6)
+	set(Europe, Oceania, 280*time.Millisecond, 3.5e6)
+	set(NorthAmerica, SouthAmerica, 140*time.Millisecond, 5e6)
+	set(NorthAmerica, Oceania, 175*time.Millisecond, 4.5e6)
+	set(Asia, SouthAmerica, 310*time.Millisecond, 3e6)
+	set(Asia, Oceania, 120*time.Millisecond, 5e6)
+	set(SouthAmerica, Oceania, 240*time.Millisecond, 3.5e6)
 	return m
 }
 

@@ -97,6 +97,9 @@ type counters struct {
 	refreshes, cacheHits, sanitized, rejected, downloaded, failed atomic.Int64
 	// Read tier (snapshot serving path).
 	indexReads, packageReads, notModified atomic.Int64
+	// deltaReads counts index reads answered as a delta (edge replica
+	// sync); each is also counted in indexReads.
+	deltaReads atomic.Int64
 }
 
 // CacheStats are cumulative per-repository counters, exposed over the
@@ -123,6 +126,9 @@ type CacheStats struct {
 	// NotModified counts If-None-Match revalidations answered with
 	// 304 Not Modified by the HTTP layer.
 	NotModified int64 `json:"not_modified"`
+	// DeltaReads counts index reads answered as a delta (edge replica
+	// sync); each is also counted in IndexReads.
+	DeltaReads int64 `json:"delta_reads"`
 }
 
 // CacheStats returns the cumulative counters. Lock-free: safe to call
@@ -138,5 +144,6 @@ func (r *Repo) CacheStats() CacheStats {
 		IndexReads:   r.totals.indexReads.Load(),
 		PackageReads: r.totals.packageReads.Load(),
 		NotModified:  r.totals.notModified.Load(),
+		DeltaReads:   r.totals.deltaReads.Load(),
 	}
 }

@@ -1,6 +1,7 @@
 package tsr
 
 import (
+	"crypto/sha256"
 	"encoding/base64"
 	"encoding/hex"
 	"encoding/json"
@@ -8,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 	"sync"
 
@@ -117,7 +119,7 @@ func Handler(s *Service) http.Handler {
 			return
 		}
 		w.Header().Set("Cache-Control", "no-cache")
-		if etagMatch(r.Header.Get("If-None-Match"), etag) {
+		if ETagMatch(r.Header.Get("If-None-Match"), etag) {
 			repo.noteIndexNotModified()
 			w.Header().Set("ETag", etag)
 			w.WriteHeader(http.StatusNotModified)
@@ -134,6 +136,36 @@ func Handler(s *Service) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write(signed.Raw)
 	})
+	mux.HandleFunc("GET /repos/{id}/index/delta", func(w http.ResponseWriter, r *http.Request) {
+		repo, err := s.Repo(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		since := r.URL.Query().Get("since")
+		if since == "" {
+			httpError(w, http.StatusBadRequest, errors.New("missing since=<etag> query parameter"))
+			return
+		}
+		d, err := repo.FetchIndexDelta(since)
+		if errors.Is(err, index.ErrDeltaUnchanged) {
+			// The base generation IS the current one: nothing to send.
+			w.Header().Set("ETag", since)
+			w.Header().Set("Cache-Control", "no-cache")
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		if err != nil {
+			// index.ErrNoDelta maps to 404: the caller falls back to a
+			// full index fetch.
+			httpError(w, statusFor(err), err)
+			return
+		}
+		w.Header().Set("ETag", d.ToETag)
+		w.Header().Set("Cache-Control", "no-cache")
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write(d.Encode())
+	})
 	mux.HandleFunc("GET /repos/{id}/packages/{pkg}", func(w http.ResponseWriter, r *http.Request) {
 		repo, err := s.Repo(r.PathValue("id"))
 		if err != nil {
@@ -145,7 +177,7 @@ func Handler(s *Service) http.Handler {
 		// from the signed index, so a match skips the cache read (and
 		// any re-sanitization) entirely.
 		if etag, err := repo.PackageETag(pkg); err == nil &&
-			etagMatch(r.Header.Get("If-None-Match"), etag) {
+			ETagMatch(r.Header.Get("If-None-Match"), etag) {
 			repo.notePackageNotModified()
 			w.Header().Set("ETag", etag)
 			w.Header().Set("Cache-Control", "no-cache")
@@ -218,7 +250,7 @@ func statusFor(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrUnsupportedPkg):
 		return http.StatusForbidden
-	case errors.Is(err, index.ErrNotFound):
+	case errors.Is(err, index.ErrNotFound), errors.Is(err, index.ErrNoDelta):
 		return http.StatusNotFound
 	case errors.Is(err, ErrUpstream):
 		return http.StatusBadGateway
@@ -227,24 +259,59 @@ func statusFor(err error) int {
 	}
 }
 
-// etagMatch implements If-None-Match matching against a strong ETag
-// (RFC 9110 §13.1.2: the comparison is weak, so W/ prefixes on listed
-// tags are ignored).
-func etagMatch(header, etag string) bool {
-	if header == "" {
+// ETagMatch implements If-None-Match matching against a strong ETag
+// per RFC 9110 §13.1.2: the header is either `*` (matches any current
+// representation) or a list of entity-tags; the comparison is weak, so
+// `W/` prefixes on listed tags are ignored. The list is parsed with a
+// real tokenizer — members are split on commas *outside* quoted
+// strings, because the etagc grammar (%x23-7E) permits commas inside an
+// opaque tag — instead of a naive strings.Split. Exported so the edge
+// replica HTTP handler answers conditional requests with exactly the
+// origin's semantics.
+func ETagMatch(header, etag string) bool {
+	rest := strings.TrimSpace(header)
+	if rest == "" {
 		return false
 	}
-	if strings.TrimSpace(header) == "*" {
+	// `*` is only valid as the entire field value.
+	if rest == "*" {
 		return true
 	}
-	for _, candidate := range strings.Split(header, ",") {
-		candidate = strings.TrimSpace(candidate)
-		candidate = strings.TrimPrefix(candidate, "W/")
-		if candidate == etag {
+	for rest != "" {
+		rest = strings.TrimLeft(rest, " \t,")
+		if rest == "" {
+			break
+		}
+		var candidate string
+		candidate, rest = nextETagToken(rest)
+		if strings.TrimPrefix(candidate, "W/") == etag {
 			return true
 		}
 	}
 	return false
+}
+
+// nextETagToken splits one entity-tag (optionally W/-prefixed, normally
+// a quoted string) off the front of an If-None-Match field value.
+// Malformed input degrades gracefully: an unterminated quote consumes
+// the remainder as one token, and an unquoted token (sloppy client)
+// extends to the next comma.
+func nextETagToken(s string) (token, rest string) {
+	i := 0
+	if strings.HasPrefix(s, "W/") {
+		i = 2
+	}
+	if i < len(s) && s[i] == '"' {
+		if j := strings.IndexByte(s[i+1:], '"'); j >= 0 {
+			end := i + 1 + j + 1
+			return s[:end], s[end:]
+		}
+		return s, ""
+	}
+	if j := strings.IndexByte(s, ','); j >= 0 {
+		return strings.TrimSpace(s[:j]), s[j+1:]
+	}
+	return strings.TrimSpace(s), ""
 }
 
 // Client is a package-manager-side HTTP client for one TSR repository.
@@ -266,6 +333,7 @@ type Client struct {
 	mu        sync.Mutex
 	cached    *index.Signed // last 200 index response (body + signature)
 	cachedTag string        // its ETag, sent as If-None-Match
+	cachedIx  *index.Index  // decoded form of cached (lazy; for package verification)
 }
 
 func (c *Client) client() *http.Client {
@@ -277,9 +345,17 @@ func (c *Client) client() *http.Client {
 
 // FetchIndex implements pkgmgr.Source.
 func (c *Client) FetchIndex() (*index.Signed, error) {
+	signed, _, err := c.FetchIndexTagged()
+	return signed, err
+}
+
+// FetchIndexTagged fetches the signed index together with its strong
+// ETag — the handle an edge replica needs to delta-sync later. A 304
+// revalidation returns the cached copy and its (unchanged) tag.
+func (c *Client) FetchIndexTagged() (*index.Signed, string, error) {
 	req, err := http.NewRequest(http.MethodGet, c.BaseURL+"/repos/"+c.RepoID+"/index", nil)
 	if err != nil {
-		return nil, fmt.Errorf("tsr client: %w", err)
+		return nil, "", fmt.Errorf("tsr client: %w", err)
 	}
 	c.mu.Lock()
 	prevTag := c.cachedTag
@@ -289,24 +365,24 @@ func (c *Client) FetchIndex() (*index.Signed, error) {
 	}
 	resp, err := c.client().Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("tsr client: %w", err)
+		return nil, "", fmt.Errorf("tsr client: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusNotModified {
 		c.mu.Lock()
-		cached := c.cached
+		cached, tag := c.cached, c.cachedTag
 		c.mu.Unlock()
 		if cached == nil {
-			return nil, fmt.Errorf("tsr client: index: 304 Not Modified without a cached index")
+			return nil, "", fmt.Errorf("tsr client: index: 304 Not Modified without a cached index")
 		}
-		return cached.Clone(), nil
+		return cached.Clone(), tag, nil
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("tsr client: index: %s", readErr(resp))
+		return nil, "", fmt.Errorf("tsr client: index: %s", readErr(resp))
 	}
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, fmt.Errorf("tsr client: %w", err)
+		return nil, "", fmt.Errorf("tsr client: %w", err)
 	}
 	// A response without the signature headers cannot be verified: fail
 	// fast with the cause instead of returning an index whose empty
@@ -314,15 +390,16 @@ func (c *Client) FetchIndex() (*index.Signed, error) {
 	keyName := resp.Header.Get(headerKeyName)
 	sigB64 := resp.Header.Get(headerSignature)
 	if keyName == "" || sigB64 == "" {
-		return nil, fmt.Errorf("tsr client: index response missing %s/%s headers (not a TSR signed index?)",
+		return nil, "", fmt.Errorf("tsr client: index response missing %s/%s headers (not a TSR signed index?)",
 			headerKeyName, headerSignature)
 	}
 	sig, err := base64.StdEncoding.DecodeString(sigB64)
 	if err != nil {
-		return nil, fmt.Errorf("tsr client: bad signature header: %w", err)
+		return nil, "", fmt.Errorf("tsr client: bad signature header: %w", err)
 	}
 	signed := &index.Signed{Raw: raw, KeyName: keyName, Sig: sig}
-	if etag := resp.Header.Get("ETag"); etag != "" {
+	etag := resp.Header.Get("ETag")
+	if etag != "" {
 		c.mu.Lock()
 		// Store only if no concurrent FetchIndex cached a different
 		// (necessarily newer-or-equal) response meanwhile: a slow older
@@ -330,14 +407,81 @@ func (c *Client) FetchIndex() (*index.Signed, error) {
 		// revalidations.
 		if c.cachedTag == prevTag {
 			c.cached, c.cachedTag = signed.Clone(), etag
+			c.cachedIx = nil // decoded lazily on the next package fetch
 		}
 		c.mu.Unlock()
 	}
-	return signed, nil
+	return signed, etag, nil
 }
 
-// FetchPackage implements pkgmgr.Source.
+// FetchIndexDelta fetches the delta from the generation tagged
+// sinceETag to the server's current one (GET /index/delta). It returns
+// index.ErrDeltaUnchanged when the base is already current and wraps
+// index.ErrNoDelta when the server cannot produce a delta — the caller
+// falls back to FetchIndexTagged.
+func (c *Client) FetchIndexDelta(sinceETag string) (*index.Delta, error) {
+	u := c.BaseURL + "/repos/" + c.RepoID + "/index/delta?since=" + url.QueryEscape(sinceETag)
+	resp, err := c.client().Get(u)
+	if err != nil {
+		return nil, fmt.Errorf("tsr client: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		return nil, index.ErrDeltaUnchanged
+	case http.StatusOK:
+	case http.StatusNotFound, http.StatusBadRequest:
+		// Base generation fell out of the server's history (or the
+		// server predates the delta endpoint): full fetch required.
+		return nil, fmt.Errorf("%w: %s", index.ErrNoDelta, readErr(resp))
+	default:
+		return nil, fmt.Errorf("tsr client: index delta: %s", readErr(resp))
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("tsr client: %w", err)
+	}
+	d, err := index.DecodeDelta(raw)
+	if err != nil {
+		return nil, fmt.Errorf("tsr client: %w", err)
+	}
+	return d, nil
+}
+
+// FetchPackage implements pkgmgr.Source. Before returning, the
+// downloaded bytes are verified against the package's entry in the
+// (signed) metadata index, so a corrupt mirror, edge, or middlebox is
+// detected here — fail fast — rather than handing tampered bytes to
+// the caller. A mismatch may also mean the cached index is simply
+// stale (the server republished while this client held an old
+// generation — e.g. a long-lived client across an origin refresh), so
+// the index is revalidated once and the download retried against the
+// fresh entry before the failure is final.
 func (c *Client) FetchPackage(name string) ([]byte, error) {
+	entry, err := c.entryFor(name)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := c.fetchPackageVerified(name, entry)
+	if err == nil {
+		return raw, nil
+	}
+	ix, ferr := c.currentIndex(true)
+	if ferr != nil {
+		return nil, err
+	}
+	fresh, ferr := ix.Lookup(name)
+	if ferr != nil || (fresh.Hash == entry.Hash && fresh.Size == entry.Size) {
+		// The package vanished, or the entry is unchanged: the original
+		// verification failure stands.
+		return nil, err
+	}
+	return c.fetchPackageVerified(name, fresh)
+}
+
+// fetchPackageVerified downloads one package and verifies it against
+// the given index entry.
+func (c *Client) fetchPackageVerified(name string, entry index.Entry) ([]byte, error) {
 	resp, err := c.client().Get(c.BaseURL + "/repos/" + c.RepoID + "/packages/" + name)
 	if err != nil {
 		return nil, fmt.Errorf("tsr client: %w", err)
@@ -346,7 +490,66 @@ func (c *Client) FetchPackage(name string) ([]byte, error) {
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("tsr client: package %s: %s", name, readErr(resp))
 	}
-	return io.ReadAll(resp.Body)
+	// The index entry bounds the read: a server streaming endless data
+	// is cut off at the declared size (+1 byte to detect overrun).
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, entry.Size+1))
+	if err != nil {
+		return nil, fmt.Errorf("tsr client: %w", err)
+	}
+	if int64(len(raw)) != entry.Size || sha256.Sum256(raw) != entry.Hash {
+		return nil, fmt.Errorf("tsr client: package %s: served bytes do not match the signed index entry (corrupt mirror or edge)", name)
+	}
+	return raw, nil
+}
+
+// entryFor returns the index entry for a package, fetching the index
+// first when none is cached and revalidating once when the name is
+// unknown (the cached index may predate the package).
+func (c *Client) entryFor(name string) (index.Entry, error) {
+	ix, err := c.currentIndex(false)
+	if err != nil {
+		return index.Entry{}, err
+	}
+	if e, err := ix.Lookup(name); err == nil {
+		return e, nil
+	}
+	if ix, err = c.currentIndex(true); err != nil {
+		return index.Entry{}, err
+	}
+	e, err := ix.Lookup(name)
+	if err != nil {
+		return index.Entry{}, fmt.Errorf("tsr client: package %s not in the repository index", name)
+	}
+	return e, nil
+}
+
+// currentIndex returns the decoded form of the cached signed index,
+// fetching (with revalidation) first when nothing is cached or when the
+// caller forces a round trip.
+func (c *Client) currentIndex(force bool) (*index.Index, error) {
+	c.mu.Lock()
+	if !force && c.cachedIx != nil {
+		ix := c.cachedIx
+		c.mu.Unlock()
+		return ix, nil
+	}
+	c.mu.Unlock()
+	signed, etag, err := c.FetchIndexTagged()
+	if err != nil {
+		return nil, err
+	}
+	ix, err := index.Decode(signed.Raw)
+	if err != nil {
+		return nil, fmt.Errorf("tsr client: decoding index: %w", err)
+	}
+	c.mu.Lock()
+	// Cache the decoded form only while it matches the cached signed
+	// index; a concurrent fetch may have advanced the tag meanwhile.
+	if c.cachedTag == etag {
+		c.cachedIx = ix
+	}
+	c.mu.Unlock()
+	return ix, nil
 }
 
 func readErr(resp *http.Response) string {

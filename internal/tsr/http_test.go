@@ -1,0 +1,46 @@
+package tsr
+
+import "testing"
+
+// TestETagMatch covers RFC 9110 §13.1.2 If-None-Match semantics: `*`,
+// comma-separated lists, weak-prefix-insensitive comparison, and opaque
+// tags containing commas (legal etagc characters a naive comma split
+// would mangle).
+func TestETagMatch(t *testing.T) {
+	const etag = `"abc123"`
+	cases := []struct {
+		header string
+		want   bool
+	}{
+		{"", false},
+		{`"abc123"`, true},
+		{`  "abc123"  `, true},
+		{"*", true},
+		{"  *  ", true},
+		{`W/"abc123"`, true}, // weak comparison ignores the prefix
+		{`"zzz", "abc123"`, true},
+		{`"zzz","abc123"`, true},
+		{`"zzz" , W/"abc123" , "yyy"`, true},
+		{`"zzz", "yyy"`, false},
+		{`"abc1234"`, false},
+		{`abc123`, false},   // unquoted token is a different opaque tag
+		{`"abc123`, false},  // unterminated quote: one malformed token
+		{`"*"`, false},      // a quoted asterisk is a tag, not the wildcard
+		{`"zzz", *`, false}, // `*` is only valid as the entire field value
+		{`W/"zzz","abc123"`, true},
+	}
+	for _, tc := range cases {
+		if got := ETagMatch(tc.header, etag); got != tc.want {
+			t.Errorf("ETagMatch(%q, %q) = %v, want %v", tc.header, etag, got, tc.want)
+		}
+	}
+
+	// Tags containing commas survive list splitting.
+	const commaTag = `"a,b,c"`
+	if !ETagMatch(`"x,y", "a,b,c"`, commaTag) {
+		t.Errorf("comma-bearing tag not matched in a list")
+	}
+	if ETagMatch(`"a", "b,c"`, commaTag) {
+		t.Errorf("split fragments of a comma-bearing tag must not match")
+	}
+}

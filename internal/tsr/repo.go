@@ -144,7 +144,8 @@ type Repo struct {
 	pinned         map[string]index.Entry  // packages serving a previous version after a failed refresh: name -> the upstream entry that version came from
 	planDebt       map[string]bool         // packages whose current-version scripts did not inform the plan (fetch failed); re-fetched and re-planned next refresh
 	keepStats      bool
-	seq            uint64 // local index sequence
+	seq            uint64       // local index sequence
+	history        []generation // recent published generations, for delta sync (see snapshot.go)
 
 	// served is the published read state; see snapshot.go. Swapped in
 	// one atomic store at the end of a successful Refresh/RestoreState.

@@ -33,7 +33,25 @@ type snapshot struct {
 	pinned   map[string]index.Entry // packages serving a previous version after a failed refresh
 	rejected map[string]string      // package -> rejection reason
 	etag     string                 // strong ETag derived from the signed index digest
+	// history holds the most recent published index generations
+	// (including this one, as the last element) so edge replicas can
+	// delta-sync: GET /index/delta?since=<etag> diffs a retained
+	// generation against the current index. The slice is rebuilt on
+	// every publish (never mutated in place) and capped at
+	// maxIndexHistory entries.
+	history []generation
 }
+
+// generation is one retained published index generation.
+type generation struct {
+	etag  string
+	local *index.Index
+}
+
+// maxIndexHistory bounds how many generations the delta endpoint can
+// serve from. A replica whose base fell out of the window falls back to
+// a full index fetch.
+const maxIndexHistory = 8
 
 // publishLocked builds a snapshot from the current refresh-side state
 // and publishes it atomically. Caller holds r.mu. No-op until the first
@@ -58,7 +76,50 @@ func (r *Repo) publishLocked() {
 	for k, v := range r.rejected {
 		snap.rejected[k] = v
 	}
+	// Append this generation to the retained history (copy-on-write: a
+	// previously published snapshot keeps its own slice). A republish of
+	// the same generation (e.g. SetCacheMode) does not duplicate it.
+	hist := r.history
+	if n := len(hist); n == 0 || hist[n-1].etag != snap.etag {
+		next := make([]generation, 0, len(hist)+1)
+		next = append(next, hist...)
+		next = append(next, generation{etag: snap.etag, local: r.local})
+		if len(next) > maxIndexHistory {
+			next = next[len(next)-maxIndexHistory:]
+		}
+		r.history = next
+	}
+	snap.history = r.history
 	r.served.Store(snap)
+}
+
+// FetchIndexDelta returns the delta from the generation published under
+// sinceETag to the currently served one — the origin side of edge
+// replica delta sync. It is lock-free like the other read paths.
+// Returns index.ErrDeltaUnchanged when sinceETag IS the current
+// generation, and index.ErrNoDelta when the base generation is no
+// longer retained (the caller falls back to a full fetch).
+func (r *Repo) FetchIndexDelta(sinceETag string) (*index.Delta, error) {
+	snap := r.served.Load()
+	if snap == nil {
+		return nil, ErrNotInitialized
+	}
+	if sinceETag == snap.etag {
+		// Counted like the full-index 304: a delta revalidation IS an
+		// index read, answered from the tag alone. Operators watching
+		// /stats see the replica fleet's polling either way.
+		r.noteIndexNotModified()
+		r.totals.deltaReads.Add(1)
+		return nil, index.ErrDeltaUnchanged
+	}
+	for _, gen := range snap.history {
+		if gen.etag == sinceETag {
+			r.totals.indexReads.Add(1)
+			r.totals.deltaReads.Add(1)
+			return index.ComputeDelta(sinceETag, gen.local, snap.localSig, snap.local)
+		}
+	}
+	return nil, fmt.Errorf("%w: since %s", index.ErrNoDelta, sinceETag)
 }
 
 // FetchIndex implements pkgmgr.Source: serves the signed local index
