@@ -475,3 +475,35 @@ func BenchmarkSanitizeThroughput(b *testing.B) {
 		b.ReportMetric(float64(count)/elapsed.Seconds(), "pkgs/s")
 	}
 }
+
+// BenchmarkWarmRestart measures the durable store's crash-restart
+// path: cold init (policy deploy + full sanitization) versus a warm
+// restart over the populated data dir (scrub + unseal + publish).
+// Reported metrics: cold_ms, warm_ms, their ratio (the acceptance
+// floor is 100x), packages re-sanitized during the restart (must be
+// 0), and whether the restarted edge replica resumed via delta sync
+// (1.0 = yes, no full index fetch).
+func BenchmarkWarmRestart(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Scale = 0.004
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.CrashRestartRun(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Resanitized != 0 {
+			b.Fatalf("warm restart re-sanitized %d packages", res.Resanitized)
+		}
+		if !res.RollbackDetected {
+			b.Fatal("rolled-back data dir was not rejected")
+		}
+		b.ReportMetric(float64(res.ColdInit.Milliseconds()), "cold_ms")
+		b.ReportMetric(float64(res.WarmRestart.Milliseconds()), "warm_ms")
+		b.ReportMetric(res.Speedup, "speedup_x")
+		edgeDelta := 0.0
+		if res.EdgeResumedDelta {
+			edgeDelta = 1.0
+		}
+		b.ReportMetric(edgeDelta, "edge_delta_resume")
+	}
+}

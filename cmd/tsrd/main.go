@@ -6,6 +6,26 @@
 // Usage:
 //
 //	tsrd [-addr :8473] [-scale 0.02] [-seed 1] [-workers 4] [-auto-refresh 0]
+//	     [-data-dir /var/lib/tsrd] [-fsync] [-host-state <path>]
+//
+// With -data-dir the untrusted cache tier — original and sanitized
+// packages, sealed sancache metadata, sealed repository checkpoints —
+// lives on disk, and a restarted tsrd warm-boots: deployed
+// repositories come back with their ids, policies, and signing keys,
+// serve their previous signed index immediately, and the next refresh
+// re-enters every unchanged package from the sealed sanitization cache
+// without re-sanitizing. Nothing read from the data dir is trusted:
+// blobs are hash-verified against signed indexes, metadata is sealed
+// to the enclave identity, and a rolled-back data dir is rejected via
+// the TPM monotonic counter (§5.5).
+//
+// The -host-state file models the trusted HARDWARE that survives a
+// restart — the CPU's fused sealing root and the TPM's NV counter
+// bank (plus, simulation bootstrap, the synthetic distro signing key).
+// It defaults to <data-dir>.hoststate, deliberately OUTSIDE the data
+// dir: the §5.5 adversary can snapshot and roll back the disk cache
+// but cannot roll back hardware. Restart with the same -scale/-seed so
+// the regenerated upstream world matches the persisted state.
 //
 // A client session:
 //
@@ -17,12 +37,17 @@ package main
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"sync"
 	"syscall"
 	"time"
 
@@ -34,6 +59,7 @@ import (
 	"tsr/internal/policy"
 	"tsr/internal/quorum"
 	"tsr/internal/repo"
+	"tsr/internal/store"
 	"tsr/internal/tpm"
 	"tsr/internal/tsr"
 	"tsr/internal/workload"
@@ -55,12 +81,38 @@ func run(ctx context.Context, args []string) error {
 	seed := fs.Int64("seed", 1, "workload seed")
 	workers := fs.Int("workers", 4, "refresh pipeline concurrency (1 = the paper's sequential prototype)")
 	autoRefresh := fs.Duration("auto-refresh", 0, "refresh every deployed repository at this interval (0 disables); reads keep serving the previous snapshot while cycles run")
+	dataDir := fs.String("data-dir", "", "durable untrusted cache + sealed checkpoints; restarts warm-boot deployed repositories")
+	fsyncF := fs.Bool("fsync", false, "fsync every data-dir write (with -data-dir)")
+	hostStatePath := fs.String("host-state", "", "trusted host hardware state (seal root, TPM counters); default <data-dir>.hoststate, keep OUTSIDE -data-dir")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	svc, examplePolicy, err := buildService(*scale, *seed, *workers)
+	deps, err := openHost(*dataDir, *fsyncF, *hostStatePath)
 	if err != nil {
 		return err
+	}
+	svc, examplePolicy, err := buildService(*scale, *seed, *workers, deps)
+	if err != nil {
+		return err
+	}
+	if deps.persist {
+		restored, err := svc.RestoreAll()
+		if err != nil {
+			return fmt.Errorf("restoring %s: %w", *dataDir, err)
+		}
+		for _, r := range restored {
+			switch {
+			case r.Warm:
+				fmt.Printf("tsrd: restored repository %s warm (serving previous signed index, no re-sanitization)\n", r.ID)
+			case r.RolledBack():
+				fmt.Fprintf(os.Stderr, "tsrd: repository %s: checkpoint REFUSED, counter mismatch — a rolled-back data dir, or a crash mid-checkpoint; repository is cold until the next refresh (%v)\n", r.ID, r.Err)
+			default:
+				fmt.Fprintf(os.Stderr, "tsrd: repository %s restored cold: %v\n", r.ID, r.Err)
+			}
+		}
+		if len(restored) == 0 {
+			fmt.Println("tsrd: data dir holds no repositories; starting fresh")
+		}
 	}
 	fmt.Println("tsrd: example policy for this deployment:")
 	fmt.Println(examplePolicy)
@@ -128,23 +180,174 @@ func autoRefreshLoop(ctx context.Context, svc *tsr.Service, every time.Duration)
 	}
 }
 
-// buildService generates the synthetic deployment (repository, mirrors,
-// TSR service) and returns the service plus a ready-to-use policy text.
-func buildService(scaleV float64, seedV int64, workers int) (*tsr.Service, string, error) {
-	scale, seed := &scaleV, &seedV
-	fmt.Printf("tsrd: generating synthetic repository (scale %.2f)...\n", *scale)
+// hostDeps are the host-side pieces a service is built on. The memory
+// profile (no -data-dir) generates everything fresh; the durable
+// profile reopens the data dir and the host-state file so sealed blobs
+// unseal and the TPM counters carry over — modeling the same physical
+// machine rebooting.
+type hostDeps struct {
+	store    tsr.Store
+	tpm      *tpm.TPM
+	platform *enclave.Platform
+	distro   *keys.Pair
+	persist  bool
+}
+
+// hostState is the JSON body of the -host-state file: the hardware
+// that survives restarts. SealRoot is the CPU's fused sealing secret,
+// TPMCounters the NV counter bank; DistroKeyPEM bootstraps the
+// simulated upstream world so a restart regenerates identically-signed
+// packages. None of it may live in the untrusted data dir — rolling
+// the data dir back must NOT roll these back, or rollback detection
+// would be self-defeating.
+type hostState struct {
+	SealRoot    string            `json:"seal_root"`
+	TPMCounters map[string]uint64 `json:"tpm_counters"`
+	DistroPEM   string            `json:"distro_key_pem"`
+}
+
+// openHost builds hostDeps. Without a data dir everything is
+// in-memory and ephemeral.
+func openHost(dataDir string, fsync bool, hostStatePath string) (hostDeps, error) {
+	if dataDir == "" {
+		distro, err := keys.Generate("alpine-distro")
+		if err != nil {
+			return hostDeps{}, err
+		}
+		platform, err := enclave.NewPlatform(keys.Shared.MustGet("tsrd-quoting"))
+		if err != nil {
+			return hostDeps{}, err
+		}
+		return hostDeps{
+			store:    tsr.NewMemStore(),
+			tpm:      tpm.New(keys.Shared.MustGet("tsrd-tpm-ak")),
+			platform: platform,
+			distro:   distro,
+		}, nil
+	}
+	if hostStatePath == "" {
+		hostStatePath = dataDir + ".hoststate"
+	}
+	hs, err := loadOrInitHostState(hostStatePath)
+	if err != nil {
+		return hostDeps{}, err
+	}
+	var sealRoot [32]byte
+	rootBytes, err := hex.DecodeString(hs.SealRoot)
+	if err != nil || len(rootBytes) != 32 {
+		return hostDeps{}, fmt.Errorf("host state %s: bad seal_root", hostStatePath)
+	}
+	copy(sealRoot[:], rootBytes)
+	platform := enclave.NewPlatformWithSealRoot(keys.Shared.MustGet("tsrd-quoting"), sealRoot)
+	distro, err := keys.ParsePrivatePEM("alpine-distro", []byte(hs.DistroPEM))
+	if err != nil {
+		return hostDeps{}, fmt.Errorf("host state %s: %w", hostStatePath, err)
+	}
+	hostTPM := tpm.New(keys.Shared.MustGet("tsrd-tpm-ak"))
+	hostTPM.RestoreCounters(decodeCounters(hs.TPMCounters))
+	// Persist the NV bank on every counter bump, like hardware would.
+	var saveMu sync.Mutex
+	hostTPM.OnIncrement = func(uint32, uint64) {
+		saveMu.Lock()
+		defer saveMu.Unlock()
+		hs.TPMCounters = encodeCounters(hostTPM.Counters())
+		if err := saveHostState(hostStatePath, hs); err != nil {
+			fmt.Fprintf(os.Stderr, "tsrd: persisting host state: %v\n", err)
+		}
+	}
+	st, err := store.OpenFS(dataDir, store.FSOptions{Fsync: fsync})
+	if err != nil {
+		return hostDeps{}, err
+	}
+	kept, dropped := st.ScrubReport()
+	fmt.Printf("tsrd: data dir %s: %d entries kept, %d dropped by scrub\n", dataDir, kept, dropped)
+	return hostDeps{store: st, tpm: hostTPM, platform: platform, distro: distro, persist: true}, nil
+}
+
+// loadOrInitHostState reads the host-state file, creating it (fresh
+// seal root, zero counters, fresh distro key) on first boot.
+func loadOrInitHostState(path string) (*hostState, error) {
+	raw, err := os.ReadFile(path)
+	if err == nil {
+		hs := &hostState{}
+		if err := json.Unmarshal(raw, hs); err != nil {
+			return nil, fmt.Errorf("host state %s: %w", path, err)
+		}
+		return hs, nil
+	}
+	if !os.IsNotExist(err) {
+		return nil, err
+	}
+	var root [32]byte
+	if _, err := rand.Read(root[:]); err != nil {
+		return nil, err
+	}
 	distro, err := keys.Generate("alpine-distro")
 	if err != nil {
-		return nil, "", err
+		return nil, err
 	}
-	origin := repo.New("alpine", distro)
+	pem, err := distro.MarshalPrivatePEM()
+	if err != nil {
+		return nil, err
+	}
+	hs := &hostState{
+		SealRoot:    hex.EncodeToString(root[:]),
+		TPMCounters: map[string]uint64{},
+		DistroPEM:   string(pem),
+	}
+	if err := saveHostState(path, hs); err != nil {
+		return nil, err
+	}
+	return hs, nil
+}
+
+// saveHostState writes the file atomically (temp + rename).
+func saveHostState(path string, hs *hostState) error {
+	raw, err := json.MarshalIndent(hs, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o600); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func encodeCounters(bank map[uint32]uint64) map[string]uint64 {
+	out := make(map[string]uint64, len(bank))
+	for id, v := range bank {
+		out[strconv.FormatUint(uint64(id), 10)] = v
+	}
+	return out
+}
+
+func decodeCounters(bank map[string]uint64) map[uint32]uint64 {
+	out := make(map[uint32]uint64, len(bank))
+	for id, v := range bank {
+		n, err := strconv.ParseUint(id, 10, 32)
+		if err != nil {
+			continue
+		}
+		out[uint32(n)] = v
+	}
+	return out
+}
+
+// buildService generates the synthetic deployment (repository, mirrors,
+// TSR service) on the given host and returns the service plus a
+// ready-to-use policy text.
+func buildService(scaleV float64, seedV int64, workers int, deps hostDeps) (*tsr.Service, string, error) {
+	scale, seed := &scaleV, &seedV
+	fmt.Printf("tsrd: generating synthetic repository (scale %.2f)...\n", *scale)
+	origin := repo.New("alpine", deps.distro)
 	gen := workload.New(workload.Config{Seed: *seed, Scale: *scale})
 	for _, spec := range gen.Specs() {
 		p, err := gen.Build(spec)
 		if err != nil {
 			return nil, "", err
 		}
-		if err := apk.Sign(p, distro); err != nil {
+		if err := apk.Sign(p, deps.distro); err != nil {
 			return nil, "", err
 		}
 		if err := origin.Publish(p); err != nil {
@@ -161,19 +364,16 @@ func buildService(scaleV float64, seedV int64, workers int) (*tsr.Service, strin
 		mirrors[host] = m
 	}
 
-	platform, err := enclave.NewPlatform(keys.Shared.MustGet("tsrd-quoting"))
-	if err != nil {
-		return nil, "", err
-	}
 	svc, err := tsr.New(tsr.Config{
-		Platform: platform,
-		TPM:      tpm.New(keys.Shared.MustGet("tsrd-tpm-ak")),
-		Clock:    netsim.RealClock{},
-		Link:     netsim.DefaultLinkModel(netsim.NewRNG(*seed)),
-		Local:    netsim.Europe,
-		Store:    tsr.NewMemStore(),
-		EPC:      enclave.DefaultCostModel(),
-		Workers:  workers,
+		Platform:    deps.platform,
+		TPM:         deps.tpm,
+		Clock:       netsim.RealClock{},
+		Link:        netsim.DefaultLinkModel(netsim.NewRNG(*seed)),
+		Local:       netsim.Europe,
+		Store:       deps.store,
+		AutoPersist: deps.persist,
+		EPC:         enclave.DefaultCostModel(),
+		Workers:     workers,
 		Resolve: func(m policy.Mirror) (quorum.Source, tsr.PackageFetcher, error) {
 			mm, ok := mirrors[m.Hostname]
 			if !ok {
@@ -187,7 +387,7 @@ func buildService(scaleV float64, seedV int64, workers int) (*tsr.Service, strin
 	}
 
 	// A ready-to-use policy for the simulated mirrors.
-	pem, err := distro.Public().MarshalPEM()
+	pem, err := deps.distro.Public().MarshalPEM()
 	if err != nil {
 		return nil, "", err
 	}

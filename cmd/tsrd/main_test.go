@@ -13,7 +13,11 @@ import (
 )
 
 func TestBuildServiceAndServe(t *testing.T) {
-	svc, examplePolicy, err := buildService(0.003, 9, 4)
+	deps, err := openHost("", false, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, examplePolicy, err := buildService(0.003, 9, 4, deps)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,5 +87,113 @@ func TestRunShutsDownGracefully(t *testing.T) {
 		}
 	case <-time.After(120 * time.Second):
 		t.Fatal("run did not return after context cancellation")
+	}
+}
+
+// TestWarmRestartSmoke is the build-and-restart smoke CI runs: bring up
+// the full daemon stack on a data dir, deploy + refresh, "kill" it,
+// bring up a second instance over the same dir, and assert the index
+// is served from the warm snapshot without any re-sanitization.
+func TestWarmRestartSmoke(t *testing.T) {
+	tmp := t.TempDir()
+	dataDir := tmp + "/data"
+	boot := func() (*tsr.Service, func() []byte) {
+		deps, err := openHost(dataDir, false, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc, examplePolicy, err := buildService(0.003, 9, 4, deps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := svc.RestoreAll(); err != nil {
+			t.Fatal(err)
+		}
+		return svc, func() []byte { return []byte(examplePolicy) }
+	}
+
+	// First life: deploy, refresh, record what clients see.
+	svc1, policy1 := boot()
+	srv1 := httptest.NewServer(tsr.Handler(svc1))
+	resp, err := srv1.Client().Post(srv1.URL+"/policies", "application/yaml", strings.NewReader(string(policy1())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deployed struct {
+		RepositoryID string `json:"repository_id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&deployed); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if deployed.RepositoryID == "" {
+		t.Fatal("no repository id")
+	}
+	resp, err = srv1.Client().Post(srv1.URL+"/repos/"+deployed.RepositoryID+"/refresh", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("refresh status = %d", resp.StatusCode)
+	}
+	resp, err = srv1.Client().Get(srv1.URL + "/repos/" + deployed.RepositoryID + "/index")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantETag := resp.Header.Get("ETag")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || wantETag == "" {
+		t.Fatalf("index status = %d etag = %q", resp.StatusCode, wantETag)
+	}
+	srv1.Close() // "kill" the daemon
+
+	// Second life: same data dir, fresh process state.
+	svc2, _ := boot()
+	srv2 := httptest.NewServer(tsr.Handler(svc2))
+	defer srv2.Close()
+	resp, err = srv2.Client().Get(srv2.URL + "/repos/" + deployed.RepositoryID + "/index")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotETag := resp.Header.Get("ETag")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("restarted index status = %d (repository not restored?)", resp.StatusCode)
+	}
+	if gotETag != wantETag {
+		t.Fatalf("restarted index etag = %s, want %s", gotETag, wantETag)
+	}
+	// Warm: the restarted service sanitized nothing to serve that.
+	resp, err = srv2.Client().Get(srv2.URL + "/repos/" + deployed.RepositoryID + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Sanitized int64 `json:"sanitized"`
+		CacheHits int64 `json:"cache_hits"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Sanitized != 0 {
+		t.Fatalf("restart sanitized %d packages, want 0 (warm)", stats.Sanitized)
+	}
+	// And the first refresh after restart is all sancache hits.
+	resp, err = srv2.Client().Post(srv2.URL+"/repos/"+deployed.RepositoryID+"/refresh", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rstats struct {
+		Sanitized int `json:"sanitized"`
+		CacheHits int `json:"cache_hits"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rstats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if rstats.Sanitized != 0 || rstats.CacheHits == 0 {
+		t.Fatalf("post-restart refresh sanitized=%d cacheHits=%d, want all cache hits", rstats.Sanitized, rstats.CacheHits)
 	}
 }

@@ -11,6 +11,14 @@
 //
 //	tsredge -origin http://localhost:8473 -repo <id> [-addr :8474]
 //	        [-sync 30s] [-cache-mb 256] [-name edge-1]
+//	        [-data-dir /var/lib/tsredge] [-fsync]
+//
+// With -data-dir the package cache and the last-synced signed index
+// live on disk: a restarted tsredge serves immediately from the
+// persisted state and resumes DELTA sync instead of re-downloading the
+// full index. Everything read back from disk is re-verified (content
+// hash against the signed index) before it is served, so the data dir
+// needs no trust.
 //
 // A client session (identical to the origin's read API):
 //
@@ -24,6 +32,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"os"
 	"os/signal"
@@ -32,6 +41,7 @@ import (
 	"time"
 
 	"tsr/internal/edge"
+	"tsr/internal/store"
 	"tsr/internal/tsr"
 )
 
@@ -49,9 +59,11 @@ func run(ctx context.Context, args []string) error {
 	addr := fs.String("addr", ":8474", "listen address")
 	originURL := fs.String("origin", "http://localhost:8473", "TSR origin base URL")
 	repoID := fs.String("repo", "", "tenant repository id to replicate (required)")
-	syncEvery := fs.Duration("sync", 30*time.Second, "origin sync interval (delta syncs once warm)")
+	syncEvery := fs.Duration("sync", 30*time.Second, "origin sync interval ±10% jitter (delta syncs once warm)")
 	cacheMB := fs.Int64("cache-mb", 256, "pull-through package cache budget in MiB")
 	name := fs.String("name", "", "edge name reported in X-Tsr-Edge (default: the listen address)")
+	dataDir := fs.String("data-dir", "", "persist the package cache and last-synced index here; restarts resume warm via delta sync")
+	fsyncF := fs.Bool("fsync", false, "fsync every data-dir write (with -data-dir)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,17 +79,38 @@ func run(ctx context.Context, args []string) error {
 		RepoID:  *repoID,
 		// A bounded client: a black-holed origin connection must fail
 		// the sync (retried next tick) instead of wedging the loop
-		// forever behind http.DefaultClient's absent timeout.
+		// forever behind an absent timeout. The shutdown context
+		// additionally aborts in-flight requests on SIGINT/SIGTERM.
 		HTTPClient: &http.Client{Timeout: 2 * time.Minute},
+		Context:    ctx,
 	}
 	rep := &edge.Replica{
 		RepoID:      *repoID,
 		Origin:      origin,
 		CacheBudget: *cacheMB << 20,
 	}
+	if *dataDir != "" {
+		st, err := store.OpenFS(*dataDir, store.FSOptions{Budget: *cacheMB << 20, Fsync: *fsyncF})
+		if err != nil {
+			return err
+		}
+		kept, dropped := st.ScrubReport()
+		fmt.Printf("tsredge: data dir %s: %d entries kept, %d dropped by scrub\n", *dataDir, kept, dropped)
+		rep.Cache = st
+		rep.PersistIndex = true
+		switch err := rep.LoadState(); {
+		case err == nil:
+			fmt.Printf("tsredge: warm restart: serving persisted index (etag %s), resuming delta sync\n", rep.ETag())
+		case errors.Is(err, edge.ErrNoState):
+			fmt.Println("tsredge: no persisted index; starting cold")
+		default:
+			fmt.Fprintf(os.Stderr, "tsredge: persisted index unusable (%v); starting cold\n", err)
+		}
+	}
 	if err := rep.Sync(); err != nil {
 		// The origin may be unreachable or not refreshed yet: serve
-		// 503s and let the sync loop catch up rather than flapping.
+		// 503s (or the persisted snapshot) and let the sync loop catch
+		// up rather than flapping.
 		fmt.Fprintf(os.Stderr, "tsredge: initial sync: %v (retrying every %s)\n", err, *syncEvery)
 	} else {
 		fmt.Printf("tsredge: synced %s from %s (etag %s)\n", *repoID, *originURL, rep.ETag())
@@ -96,20 +129,30 @@ func run(ctx context.Context, args []string) error {
 
 // syncLoop keeps the replica converging on the origin until the context
 // is canceled. Warm iterations are delta syncs (or 304-style no-ops);
-// failures are logged and retried on the next tick.
+// failures are logged and retried on the next tick. Each interval
+// carries ±10% jitter: a fleet of edges started together (a rolling
+// deploy, a recovered rack) would otherwise delta-sync in lockstep and
+// hit the origin as one synchronized thundering herd forever.
 func syncLoop(ctx context.Context, rep *edge.Replica, every time.Duration) {
-	ticker := time.NewTicker(every)
-	defer ticker.Stop()
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	timer := time.NewTimer(jitter(rng, every))
+	defer timer.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-ticker.C:
+		case <-timer.C:
 		}
 		if err := rep.Sync(); err != nil {
 			fmt.Fprintf(os.Stderr, "tsredge: sync: %v\n", err)
 		}
+		timer.Reset(jitter(rng, every))
 	}
+}
+
+// jitter spreads an interval uniformly over [0.9d, 1.1d].
+func jitter(rng *rand.Rand, d time.Duration) time.Duration {
+	return d + time.Duration((rng.Float64()*0.2-0.1)*float64(d))
 }
 
 // serveUntilDone runs the server until it fails or the context is

@@ -14,16 +14,19 @@
 package edge
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"tsr/internal/index"
 	"tsr/internal/keys"
 	"tsr/internal/netsim"
+	"tsr/internal/store"
 )
 
 // Error sentinels.
@@ -32,6 +35,8 @@ var (
 	ErrNotSynced = errors.New("edge: replica not synced yet")
 	// ErrOffline: the replica is simulated as down.
 	ErrOffline = errors.New("edge: replica offline")
+	// ErrNoState: LoadState found no persisted index in the store.
+	ErrNoState = errors.New("edge: no persisted index state")
 )
 
 // Origin is the upstream a replica syncs from: a *tsr.Repo (in-process
@@ -96,16 +101,28 @@ type Replica struct {
 	// verify end-to-end regardless.
 	TrustRing *keys.Ring
 	// CacheBudget bounds the package cache in bytes (default
-	// DefaultCacheBudget).
+	// DefaultCacheBudget). Only consulted when Cache is nil.
 	CacheBudget int64
+	// Cache is the replica's blob store — the shared content-addressed
+	// abstraction of internal/store. Nil defaults to a byte-budgeted
+	// in-memory store. Give it a disk store (store.OpenFS, the tsredge
+	// -data-dir flag) and the package cache survives restarts: cached
+	// bytes are hash-verified against the signed index before every
+	// serve, so stale or tampered disk degrades to a pull-through miss,
+	// exactly like the in-memory case.
+	Cache store.Store
+	// PersistIndex additionally journals the last-synced signed index
+	// into Cache on every publish; LoadState restores it on boot so a
+	// restarted replica serves immediately and resumes DELTA sync
+	// instead of re-fetching the full index.
+	PersistIndex bool
 
 	// syncMu serializes syncs. It is NEVER held while serving: the
 	// origin round trips a sync performs happen under syncMu alone, so
 	// a slow origin cannot block package requests.
 	syncMu sync.Mutex
-	// mu guards the package cache only (short critical sections).
-	mu    sync.Mutex
-	cache *byteLRU
+	// cacheOnce guards the lazy default for Cache.
+	cacheOnce sync.Once
 
 	// served is the replica's published read state, swapped atomically
 	// like the origin's snapshot: reads never wait on a running sync.
@@ -171,13 +188,12 @@ func (rep *Replica) Stats() Stats {
 		OriginPackages: rep.stats.originPackages.Load(),
 		NotModified:    rep.stats.notModified.Load(),
 	}
-	rep.mu.Lock()
-	if rep.cache != nil {
-		s.CacheBytes = rep.cache.bytes
-		s.CacheEntries = len(rep.cache.items)
-		s.Evictions = rep.cache.evictions
+	if mon, ok := rep.store().(store.Monitored); ok {
+		cs := mon.Stats()
+		s.CacheBytes = cs.Bytes
+		s.CacheEntries = cs.Entries
+		s.Evictions = cs.Evictions
 	}
-	rep.mu.Unlock()
 	if st := rep.served.Load(); st != nil {
 		s.Sequence = st.ix.Sequence
 		s.ETag = st.etag
@@ -258,27 +274,108 @@ func (rep *Replica) selfVerify(signed *index.Signed) error {
 	return signed.VerifySignature(rep.TrustRing)
 }
 
-// publish swaps in the new state and prunes cached packages the new
-// index no longer references. Caller holds syncMu; the cache lock is
-// taken only for the prune.
+// publish swaps in the new state, prunes cached packages the new index
+// no longer references, and (under PersistIndex) journals the signed
+// index so a restart resumes from this generation. Caller holds syncMu.
 func (rep *Replica) publish(signed *index.Signed, ix *index.Index) {
 	// The locally computed ETag is by construction what the origin
 	// serves for this generation (the digest of the signed form), so
 	// delta syncs and client If-None-Match revalidation agree on it.
 	rep.served.Store(&replicaState{signed: signed, etag: signed.ETag(), ix: ix})
-	keep := make(map[string]struct{}, len(ix.Entries))
-	for _, e := range ix.Entries {
-		keep[cacheKey(e.Hash)] = struct{}{}
+	st := rep.store()
+	if it, ok := st.(store.Iterable); ok {
+		keep := make(map[string]struct{}, len(ix.Entries))
+		for _, e := range ix.Entries {
+			keep[cacheKey(e.Hash)] = struct{}{}
+		}
+		var stale []string
+		_ = it.Iterate(func(info store.Info) bool {
+			if strings.HasPrefix(info.Key, pkgKeyPrefix) {
+				if _, ok := keep[info.Key]; !ok {
+					stale = append(stale, info.Key)
+				}
+			}
+			return true
+		})
+		for _, key := range stale {
+			_ = st.Delete(key)
+		}
 	}
-	rep.mu.Lock()
-	if rep.cache != nil {
-		rep.cache.prune(keep)
+	if rep.PersistIndex {
+		// Best-effort: a failed journal write costs a full re-fetch on
+		// the next restart, nothing else.
+		_ = st.Put(replicaStateKey, encodeReplicaState(signed))
 	}
-	rep.mu.Unlock()
 }
 
+// Store keys: packages are content-addressed under pkg/, and the
+// journaled last-synced index lives under meta/ (pinned — never
+// evicted by the package cache's byte budget).
+const (
+	pkgKeyPrefix    = "pkg/"
+	metaKeyPrefix   = "meta/"
+	replicaStateKey = metaKeyPrefix + "index"
+)
+
 // cacheKey addresses a cached package purely by content.
-func cacheKey(hash [32]byte) string { return hex.EncodeToString(hash[:]) }
+func cacheKey(hash [32]byte) string { return pkgKeyPrefix + hex.EncodeToString(hash[:]) }
+
+// encodeReplicaState frames a signed index for the journal entry.
+func encodeReplicaState(signed *index.Signed) []byte {
+	var buf bytes.Buffer
+	store.WriteChunk(&buf, []byte(signed.KeyName))
+	store.WriteChunk(&buf, signed.Sig)
+	store.WriteChunk(&buf, signed.Raw)
+	return buf.Bytes()
+}
+
+// decodeReplicaState parses a journal entry back into a signed index.
+func decodeReplicaState(raw []byte) (*index.Signed, error) {
+	buf := bytes.NewReader(raw)
+	var chunks [][]byte
+	for i := 0; i < 3; i++ {
+		chunk, err := store.ReadChunk(buf)
+		if err != nil {
+			return nil, fmt.Errorf("edge: persisted index state: %w", err)
+		}
+		chunks = append(chunks, chunk)
+	}
+	return &index.Signed{KeyName: string(chunks[0]), Sig: chunks[1], Raw: chunks[2]}, nil
+}
+
+// LoadState restores the replica's last-synced signed index from its
+// store (journaled under PersistIndex), so a restarted tsredge serves
+// immediately and its next Sync resumes with a delta from the restored
+// generation instead of a full index fetch. The loaded bytes are as
+// untrusted as the rest of the store: they must decode, they must pass
+// the optional TrustRing self-check, and clients verify end-to-end
+// regardless. A rolled-back edge data dir simply restores an older
+// generation — the next delta sync moves it forward, and the
+// FailoverClient's sequence floor protects clients meanwhile.
+func (rep *Replica) LoadState() error {
+	raw, err := rep.store().Get(replicaStateKey)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrNoState, err)
+	}
+	signed, err := decodeReplicaState(raw)
+	if err != nil {
+		return err
+	}
+	ix, err := index.Decode(signed.Raw)
+	if err != nil {
+		return fmt.Errorf("edge: persisted index state: %w", err)
+	}
+	if err := rep.selfVerify(signed); err != nil {
+		return fmt.Errorf("edge: persisted index state: %w", err)
+	}
+	rep.syncMu.Lock()
+	defer rep.syncMu.Unlock()
+	if cur := rep.served.Load(); cur != nil && cur.ix.Sequence >= ix.Sequence {
+		return nil // already serving this generation or newer
+	}
+	rep.publish(signed, ix)
+	return nil
+}
 
 // ETag returns the replica's current index ETag ("" before first sync).
 func (rep *Replica) ETag() string {
@@ -344,17 +441,14 @@ func (rep *Replica) FetchPackage(name string) ([]byte, error) {
 	rep.stats.packageReads.Add(1)
 	key := cacheKey(entry.Hash)
 
-	rep.mu.Lock()
-	raw, ok := rep.cacheLocked().get(key)
-	rep.mu.Unlock()
-	if ok && int64(len(raw)) == entry.Size && sha256.Sum256(raw) == entry.Hash {
+	cache := rep.store()
+	raw, cacheErr := cache.Get(key)
+	if cacheErr == nil && int64(len(raw)) == entry.Size && sha256.Sum256(raw) == entry.Hash {
 		rep.stats.packageHits.Add(1)
 	} else {
-		if ok {
+		if cacheErr == nil {
 			// Tampered or truncated cache entry: drop and re-pull.
-			rep.mu.Lock()
-			rep.cacheLocked().remove(key)
-			rep.mu.Unlock()
+			_ = cache.Delete(key)
 		}
 		raw, err = rep.Origin.FetchPackage(name)
 		if err != nil {
@@ -364,9 +458,7 @@ func (rep *Replica) FetchPackage(name string) ([]byte, error) {
 		if int64(len(raw)) != entry.Size || sha256.Sum256(raw) != entry.Hash {
 			return nil, fmt.Errorf("edge: origin served wrong bytes for %s (not cached)", name)
 		}
-		rep.mu.Lock()
-		rep.cacheLocked().put(key, raw)
-		rep.mu.Unlock()
+		_ = cache.Put(key, raw)
 	}
 	out := append([]byte(nil), raw...)
 	if rep.Behavior() == Corrupt && len(out) > 0 {
@@ -375,16 +467,26 @@ func (rep *Replica) FetchPackage(name string) ([]byte, error) {
 	return out, nil
 }
 
-// cacheLocked lazily builds the LRU. Caller holds rep.mu.
-func (rep *Replica) cacheLocked() *byteLRU {
-	if rep.cache == nil {
-		budget := rep.CacheBudget
-		if budget <= 0 {
-			budget = DefaultCacheBudget
+// store returns the replica's blob store, lazily defaulting to a
+// byte-budgeted in-memory store. The meta/ prefix (the persisted index
+// journal) is pinned on stores that support it: package churn must not
+// LRU-evict the journal, and an index larger than the package budget
+// must still persist — otherwise a restart silently loses the warm
+// resume the journal exists for.
+func (rep *Replica) store() store.Store {
+	rep.cacheOnce.Do(func() {
+		if rep.Cache == nil {
+			budget := rep.CacheBudget
+			if budget <= 0 {
+				budget = DefaultCacheBudget
+			}
+			rep.Cache = store.NewMemBudget(budget)
 		}
-		rep.cache = newByteLRU(budget)
-	}
-	return rep.cache
+		if p, ok := rep.Cache.(store.Pinner); ok {
+			p.Pin(metaKeyPrefix)
+		}
+	})
+	return rep.Cache
 }
 
 func (rep *Replica) noteIndexNotModified() {

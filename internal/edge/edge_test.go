@@ -19,6 +19,7 @@ import (
 	"tsr/internal/policy"
 	"tsr/internal/quorum"
 	"tsr/internal/repo"
+	"tsr/internal/store"
 	"tsr/internal/tpm"
 	"tsr/internal/tsr"
 )
@@ -313,35 +314,122 @@ func TestReplicaCacheBudgetEvicts(t *testing.T) {
 	}
 }
 
-func TestByteLRUEviction(t *testing.T) {
-	c := newByteLRU(10)
-	c.put("a", []byte("aaaa")) // 4
-	c.put("b", []byte("bbbb")) // 8
-	c.put("c", []byte("cccc")) // 12 -> evict a (LRU)
-	if _, ok := c.get("a"); ok {
-		t.Fatal("a not evicted")
+// TestReplicaWarmRestartResumesDeltaSync: a replica on a disk store
+// with PersistIndex journals its generation; a "restarted" replica
+// (fresh object, reopened store, LoadState) serves immediately without
+// touching the origin, keeps its package cache, and its next Sync
+// against a moved-on origin is a DELTA — not a full index fetch.
+func TestReplicaWarmRestartResumesDeltaSync(t *testing.T) {
+	w := newEdgeWorld(t)
+	dir := t.TempDir()
+	st1, err := store.OpenFS(dir, store.FSOptions{})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, ok := c.get("b"); !ok {
-		t.Fatal("b missing")
+	rep1 := &Replica{RepoID: w.tenant.ID, Origin: w.tenant, Cache: st1, PersistIndex: true}
+	if err := rep1.Sync(); err != nil {
+		t.Fatal(err)
 	}
-	c.get("b")                 // refresh b
-	c.put("d", []byte("dddd")) // evicts c, not b
-	if _, ok := c.get("c"); ok {
-		t.Fatal("c not evicted")
+	if _, err := rep1.FetchPackage("app"); err != nil {
+		t.Fatal(err)
 	}
-	if _, ok := c.get("b"); !ok {
-		t.Fatal("recently used b evicted")
+	tag := rep1.ETag()
+
+	// "Restart": a fresh replica over a reopened (re-scrubbed) store.
+	st2, err := store.OpenFS(dir, store.FSOptions{})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if c.evictions != 2 || c.bytes != 8 {
-		t.Fatalf("evictions=%d bytes=%d", c.evictions, c.bytes)
+	rep2 := &Replica{RepoID: w.tenant.ID, Origin: w.tenant, Cache: st2, PersistIndex: true,
+		TrustRing: w.trust()}
+	if err := rep2.LoadState(); err != nil {
+		t.Fatal(err)
 	}
-	c.prune(map[string]struct{}{"b": {}})
-	if _, ok := c.get("d"); ok {
-		t.Fatal("d survived prune")
+	if rep2.ETag() != tag {
+		t.Fatalf("restored etag = %s, want %s", rep2.ETag(), tag)
 	}
-	if c.bytes != 4 {
-		t.Fatalf("bytes=%d after prune", c.bytes)
+	// Serves without any origin contact, from the restored index and
+	// the persisted package cache.
+	if _, err := rep2.FetchPackage("app"); err != nil {
+		t.Fatal(err)
 	}
+	if s := rep2.Stats(); s.PackageHits != 1 || s.OriginPackages != 0 || s.FullSyncs != 0 {
+		t.Fatalf("stats after warm restart = %+v", s)
+	}
+
+	// The origin moves on; the restarted replica catches up via delta.
+	w.update(t, "app", "1.1-r0")
+	if err := rep2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	s := rep2.Stats()
+	if s.DeltaSyncs != 1 || s.FullSyncs != 0 || s.FullFallbacks != 0 {
+		t.Fatalf("restarted replica did not resume delta sync: %+v", s)
+	}
+
+	// A replica without persisted state on the same topology does the
+	// full fetch the warm restart avoided.
+	if err := (&Replica{RepoID: w.tenant.ID, Origin: w.tenant, Cache: store.NewMem()}).LoadState(); !errors.Is(err, ErrNoState) {
+		t.Fatalf("LoadState on empty store = %v, want ErrNoState", err)
+	}
+}
+
+// TestReplicaDiskTamperDegradesToPullThrough: rewriting a cached
+// package on the replica's disk is caught by the per-serve hash check;
+// the replica re-pulls from the origin and heals its cache.
+func TestReplicaDiskTamperDegradesToPullThrough(t *testing.T) {
+	w := newEdgeWorld(t)
+	st, err := store.OpenFS(t.TempDir(), store.FSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := &Replica{RepoID: w.tenant.ID, Origin: w.tenant, Cache: st}
+	if err := rep.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := rep.FetchPackage("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The adversary rewrites the cached blob through the store (valid
+	// frame, wrong content).
+	ix, err := index.Decode(mustSigned(t, rep).Raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, err := ix.Lookup("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(cacheKey(entry.Hash), []byte("garbage")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rep.FetchPackage("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatal("tampered cache served")
+	}
+	if s := rep.Stats(); s.OriginPackages != 2 {
+		t.Fatalf("stats = %+v, want tampered hit re-pulled", s)
+	}
+	// Healed: next read is a cache hit again.
+	if _, err := rep.FetchPackage("app"); err != nil {
+		t.Fatal(err)
+	}
+	if s := rep.Stats(); s.PackageHits != 1 {
+		t.Fatalf("stats = %+v, want healed cache hit", s)
+	}
+}
+
+func mustSigned(t *testing.T, rep *Replica) *index.Signed {
+	t.Helper()
+	signed, _, err := rep.FetchIndexTagged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return signed
 }
 
 // --- edge HTTP handler -------------------------------------------------

@@ -63,6 +63,18 @@ func NewPlatform(quoting *keys.Pair) (*Platform, error) {
 	return p, nil
 }
 
+// NewPlatformWithSealRoot creates a platform whose sealing root is
+// caller-provided instead of random. Real SGX sealing keys are fused
+// into the CPU and survive process restarts and reboots; a daemon that
+// wants sealed state to be recoverable after a restart must therefore
+// model "the same CPU" by reusing the root (tsrd persists it in its
+// trusted host-state file, standing in for the hardware). The root is
+// as sensitive as every blob sealed under it — it must never live in
+// the untrusted store.
+func NewPlatformWithSealRoot(quoting *keys.Pair, sealRoot [32]byte) *Platform {
+	return &Platform{quoting: quoting, sealRoot: sealRoot}
+}
+
 // QuotingKey returns the public quoting key remote verifiers trust
 // (the IAS root of trust analogue).
 func (p *Platform) QuotingKey() *keys.Public { return p.quoting.Public() }

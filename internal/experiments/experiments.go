@@ -113,10 +113,28 @@ type World struct {
 	Mirrors   []*mirror.Mirror
 	Service   *tsr.Service
 	Tenant    *tsr.Repo
-	Store     *tsr.MemStore
+	Store     *tsr.MemStore // nil when WorldDeps injected a non-Mem store
+	Backing   tsr.Store
 	Clock     *netsim.VirtualClock
 	Distro    *keys.Pair
 	PolicyRaw []byte
+}
+
+// WorldDeps override the host-side pieces of a world — the store, the
+// TPM, the SGX platform — so restart experiments can carry them across
+// simulated process lifetimes (same disk, same TPM counters, same CPU
+// sealing root). Zero value: fresh in-memory everything.
+type WorldDeps struct {
+	Store       tsr.Store
+	TPM         *tpm.TPM
+	Platform    *enclave.Platform
+	AutoPersist bool
+	// SkipRefresh leaves the deployed tenant unrefreshed (restart
+	// experiments refresh under their own timers).
+	SkipRefresh bool
+	// SkipDeploy builds the world without deploying a tenant at all —
+	// the restart path deploys via Service.RestoreAll instead.
+	SkipDeploy bool
 }
 
 // mirrorLayout describes the mirror fleet to build.
@@ -130,6 +148,11 @@ type mirrorSpec struct {
 // publishes it to the original repository, syncs the mirrors, deploys a
 // policy, and runs the initial Refresh.
 func NewWorld(cfg Config, mirrors []mirrorSpec, dataCenterLink bool) (*World, error) {
+	return NewWorldWith(cfg, mirrors, dataCenterLink, WorldDeps{})
+}
+
+// NewWorldWith is NewWorld with host-side dependencies injected.
+func NewWorldWith(cfg Config, mirrors []mirrorSpec, dataCenterLink bool, deps WorldDeps) (*World, error) {
 	cfg = cfg.withDefaults()
 	if len(mirrors) == 0 {
 		mirrors = []mirrorSpec{
@@ -142,13 +165,19 @@ func NewWorld(cfg Config, mirrors []mirrorSpec, dataCenterLink bool) (*World, er
 	if err != nil {
 		return nil, err
 	}
+	if deps.Store == nil {
+		deps.Store = tsr.NewMemStore()
+	}
 	w := &World{
-		Cfg:    cfg,
-		Gen:    workload.New(workload.Config{Seed: cfg.Seed, Scale: cfg.Scale}),
-		Repo:   repo.New("alpine", distro),
-		Store:  tsr.NewMemStore(),
-		Clock:  netsim.NewVirtualClock(time.Time{}),
-		Distro: distro,
+		Cfg:     cfg,
+		Gen:     workload.New(workload.Config{Seed: cfg.Seed, Scale: cfg.Scale}),
+		Repo:    repo.New("alpine", distro),
+		Backing: deps.Store,
+		Clock:   netsim.NewVirtualClock(time.Time{}),
+		Distro:  distro,
+	}
+	if ms, ok := deps.Store.(*tsr.MemStore); ok {
+		w.Store = ms
 	}
 
 	// Publish the population.
@@ -201,22 +230,30 @@ func NewWorld(cfg Config, mirrors []mirrorSpec, dataCenterLink bool) (*World, er
 	}
 	w.PolicyRaw = pol.Marshal()
 
-	platform, err := enclave.NewPlatform(keys.Shared.MustGet("exp-quoting"))
-	if err != nil {
-		return nil, err
+	platform := deps.Platform
+	if platform == nil {
+		platform, err = enclave.NewPlatform(keys.Shared.MustGet("exp-quoting"))
+		if err != nil {
+			return nil, err
+		}
+	}
+	hostTPM := deps.TPM
+	if hostTPM == nil {
+		hostTPM = newHostTPM()
 	}
 	link := netsim.DefaultLinkModel(netsim.NewRNG(cfg.Seed + 1))
 	if dataCenterLink {
 		link = netsim.DataCenterLinkModel(netsim.NewRNG(cfg.Seed + 1))
 	}
 	svc, err := tsr.New(tsr.Config{
-		Platform: platform,
-		TPM:      newHostTPM(),
-		Clock:    w.Clock,
-		Link:     link,
-		Local:    netsim.Europe,
-		Store:    w.Store,
-		EPC:      cfg.EPC,
+		Platform:    platform,
+		TPM:         hostTPM,
+		Clock:       w.Clock,
+		Link:        link,
+		Local:       netsim.Europe,
+		Store:       w.Backing,
+		AutoPersist: deps.AutoPersist,
+		EPC:         cfg.EPC,
 		Resolve: func(m policy.Mirror) (quorum.Source, tsr.PackageFetcher, error) {
 			mm, ok := byHost[m.Hostname]
 			if !ok {
@@ -229,6 +266,9 @@ func NewWorld(cfg Config, mirrors []mirrorSpec, dataCenterLink bool) (*World, er
 		return nil, err
 	}
 	w.Service = svc
+	if deps.SkipDeploy {
+		return w, nil
+	}
 	id, _, _, err := svc.DeployPolicy(w.PolicyRaw)
 	if err != nil {
 		return nil, err
@@ -236,6 +276,9 @@ func NewWorld(cfg Config, mirrors []mirrorSpec, dataCenterLink bool) (*World, er
 	w.Tenant, err = svc.Repo(id)
 	if err != nil {
 		return nil, err
+	}
+	if deps.SkipRefresh {
+		return w, nil
 	}
 	if _, err := w.Tenant.Refresh(); err != nil {
 		return nil, err

@@ -257,7 +257,8 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "table2", "table3", "table4",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
 		"ablation-epc", "ablation-quorum", "ablation-parallel",
-		"ablation-workers", "read-under-refresh", "edge-fanout"}
+		"ablation-workers", "read-under-refresh", "edge-fanout",
+		"crash-restart"}
 	if len(runners) != len(want) {
 		t.Fatalf("registry has %d entries", len(runners))
 	}

@@ -34,6 +34,7 @@ func All() []Runner {
 		{"ablation-workers", "refresh pipeline scaling", AblationRefreshWorkers},
 		{"read-under-refresh", "non-blocking snapshot read path", ReadUnderRefresh},
 		{"edge-fanout", "edge replication tier", EdgeFanout},
+		{"crash-restart", "durable store warm restart", CrashRestart},
 	}
 }
 

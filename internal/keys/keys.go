@@ -225,3 +225,34 @@ func (r *Ring) VerifyBy(name string, data, sig []byte) error {
 	}
 	return k.Verify(data, sig)
 }
+
+// MarshalPrivatePEM encodes the private key as a PKCS#8 PEM block. It
+// exists so enclave code can seal a repository signing key into the
+// untrusted store for warm restarts — the PEM must only ever travel
+// inside a sealed blob.
+func (p *Pair) MarshalPrivatePEM() ([]byte, error) {
+	der, err := x509.MarshalPKCS8PrivateKey(p.priv)
+	if err != nil {
+		return nil, fmt.Errorf("keys: marshaling private %q: %w", p.Name, err)
+	}
+	return pem.EncodeToMemory(&pem.Block{Type: "PRIVATE KEY", Bytes: der}), nil
+}
+
+// ParsePrivatePEM decodes a PKCS#8 private key PEM and assigns it the
+// given name — the inverse of MarshalPrivatePEM, used when restoring
+// sealed repository state.
+func ParsePrivatePEM(name string, data []byte) (*Pair, error) {
+	block, _ := pem.Decode(data)
+	if block == nil || block.Type != "PRIVATE KEY" {
+		return nil, fmt.Errorf("keys: %q: no PRIVATE KEY PEM block", name)
+	}
+	parsed, err := x509.ParsePKCS8PrivateKey(block.Bytes)
+	if err != nil {
+		return nil, fmt.Errorf("keys: parsing private %q: %w", name, err)
+	}
+	rsaKey, ok := parsed.(*rsa.PrivateKey)
+	if !ok {
+		return nil, fmt.Errorf("keys: %q: not an RSA private key", name)
+	}
+	return &Pair{Name: name, priv: rsaKey}, nil
+}

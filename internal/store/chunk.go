@@ -1,0 +1,37 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Length-prefixed chunk framing (8-byte big-endian length + payload),
+// shared by every persisted composite blob: sealed repository state
+// and metadata (internal/tsr) and the edge replica's index journal
+// (internal/edge). One codec, one set of bounds checks.
+
+// WriteChunk appends one length-prefixed chunk to buf.
+func WriteChunk(buf *bytes.Buffer, data []byte) {
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], uint64(len(data)))
+	buf.Write(n[:])
+	buf.Write(data)
+}
+
+// ReadChunk consumes one length-prefixed chunk from buf.
+func ReadChunk(buf *bytes.Reader) ([]byte, error) {
+	var n [8]byte
+	if _, err := buf.Read(n[:]); err != nil {
+		return nil, fmt.Errorf("store: chunk: %w", err)
+	}
+	size := binary.BigEndian.Uint64(n[:])
+	if size > uint64(buf.Len()) {
+		return nil, fmt.Errorf("store: chunk size %d exceeds remainder", size)
+	}
+	out := make([]byte, size)
+	if _, err := buf.Read(out); err != nil {
+		return nil, fmt.Errorf("store: chunk: %w", err)
+	}
+	return out, nil
+}

@@ -38,6 +38,14 @@ type TPM struct {
 	pcrs     [NumPCRs][32]byte
 	counters map[uint32]uint64
 	ak       *keys.Pair // attestation key (AIK)
+
+	// OnIncrement, when set, is invoked (outside the TPM lock) after
+	// every successful IncrementCounter with the counter id and its new
+	// value. Hardware TPM NV counters survive reboots; a host that
+	// simulates one must persist the bank somewhere durable — and
+	// trusted, NOT the rollback-prone data dir — on every bump. Set it
+	// before the TPM is shared across goroutines.
+	OnIncrement func(id uint32, value uint64)
 }
 
 // New creates a TPM with zeroed PCRs and the given attestation key.
@@ -141,9 +149,37 @@ func (q *Quote) Verify(ak *keys.Public, nonce []byte) error {
 // new value. Counters start at zero.
 func (t *TPM) IncrementCounter(id uint32) uint64 {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.counters[id]++
-	return t.counters[id]
+	v := t.counters[id]
+	t.mu.Unlock()
+	if t.OnIncrement != nil {
+		t.OnIncrement(id, v)
+	}
+	return v
+}
+
+// Counters returns a copy of the monotonic counter bank — the NVRAM
+// snapshot a simulated host persists so the TPM survives restarts.
+func (t *TPM) Counters() map[uint32]uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[uint32]uint64, len(t.counters))
+	for id, v := range t.counters {
+		out[id] = v
+	}
+	return out
+}
+
+// RestoreCounters overwrites the counter bank from a persisted NVRAM
+// snapshot. Only for host-restart simulation — real NV counters cannot
+// be written, which is the whole point of using them.
+func (t *TPM) RestoreCounters(bank map[uint32]uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.counters = make(map[uint32]uint64, len(bank))
+	for id, v := range bank {
+		t.counters[id] = v
+	}
 }
 
 // ReadCounter returns the current value of monotonic counter id.

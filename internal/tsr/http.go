@@ -1,6 +1,7 @@
 package tsr
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/base64"
 	"encoding/hex"
@@ -12,6 +13,7 @@ import (
 	"net/url"
 	"strings"
 	"sync"
+	"time"
 
 	"tsr/internal/index"
 )
@@ -327,8 +329,15 @@ type Client struct {
 	BaseURL string
 	// RepoID is the tenant repository id from policy deployment.
 	RepoID string
-	// HTTPClient defaults to http.DefaultClient.
+	// HTTPClient defaults to a client with a 60s timeout — NOT
+	// http.DefaultClient, whose absent timeout would let one
+	// black-holed origin connection wedge a sync loop (or a
+	// FailoverClient's ranking) forever.
 	HTTPClient *http.Client
+	// Context, when non-nil, scopes every request this client makes.
+	// Daemons set it to their shutdown context so in-flight syncs are
+	// aborted instead of drained. Defaults to context.Background().
+	Context context.Context
 
 	mu        sync.Mutex
 	cached    *index.Signed // last 200 index response (body + signature)
@@ -336,11 +345,29 @@ type Client struct {
 	cachedIx  *index.Index  // decoded form of cached (lazy; for package verification)
 }
 
+// defaultHTTPClient bounds every request of clients that did not bring
+// their own http.Client. A hung origin or edge then costs one timeout,
+// not a goroutine parked forever.
+var defaultHTTPClient = &http.Client{Timeout: 60 * time.Second}
+
 func (c *Client) client() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
 	}
-	return http.DefaultClient
+	return defaultHTTPClient
+}
+
+// newRequest builds a GET bound to the client's context.
+func (c *Client) newRequest(url string) (*http.Request, error) {
+	ctx := c.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("tsr client: %w", err)
+	}
+	return req, nil
 }
 
 // FetchIndex implements pkgmgr.Source.
@@ -353,9 +380,9 @@ func (c *Client) FetchIndex() (*index.Signed, error) {
 // ETag — the handle an edge replica needs to delta-sync later. A 304
 // revalidation returns the cached copy and its (unchanged) tag.
 func (c *Client) FetchIndexTagged() (*index.Signed, string, error) {
-	req, err := http.NewRequest(http.MethodGet, c.BaseURL+"/repos/"+c.RepoID+"/index", nil)
+	req, err := c.newRequest(c.BaseURL + "/repos/" + c.RepoID + "/index")
 	if err != nil {
-		return nil, "", fmt.Errorf("tsr client: %w", err)
+		return nil, "", err
 	}
 	c.mu.Lock()
 	prevTag := c.cachedTag
@@ -421,7 +448,11 @@ func (c *Client) FetchIndexTagged() (*index.Signed, string, error) {
 // falls back to FetchIndexTagged.
 func (c *Client) FetchIndexDelta(sinceETag string) (*index.Delta, error) {
 	u := c.BaseURL + "/repos/" + c.RepoID + "/index/delta?since=" + url.QueryEscape(sinceETag)
-	resp, err := c.client().Get(u)
+	req, err := c.newRequest(u)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client().Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("tsr client: %w", err)
 	}
@@ -482,7 +513,11 @@ func (c *Client) FetchPackage(name string) ([]byte, error) {
 // fetchPackageVerified downloads one package and verifies it against
 // the given index entry.
 func (c *Client) fetchPackageVerified(name string, entry index.Entry) ([]byte, error) {
-	resp, err := c.client().Get(c.BaseURL + "/repos/" + c.RepoID + "/packages/" + name)
+	req, err := c.newRequest(c.BaseURL + "/repos/" + c.RepoID + "/packages/" + name)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client().Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("tsr client: %w", err)
 	}

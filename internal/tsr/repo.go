@@ -20,6 +20,7 @@ import (
 	"tsr/internal/quorum"
 	"tsr/internal/sanitize"
 	"tsr/internal/script"
+	"tsr/internal/store"
 )
 
 // Cache behaviour errors.
@@ -811,6 +812,17 @@ func (r *Repo) Refresh() (*RefreshStats, error) {
 	r.totals.rejected.Add(int64(stats.Rejected))
 	r.totals.downloaded.Add(int64(stats.Downloaded))
 	r.totals.failed.Add(int64(len(stats.Errors)))
+	// Under AutoPersist every successful refresh checkpoints the sealed
+	// state, so a crash at any later instant restarts warm into this
+	// generation. The refresh itself has already published — a
+	// checkpoint failure is surfaced as an operational error (the
+	// in-memory service keeps serving; durability is degraded until a
+	// checkpoint succeeds).
+	if r.svc.cfg.AutoPersist {
+		if err := r.checkpointLocked(); err != nil {
+			return stats, fmt.Errorf("tsr: refresh published but checkpoint failed: %w", err)
+		}
+	}
 	return stats, nil
 }
 
@@ -956,19 +968,22 @@ func (s *scriptCacheSource) fromStore(entry index.Entry) (map[string]string, boo
 
 // --- sealed state (§5.5) ----------------------------------------------
 
-// mcCounterID is the TPM monotonic counter TSR uses.
-const mcCounterID uint32 = 0x5453 // "TS"
-
-// SealState increments the TPM monotonic counter and seals the
+// SealState increments the repository's TPM monotonic counter (see
+// counterID in persist.go: one NV counter per tenant) and seals the
 // repository's metadata indexes together with the counter value, so the
 // state survives TSR restarts without trusting the disk.
 func (r *Repo) SealState() ([]byte, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.sealStateLocked()
+}
+
+// sealStateLocked is SealState with r.mu held.
+func (r *Repo) sealStateLocked() ([]byte, error) {
 	if r.upstream == nil || r.localSig == nil {
 		return nil, ErrNotInitialized
 	}
-	mc := r.svc.cfg.TPM.IncrementCounter(mcCounterID)
+	mc := r.svc.cfg.TPM.IncrementCounter(r.counterID())
 	blob := encodeState(mc, r.upstream.Encode(), r.localSig, r.seq)
 	return r.svc.Seal(blob)
 }
@@ -984,7 +999,7 @@ func (r *Repo) RestoreState(sealed []byte) error {
 	if err != nil {
 		return err
 	}
-	current := r.svc.cfg.TPM.ReadCounter(mcCounterID)
+	current := r.svc.cfg.TPM.ReadCounter(r.counterID())
 	if mc != current {
 		return fmt.Errorf("%w: sealed MC %d, TPM MC %d", ErrRollback, mc, current)
 	}
@@ -1054,24 +1069,11 @@ func decodeState(blob []byte) (mc uint64, upstream []byte, localSig *index.Signe
 	return mc, upstream, &index.Signed{Raw: raw, KeyName: string(keyName), Sig: sig}, seq, nil
 }
 
-func writeChunk(buf *bytes.Buffer, data []byte) {
-	var n [8]byte
-	binary.BigEndian.PutUint64(n[:], uint64(len(data)))
-	buf.Write(n[:])
-	buf.Write(data)
-}
+func writeChunk(buf *bytes.Buffer, data []byte) { store.WriteChunk(buf, data) }
 
 func readChunk(buf *bytes.Reader) ([]byte, error) {
-	var n [8]byte
-	if _, err := buf.Read(n[:]); err != nil {
-		return nil, fmt.Errorf("tsr: sealed state: %w", err)
-	}
-	size := binary.BigEndian.Uint64(n[:])
-	if size > uint64(buf.Len()) {
-		return nil, fmt.Errorf("tsr: sealed state: chunk size %d exceeds remainder", size)
-	}
-	out := make([]byte, size)
-	if _, err := buf.Read(out); err != nil {
+	out, err := store.ReadChunk(buf)
+	if err != nil {
 		return nil, fmt.Errorf("tsr: sealed state: %w", err)
 	}
 	return out, nil

@@ -49,6 +49,12 @@ type Config struct {
 	// downloads originals and sanitizes packages in batches of Workers
 	// goroutines. 0 or 1 runs the paper's sequential prototype.
 	Workers int
+	// AutoPersist journals sealed repository metadata (at DeployPolicy)
+	// and sealed state checkpoints (after every successful Refresh)
+	// into the Store, so a restarted service warm-boots via RestoreAll.
+	// Requires a Store that implements store.Iterable (both MemStore
+	// and store.FS do); pointless without a durable Store.
+	AutoPersist bool
 }
 
 // PackageFetcher downloads one package from a mirror.
@@ -114,6 +120,14 @@ func (s *Service) DeployPolicy(raw []byte) (repoID string, publicKeyPEM []byte, 
 	repo, err := newRepo(repoID, pol, signKey, s)
 	if err != nil {
 		return "", nil, nil, err
+	}
+	if s.cfg.AutoPersist {
+		// Journal the repository's identity before announcing it: a
+		// deploy that cannot be made durable must fail now, not as a
+		// silently-missing tenant after the next restart.
+		if err := s.persistMeta(repo, raw); err != nil {
+			return "", nil, nil, fmt.Errorf("tsr: persisting repository metadata: %w", err)
+		}
 	}
 	s.mu.Lock()
 	s.repos[repoID] = repo

@@ -6,104 +6,24 @@
 // cache with rollback protection (§5.5).
 package tsr
 
-import (
-	"errors"
-	"fmt"
-	"sync"
-)
+import "tsr/internal/store"
 
-// ErrCacheMiss is returned by Store.Get for absent keys.
-var ErrCacheMiss = errors.New("tsr: cache miss")
+// ErrCacheMiss is returned by Store.Get for absent keys. It is the
+// shared store sentinel: errors.Is works across tsr, edge, and store.
+var ErrCacheMiss = store.ErrNotFound
 
 // Store is the untrusted on-disk cache. An adversary with root access
 // may tamper with or roll back its contents — TSR never trusts what it
-// reads back and re-verifies against in-enclave state.
-type Store interface {
-	Put(key string, data []byte) error
-	Get(key string) ([]byte, error)
-	Delete(key string) error
-}
+// reads back and re-verifies against in-enclave state. It is the
+// shared abstraction of internal/store: give the service a
+// store.Mem for diskless runs or a store.FS (tsrd -data-dir) for a
+// durable cache that makes restarts warm.
+type Store = store.Store
 
-// MemStore is an in-memory Store. The Tamper and Snapshot/Restore hooks
-// let tests and experiments play the §5.5 cache attacks.
-type MemStore struct {
-	mu   sync.RWMutex
-	data map[string][]byte
-}
+// MemStore is the sharded in-memory Store (see store.Mem). The Tamper
+// and Snapshot/Restore hooks let tests and experiments play the §5.5
+// cache attacks.
+type MemStore = store.Mem
 
-// NewMemStore returns an empty store.
-func NewMemStore() *MemStore {
-	return &MemStore{data: make(map[string][]byte)}
-}
-
-// Put implements Store.
-func (s *MemStore) Put(key string, data []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.data[key] = append([]byte(nil), data...)
-	return nil
-}
-
-// Get implements Store.
-func (s *MemStore) Get(key string) ([]byte, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	d, ok := s.data[key]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrCacheMiss, key)
-	}
-	return append([]byte(nil), d...), nil
-}
-
-// Delete implements Store.
-func (s *MemStore) Delete(key string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.data, key)
-	return nil
-}
-
-// Tamper flips a byte in the stored value — the root adversary
-// corrupting the cache.
-func (s *MemStore) Tamper(key string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	d, ok := s.data[key]
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrCacheMiss, key)
-	}
-	if len(d) > 0 {
-		d[len(d)/2] ^= 0xFF
-	}
-	return nil
-}
-
-// Snapshot copies the full store state (for rollback attacks).
-func (s *MemStore) Snapshot() map[string][]byte {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make(map[string][]byte, len(s.data))
-	for k, v := range s.data {
-		out[k] = append([]byte(nil), v...)
-	}
-	return out
-}
-
-// Restore overwrites the store with a previous snapshot (the rollback
-// attack of §5.5: "reverting software packages and the metadata index
-// to the outdated versions").
-func (s *MemStore) Restore(snap map[string][]byte) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.data = make(map[string][]byte, len(snap))
-	for k, v := range snap {
-		s.data[k] = append([]byte(nil), v...)
-	}
-}
-
-// Len returns the number of stored entries.
-func (s *MemStore) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.data)
-}
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return store.NewMem() }

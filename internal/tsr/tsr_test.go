@@ -31,18 +31,40 @@ type world struct {
 	repo    *repo.Repository
 	mirrors []*mirror.Mirror
 	svc     *Service
-	store   *MemStore
+	store   *MemStore // nil when worldCfg injected a non-Mem store
+	backing Store
 	policy  []byte
 	signer  *keys.Pair // distribution key (signs index AND packages)
 }
 
+// worldCfg overrides the world's host-side pieces — store, TPM,
+// platform — so persistence tests can share them across simulated
+// restarts. Zero value: fresh MemStore, fresh TPM, fresh platform.
+type worldCfg struct {
+	store       Store
+	tpm         *tpm.TPM
+	platform    *enclave.Platform
+	autoPersist bool
+}
+
 func newWorld(t *testing.T, nMirrors int) *world {
 	t.Helper()
+	return newWorldCfg(t, nMirrors, worldCfg{})
+}
+
+func newWorldCfg(t *testing.T, nMirrors int, wc worldCfg) *world {
+	t.Helper()
 	signer := keys.Shared.MustGet("alpine-distro-key")
+	if wc.store == nil {
+		wc.store = NewMemStore()
+	}
 	w := &world{
-		repo:   repo.New("alpine-main", signer),
-		signer: signer,
-		store:  NewMemStore(),
+		repo:    repo.New("alpine-main", signer),
+		signer:  signer,
+		backing: wc.store,
+	}
+	if ms, ok := wc.store.(*MemStore); ok {
+		w.store = ms
 	}
 	byHost := make(map[string]*mirror.Mirror)
 	var mirrorsYAML strings.Builder
@@ -74,18 +96,27 @@ func newWorld(t *testing.T, nMirrors int) *world {
 `)
 	w.policy = []byte(pol.String())
 
-	platform, err := enclave.NewPlatform(keys.Shared.MustGet("sgx-quoting"))
-	if err != nil {
-		t.Fatal(err)
+	platform := wc.platform
+	if platform == nil {
+		var err error
+		platform, err = enclave.NewPlatform(keys.Shared.MustGet("sgx-quoting"))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	hostTPM := wc.tpm
+	if hostTPM == nil {
+		hostTPM = tpmForTest(t)
 	}
 	svc, err := New(Config{
-		Platform: platform,
-		TPM:      tpmForTest(t),
-		Clock:    netsim.NewVirtualClock(time.Time{}),
-		Link:     netsim.DefaultLinkModel(netsim.NewRNG(7)),
-		Local:    netsim.Europe,
-		Store:    w.store,
-		EPC:      enclave.DefaultCostModel(),
+		Platform:    platform,
+		TPM:         hostTPM,
+		Clock:       netsim.NewVirtualClock(time.Time{}),
+		Link:        netsim.DefaultLinkModel(netsim.NewRNG(7)),
+		Local:       netsim.Europe,
+		Store:       w.backing,
+		AutoPersist: wc.autoPersist,
+		EPC:         enclave.DefaultCostModel(),
 		Resolve: func(m policy.Mirror) (quorum.Source, PackageFetcher, error) {
 			mm, ok := byHost[m.Hostname]
 			if !ok {
