@@ -121,6 +121,36 @@ func BenchmarkEdgeFanout(b *testing.B) {
 	}
 }
 
+// BenchmarkFlashCrowd measures the serving path under correlated load:
+// 64 clients concurrently requesting the same cold package through an
+// edge replica must produce exactly one origin pull (seed behavior: 64),
+// one origin re-sanitization fill, and one delta fetch per sync storm;
+// under 2x max-inflight offered load the admission controller sheds the
+// excess with 429s while the served p99 stays near the uncontended p99.
+func BenchmarkFlashCrowd(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Scale = 0.004
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.FlashCrowdRun(cfg, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.EdgeOriginPulls != 1 {
+			b.Fatalf("%d origin pulls for %d concurrent cold misses, want exactly 1", res.EdgeOriginPulls, res.Clients)
+		}
+		if res.Shed == 0 {
+			b.Fatal("overload phase shed nothing; admission control inactive")
+		}
+		b.ReportMetric(float64(res.EdgeOriginPulls), "origin-pulls")
+		b.ReportMetric(float64(res.EdgeCoalesced), "coalesced")
+		b.ReportMetric(float64(res.OriginFills), "origin-fills")
+		b.ReportMetric(float64(res.SyncFetches), "sync-fetches")
+		b.ReportMetric(float64(res.Shed), "shed")
+		b.ReportMetric(res.UncontendedP99Ms, "p99-ms")
+		b.ReportMetric(res.OverloadP99Ms, "overload-p99-ms")
+	}
+}
+
 // --- refresh pipeline ----------------------------------------------------
 
 // refreshWorld builds one simulated deployment shared by the refresh

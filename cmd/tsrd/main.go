@@ -7,6 +7,14 @@
 //
 //	tsrd [-addr :8473] [-scale 0.02] [-seed 1] [-workers 4] [-auto-refresh 0]
 //	     [-data-dir /var/lib/tsrd] [-fsync] [-host-state <path>]
+//	     [-max-inflight 256]
+//
+// The serving path is wrapped in the observability middleware
+// (internal/obs): per-endpoint latency histograms, the in-flight
+// gauge, and shed counts are exposed at GET /metrics, and
+// -max-inflight bounds concurrently served requests — excess flash
+// crowd load is shed with 429 + Retry-After instead of queueing
+// unboundedly behind a saturated handler.
 //
 // With -data-dir the untrusted cache tier — original and sanitized
 // packages, sealed sancache metadata, sealed repository checkpoints —
@@ -56,6 +64,7 @@ import (
 	"tsr/internal/keys"
 	"tsr/internal/mirror"
 	"tsr/internal/netsim"
+	"tsr/internal/obs"
 	"tsr/internal/policy"
 	"tsr/internal/quorum"
 	"tsr/internal/repo"
@@ -84,6 +93,7 @@ func run(ctx context.Context, args []string) error {
 	dataDir := fs.String("data-dir", "", "durable untrusted cache + sealed checkpoints; restarts warm-boot deployed repositories")
 	fsyncF := fs.Bool("fsync", false, "fsync every data-dir write (with -data-dir)")
 	hostStatePath := fs.String("host-state", "", "trusted host hardware state (seal root, TPM counters); default <data-dir>.hoststate, keep OUTSIDE -data-dir")
+	maxInflight := fs.Int64("max-inflight", 256, "admission control: max concurrently served requests, excess sheds with 429 (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -122,10 +132,10 @@ func run(ctx context.Context, args []string) error {
 	}
 	server := &http.Server{
 		Addr:              *addr,
-		Handler:           tsr.Handler(svc),
+		Handler:           obs.New(obs.Options{MaxInflight: *maxInflight}).Wrap(tsr.Handler(svc)),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	fmt.Printf("tsrd: listening on %s\n", *addr)
+	fmt.Printf("tsrd: listening on %s (metrics at /metrics, max in-flight %d)\n", *addr, *maxInflight)
 	return serveUntilDone(ctx, server, "tsrd")
 }
 

@@ -11,7 +11,15 @@
 //
 //	tsredge -origin http://localhost:8473 -repo <id> [-addr :8474]
 //	        [-sync 30s] [-cache-mb 256] [-name edge-1]
-//	        [-data-dir /var/lib/tsredge] [-fsync]
+//	        [-data-dir /var/lib/tsredge] [-fsync] [-max-inflight 512]
+//
+// Like the origin, the edge wraps its handler in the observability
+// middleware: GET /metrics serves per-endpoint latency histograms, the
+// in-flight gauge, and shed counts, and -max-inflight sheds flash
+// crowd overload with 429 + Retry-After. Concurrent cold misses for
+// the same package are coalesced into a single origin pull, and sync
+// storms into a single delta fetch, so the edge protects the origin
+// exactly when demand is most correlated.
 //
 // With -data-dir the package cache and the last-synced signed index
 // live on disk: a restarted tsredge serves immediately from the
@@ -41,6 +49,7 @@ import (
 	"time"
 
 	"tsr/internal/edge"
+	"tsr/internal/obs"
 	"tsr/internal/store"
 	"tsr/internal/tsr"
 )
@@ -64,6 +73,7 @@ func run(ctx context.Context, args []string) error {
 	name := fs.String("name", "", "edge name reported in X-Tsr-Edge (default: the listen address)")
 	dataDir := fs.String("data-dir", "", "persist the package cache and last-synced index here; restarts resume warm via delta sync")
 	fsyncF := fs.Bool("fsync", false, "fsync every data-dir write (with -data-dir)")
+	maxInflight := fs.Int64("max-inflight", 512, "admission control: max concurrently served requests, excess sheds with 429 (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -119,11 +129,11 @@ func run(ctx context.Context, args []string) error {
 
 	server := &http.Server{
 		Addr:              *addr,
-		Handler:           edge.Handler(map[string]*edge.Replica{*repoID: rep}, *name),
+		Handler:           obs.New(obs.Options{MaxInflight: *maxInflight}).Wrap(edge.Handler(map[string]*edge.Replica{*repoID: rep}, *name)),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	fmt.Printf("tsredge: serving %s on %s (cache budget %d MiB, sync every %s)\n",
-		*repoID, *addr, *cacheMB, *syncEvery)
+	fmt.Printf("tsredge: serving %s on %s (cache budget %d MiB, sync every %s, metrics at /metrics, max in-flight %d)\n",
+		*repoID, *addr, *cacheMB, *syncEvery, *maxInflight)
 	return serveUntilDone(ctx, server)
 }
 

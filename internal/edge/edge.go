@@ -23,6 +23,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"tsr/internal/flight"
 	"tsr/internal/index"
 	"tsr/internal/keys"
 	"tsr/internal/netsim"
@@ -124,6 +125,14 @@ type Replica struct {
 	// cacheOnce guards the lazy default for Cache.
 	cacheOnce sync.Once
 
+	// pulls coalesces concurrent origin pulls for the same content
+	// hash: a flash crowd of N cold misses for one package costs ONE
+	// FetchPackage against the origin, and the N-1 followers share the
+	// verified bytes. syncs does the same for Sync storms (a burst of
+	// POST /sync collapses into one delta fetch).
+	pulls flight.Group[[]byte]
+	syncs flight.Group[struct{}]
+
 	// served is the replica's published read state, swapped atomically
 	// like the origin's snapshot: reads never wait on a running sync.
 	served   atomic.Pointer[replicaState]
@@ -136,6 +145,12 @@ type replicaState struct {
 	signed *index.Signed
 	etag   string
 	ix     *index.Index
+	// history retains the most recent published generations (this one
+	// last), so the replica can serve GET /index/delta to downstream
+	// replicas and clients exactly like the origin does — the same
+	// index.AppendGeneration machinery and index.HistoryWindow the
+	// origin uses, so the two delta windows cannot drift apart.
+	history []index.Generation
 }
 
 // replicaCounters are the cumulative counters behind Stats.
@@ -143,6 +158,7 @@ type replicaCounters struct {
 	syncs, deltaSyncs, fullSyncs, noopSyncs, fullFallbacks atomic.Int64
 	indexReads, packageReads, packageHits                  atomic.Int64
 	originPackages, notModified                            atomic.Int64
+	coalescedPulls, coalescedSyncs, deltaReads             atomic.Int64
 }
 
 // Stats is a point-in-time snapshot of a replica's counters.
@@ -159,6 +175,14 @@ type Stats struct {
 	PackageHits    int64 `json:"package_hits"`    // served from the local cache
 	OriginPackages int64 `json:"origin_packages"` // pull-through misses forwarded to the origin
 	NotModified    int64 `json:"not_modified"`
+	// Coalescing tier: requests that shared another request's work
+	// instead of duplicating it (a flash crowd of N cold misses costs
+	// 1 origin pull + N-1 coalesced pulls).
+	CoalescedPulls int64 `json:"coalesced_pulls"`
+	CoalescedSyncs int64 `json:"coalesced_syncs"`
+	// DeltaReads counts index-delta requests this replica answered for
+	// downstream replicas/clients.
+	DeltaReads int64 `json:"delta_reads"`
 	// Cache occupancy.
 	CacheBytes   int64 `json:"cache_bytes"`
 	CacheEntries int   `json:"cache_entries"`
@@ -187,6 +211,9 @@ func (rep *Replica) Stats() Stats {
 		PackageHits:    rep.stats.packageHits.Load(),
 		OriginPackages: rep.stats.originPackages.Load(),
 		NotModified:    rep.stats.notModified.Load(),
+		CoalescedPulls: rep.stats.coalescedPulls.Load(),
+		CoalescedSyncs: rep.stats.coalescedSyncs.Load(),
+		DeltaReads:     rep.stats.deltaReads.Load(),
 	}
 	if mon, ok := rep.store().(store.Monitored); ok {
 		cs := mon.Stats()
@@ -209,10 +236,26 @@ func (rep *Replica) Stats() Stats {
 // replica carries the origin's public key. Any delta failure falls back
 // to a full fetch; a Freeze replica returns immediately and keeps
 // replaying its pinned state.
+//
+// Concurrent Sync calls coalesce: callers arriving while a sync is in
+// flight wait for it and share its result instead of queueing another
+// origin round trip — a POST /sync storm (every client of a stale edge
+// poking it at once) collapses into one delta fetch.
 func (rep *Replica) Sync() error {
 	if rep.Behavior() == Freeze {
 		return nil
 	}
+	_, leader, err := rep.syncs.Do("sync", func() (struct{}, error) {
+		return struct{}{}, rep.syncOnce()
+	})
+	if !leader {
+		rep.stats.coalescedSyncs.Add(1)
+	}
+	return err
+}
+
+// syncOnce performs one origin sync (the leader's side of Sync).
+func (rep *Replica) syncOnce() error {
 	rep.syncMu.Lock()
 	defer rep.syncMu.Unlock()
 	cur := rep.served.Load()
@@ -281,7 +324,17 @@ func (rep *Replica) publish(signed *index.Signed, ix *index.Index) {
 	// The locally computed ETag is by construction what the origin
 	// serves for this generation (the digest of the signed form), so
 	// delta syncs and client If-None-Match revalidation agree on it.
-	rep.served.Store(&replicaState{signed: signed, etag: signed.ETag(), ix: ix})
+	etag := signed.ETag()
+	// Carry the generation history forward (copy-on-write, capped), so
+	// this replica can answer delta requests from downstreams exactly
+	// like the origin. Republishing the current generation (LoadState
+	// racing a sync) does not duplicate it.
+	var hist []index.Generation
+	if cur := rep.served.Load(); cur != nil {
+		hist = cur.history
+	}
+	hist = index.AppendGeneration(hist, etag, ix)
+	rep.served.Store(&replicaState{signed: signed, etag: etag, ix: ix, history: hist})
 	st := rep.store()
 	if it, ok := st.(store.Iterable); ok {
 		keep := make(map[string]struct{}, len(ix.Entries))
@@ -406,18 +459,32 @@ func (rep *Replica) FetchIndexTagged() (*index.Signed, string, error) {
 	return st.signed.Clone(), st.etag, nil
 }
 
-// PackageETag returns the strong ETag of a package (its content hash
-// from the index), for conditional requests.
-func (rep *Replica) PackageETag(name string) (string, error) {
+// FetchIndexDelta serves the delta from a retained generation to the
+// replica's current one — the same endpoint the origin exposes, so a
+// tsr.Client or a downstream replica pointed at this edge delta-syncs
+// instead of re-fetching the full index every time. The origin's
+// signature over the NEW index rides along in the Delta, so the edge
+// still never signs anything. With this, *Replica implements the full
+// Origin interface: edges can fan out behind edges.
+func (rep *Replica) FetchIndexDelta(sinceETag string) (*index.Delta, error) {
+	if rep.Behavior() == Offline {
+		return nil, ErrOffline
+	}
 	st := rep.served.Load()
 	if st == nil {
-		return "", ErrNotSynced
+		return nil, ErrNotSynced
 	}
-	e, err := st.ix.Lookup(name)
-	if err != nil {
-		return "", err
+	if sinceETag == st.etag {
+		rep.noteIndexNotModified()
+		rep.stats.deltaReads.Add(1)
+		return nil, index.ErrDeltaUnchanged
 	}
-	return `"` + hex.EncodeToString(e.Hash[:]) + `"`, nil
+	if base, ok := index.FindGeneration(st.history, sinceETag); ok {
+		rep.stats.indexReads.Add(1)
+		rep.stats.deltaReads.Add(1)
+		return index.ComputeDelta(sinceETag, base, st.signed, st.ix)
+	}
+	return nil, fmt.Errorf("%w: since %s", index.ErrNoDelta, sinceETag)
 }
 
 // FetchPackage implements pkgmgr.Source: serve from the local cache,
@@ -427,17 +494,36 @@ func (rep *Replica) PackageETag(name string) (string, error) {
 // bytes are re-verified on every hit, so local disk tampering degrades
 // to a pull-through miss instead of serving garbage.
 func (rep *Replica) FetchPackage(name string) ([]byte, error) {
-	if rep.Behavior() == Offline {
-		return nil, ErrOffline
-	}
-	st := rep.served.Load()
-	if st == nil {
-		return nil, ErrNotSynced
-	}
-	entry, err := st.ix.Lookup(name)
+	entry, err := rep.resolveEntry(name)
 	if err != nil {
 		return nil, err
 	}
+	return rep.fetchEntry(name, entry)
+}
+
+// resolveEntry loads the published state once and resolves a package's
+// index entry in it. The HTTP handler uses the same single resolution
+// for the conditional check, the fetch, and the response headers, so
+// the ETag it emits always describes the bytes it serves even when a
+// sync publishes a new generation mid-request.
+func (rep *Replica) resolveEntry(name string) (index.Entry, error) {
+	if rep.Behavior() == Offline {
+		return index.Entry{}, ErrOffline
+	}
+	st := rep.served.Load()
+	if st == nil {
+		return index.Entry{}, ErrNotSynced
+	}
+	return st.ix.Lookup(name)
+}
+
+// fetchEntry serves the bytes for one resolved index entry: local
+// cache first, coalesced origin pull-through on a miss. Because the
+// cache key and the flight key are both the content hash, a flash
+// crowd of N concurrent cold misses for the same package performs
+// exactly one origin pull; the N-1 followers share the verified bytes
+// (and count as coalesced pulls, not origin pulls).
+func (rep *Replica) fetchEntry(name string, entry index.Entry) ([]byte, error) {
 	rep.stats.packageReads.Add(1)
 	key := cacheKey(entry.Hash)
 
@@ -450,16 +536,36 @@ func (rep *Replica) FetchPackage(name string) ([]byte, error) {
 			// Tampered or truncated cache entry: drop and re-pull.
 			_ = cache.Delete(key)
 		}
-		raw, err = rep.Origin.FetchPackage(name)
+		var leader bool
+		var err error
+		raw, leader, err = rep.pulls.Do(key, func() ([]byte, error) {
+			// Re-check the cache inside the flight: a miss that queued
+			// behind a completed fill (the flight ended, the bytes
+			// landed) must not pull the origin again.
+			if cached, err := cache.Get(key); err == nil &&
+				int64(len(cached)) == entry.Size && sha256.Sum256(cached) == entry.Hash {
+				return cached, nil
+			}
+			pulled, err := rep.Origin.FetchPackage(name)
+			if err != nil {
+				return nil, fmt.Errorf("edge: pull-through %s: %w", name, err)
+			}
+			rep.stats.originPackages.Add(1)
+			if int64(len(pulled)) != entry.Size || sha256.Sum256(pulled) != entry.Hash {
+				return nil, fmt.Errorf("edge: origin served wrong bytes for %s (not cached)", name)
+			}
+			_ = cache.Put(key, pulled)
+			return pulled, nil
+		})
 		if err != nil {
-			return nil, fmt.Errorf("edge: pull-through %s: %w", name, err)
+			return nil, err
 		}
-		rep.stats.originPackages.Add(1)
-		if int64(len(raw)) != entry.Size || sha256.Sum256(raw) != entry.Hash {
-			return nil, fmt.Errorf("edge: origin served wrong bytes for %s (not cached)", name)
+		if !leader {
+			rep.stats.coalescedPulls.Add(1)
 		}
-		_ = cache.Put(key, raw)
 	}
+	// Copy before returning: the raw slice is shared with the cache and
+	// with coalesced waiters, and must stay immutable.
 	out := append([]byte(nil), raw...)
 	if rep.Behavior() == Corrupt && len(out) > 0 {
 		out[len(out)/2] ^= 0xFF

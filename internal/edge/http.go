@@ -25,6 +25,7 @@ const (
 // interchangeably:
 //
 //	GET  /repos/{id}/index          the origin-signed metadata index
+//	GET  /repos/{id}/index/delta    delta from a retained generation (?since=<etag>)
 //	GET  /repos/{id}/packages/{pkg} a sanitized package (pull-through cache)
 //	GET  /repos/{id}/stats          replica sync/cache counters
 //	POST /repos/{id}/sync           trigger a sync now
@@ -66,6 +67,35 @@ func Handler(replicas map[string]*Replica, name string) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write(signed.Raw)
 	})
+	mux.HandleFunc("GET /repos/{id}/index/delta", func(w http.ResponseWriter, r *http.Request) {
+		rep := lookup(w, r)
+		if rep == nil {
+			return
+		}
+		w.Header().Set(headerEdge, name)
+		since := r.URL.Query().Get("since")
+		if since == "" {
+			httpError(w, http.StatusBadRequest, errors.New("missing since=<etag> query parameter"))
+			return
+		}
+		d, err := rep.FetchIndexDelta(since)
+		if errors.Is(err, index.ErrDeltaUnchanged) {
+			w.Header().Set("ETag", since)
+			w.Header().Set("Cache-Control", "no-cache")
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		if err != nil {
+			// index.ErrNoDelta maps to 404: the caller falls back to a
+			// full index fetch, exactly like at the origin.
+			httpError(w, statusFor(err), err)
+			return
+		}
+		w.Header().Set("ETag", d.ToETag)
+		w.Header().Set("Cache-Control", "no-cache")
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write(d.Encode())
+	})
 	mux.HandleFunc("GET /repos/{id}/packages/{pkg}", func(w http.ResponseWriter, r *http.Request) {
 		rep := lookup(w, r)
 		if rep == nil {
@@ -74,21 +104,30 @@ func Handler(replicas map[string]*Replica, name string) http.Handler {
 		pkg := r.PathValue("pkg")
 		w.Header().Set(headerEdge, name)
 		w.Header().Set("Cache-Control", "no-cache")
-		if etag, err := rep.PackageETag(pkg); err == nil &&
-			tsr.ETagMatch(r.Header.Get("If-None-Match"), etag) {
+		// Resolve the published state ONCE and drive the conditional
+		// check, the fetch, and the response headers from that single
+		// entry. Resolving per step (as this handler once did) let a
+		// sync publishing mid-request emit an ETag from a newer
+		// generation than the bytes served — a cache-poisoning gift to
+		// any intermediary that stores the pair.
+		entry, err := rep.resolveEntry(pkg)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		etag := entry.ETag()
+		if tsr.ETagMatch(r.Header.Get("If-None-Match"), etag) {
 			rep.notePackageNotModified()
 			w.Header().Set("ETag", etag)
 			w.WriteHeader(http.StatusNotModified)
 			return
 		}
-		raw, err := rep.FetchPackage(pkg)
+		raw, err := rep.fetchEntry(pkg, entry)
 		if err != nil {
 			httpError(w, statusFor(err), err)
 			return
 		}
-		if etag, err := rep.PackageETag(pkg); err == nil {
-			w.Header().Set("ETag", etag)
-		}
+		w.Header().Set("ETag", etag)
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Write(raw)
 	})
@@ -104,8 +143,12 @@ func Handler(replicas map[string]*Replica, name string) http.Handler {
 		if rep == nil {
 			return
 		}
+		// statusFor, not a flat 502: a sync that fails because this
+		// replica is offline, or its upstream edge has not synced yet
+		// (chained edges), is a 503 availability condition — not an
+		// upstream protocol error.
 		if err := rep.Sync(); err != nil {
-			httpError(w, http.StatusBadGateway, err)
+			httpError(w, statusFor(err), err)
 			return
 		}
 		writeJSON(w, rep.Stats())
@@ -135,7 +178,7 @@ func statusFor(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrOffline):
 		return http.StatusServiceUnavailable
-	case errors.Is(err, index.ErrNotFound):
+	case errors.Is(err, index.ErrNotFound), errors.Is(err, index.ErrNoDelta):
 		return http.StatusNotFound
 	default:
 		return http.StatusBadGateway // pull-through/origin failures

@@ -1,0 +1,435 @@
+package experiments
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tsr/internal/edge"
+	"tsr/internal/index"
+	"tsr/internal/keys"
+	"tsr/internal/netsim"
+	"tsr/internal/obs"
+	"tsr/internal/stats"
+	"tsr/internal/store"
+	"tsr/internal/tsr"
+)
+
+// FlashCrowdResult measures the serving path under correlated load:
+// request coalescing (the same cold package hit by K clients at once)
+// and admission control (offered load at 2x the in-flight bound).
+type FlashCrowdResult struct {
+	// Clients is K, the concurrent requester count.
+	Clients int
+
+	// Coalescing tier. Seed behavior was K pulls / K fills / K fetches
+	// for each of these; the acceptance floor is exactly 1.
+	// EdgeOriginPulls: origin package pulls for K concurrent cold
+	// misses of one package at an edge replica.
+	EdgeOriginPulls int64
+	// EdgeCoalesced: the K-1 requests that shared the one pull.
+	EdgeCoalesced int64
+	// OriginFills: download+re-sanitization runs for K concurrent
+	// requests of one uncached package at the origin.
+	OriginFills int64
+	// OriginCoalesced: the K-1 requests that shared the one fill.
+	OriginCoalesced int64
+	// SyncFetches: origin index/delta round trips for K concurrent
+	// Sync calls against one stale replica (a POST /sync storm).
+	SyncFetches int64
+	// SyncCoalesced: the K-1 syncs that shared the one fetch.
+	SyncCoalesced int64
+
+	// Admission control tier (over the obs-wrapped edge HTTP handler).
+	MaxInflight int64
+	// Offered / Served / Shed requests during the overload phase
+	// (offered concurrency = 2x MaxInflight).
+	Offered, Served int
+	Shed            int64
+	// UncontendedP99Ms is the served p99 with one client;
+	// OverloadP99Ms the served p99 during the overload phase. The
+	// acceptance criterion is Overload <= 10x Uncontended: shedding
+	// must keep the served tail flat instead of letting queues grow.
+	UncontendedP99Ms, OverloadP99Ms float64
+}
+
+// flashMaxInflight is the admission bound the overload phase runs
+// against; offered concurrency is 2x this.
+const flashMaxInflight = 8
+
+// flashSettle is how long the orchestrator lets followers pile onto an
+// open coalescing window before releasing the leader's gated upstream
+// call. The leader is parked on a channel, so even on one CPU every
+// follower gets scheduled into the flight within this window.
+const flashSettle = 100 * time.Millisecond
+
+// gatedOrigin wraps the counting origin and can hold one upstream call
+// type open: the flash-crowd scenarios park the leader's origin pull
+// (or delta fetch) on a gate while the other K-1 requesters arrive, so
+// the coalescing window is deterministically open even on a single
+// CPU, where fast CPU-bound fills would otherwise run to completion
+// back-to-back and never overlap. This models the real condition the
+// coalescing exists for — an upstream round trip that is slow relative
+// to the arrival rate — without depending on host parallelism.
+type gatedOrigin struct {
+	inner *countingOrigin
+	// pkgGate/deltaGate, when non-nil, block the corresponding call
+	// until closed. pkgHit/deltaHit are closed when the first gated
+	// call arrives (the leader is inside the window). Fields are set
+	// and cleared only between scenarios, never while requesters run.
+	pkgGate, deltaGate chan struct{}
+	pkgHit, deltaHit   chan struct{}
+	pkgOnce, deltaOnce sync.Once
+}
+
+func (g *gatedOrigin) FetchIndexTagged() (*index.Signed, string, error) {
+	return g.inner.FetchIndexTagged()
+}
+
+func (g *gatedOrigin) FetchIndexDelta(since string) (*index.Delta, error) {
+	if g.deltaGate != nil {
+		g.deltaOnce.Do(func() { close(g.deltaHit) })
+		<-g.deltaGate
+	}
+	return g.inner.FetchIndexDelta(since)
+}
+
+func (g *gatedOrigin) FetchPackage(name string) ([]byte, error) {
+	if g.pkgGate != nil {
+		g.pkgOnce.Do(func() { close(g.pkgHit) })
+		<-g.pkgGate
+	}
+	return g.inner.FetchPackage(name)
+}
+
+// latchStore wraps the world's backing store and holds Get calls for
+// keys matching an armed prefix — the same leader-parking trick as
+// gatedOrigin, applied to the origin's own fill path (the original
+// package read that feeds re-sanitization).
+type latchStore struct {
+	tsr.Store
+	prefix string // armed key prefix ("" = disarmed)
+	gate   chan struct{}
+	hit    chan struct{}
+	once   *sync.Once
+	// hits counts Gets matching the armed prefix. During the origin
+	// fill phase the armed prefix is the probe's original-package key,
+	// read exactly once per resanitize run — so this IS the fill
+	// count, measured at the source rather than derived from k minus
+	// coalesced (which would miscount a late requester that got a
+	// plain cache hit as an extra fill).
+	hits atomic.Int64
+}
+
+func (s *latchStore) Get(key string) ([]byte, error) {
+	if s.prefix != "" && strings.HasPrefix(key, s.prefix) {
+		s.hits.Add(1)
+		s.once.Do(func() { close(s.hit) })
+		<-s.gate
+	}
+	return s.Store.Get(key)
+}
+
+// arm configures the latch for one scenario; the returned release
+// opens the gate.
+func (s *latchStore) arm(prefix string) (hit chan struct{}, release func()) {
+	s.prefix = prefix
+	s.gate = make(chan struct{})
+	s.hit = make(chan struct{})
+	s.once = &sync.Once{}
+	return s.hit, func() { close(s.gate) }
+}
+
+func (s *latchStore) disarm() { s.prefix = "" }
+
+// Iterate forwards the optional Iterable capability, keeping the
+// wrapper transparent to the store's consumers.
+func (s *latchStore) Iterate(fn func(store.Info) bool) error {
+	if it, ok := s.Store.(store.Iterable); ok {
+		return it.Iterate(fn)
+	}
+	return fmt.Errorf("latchStore: inner store is not iterable")
+}
+
+// flashServiceFloor is a synthetic per-request service time injected
+// under the admission middleware for the overload phase. Real handler
+// time at experiment scale is microseconds, which no finite offered
+// load could saturate reproducibly; the floor models a saturated
+// hardware service time so the shed/served split is deterministic.
+const flashServiceFloor = 2 * time.Millisecond
+
+// FlashCrowdRun measures one flash crowd of k clients.
+func FlashCrowdRun(cfg Config, k int) (*FlashCrowdResult, error) {
+	cfg = cfg.withDefaults()
+	cfg.Scale = minFloat(cfg.Scale, 0.01)
+	backing := &latchStore{Store: tsr.NewMemStore()}
+	w, err := NewWorldWith(cfg, nil, false, WorldDeps{Store: backing})
+	if err != nil {
+		return nil, err
+	}
+	counted := &countingOrigin{tenant: w.Tenant}
+	gated := &gatedOrigin{inner: counted}
+	rep := &edge.Replica{
+		RepoID:      w.Tenant.ID,
+		Origin:      gated,
+		Continent:   netsim.Europe,
+		TrustRing:   keys.NewRing(w.Tenant.PublicKey()),
+		CacheBudget: 1 << 30,
+	}
+	if err := rep.Sync(); err != nil {
+		return nil, err
+	}
+	signed, _, err := w.Tenant.FetchIndexTagged()
+	if err != nil {
+		return nil, err
+	}
+	probe, err := firstPackageName(signed)
+	if err != nil {
+		return nil, err
+	}
+	res := &FlashCrowdResult{Clients: k}
+
+	// release parks the main goroutine until the leader is inside its
+	// gated upstream call, gives followers flashSettle to join the
+	// flight, then opens the gate.
+	release := func(hit chan struct{}, open func()) {
+		<-hit
+		time.Sleep(flashSettle)
+		open()
+	}
+
+	// --- Edge coalescing: K concurrent cold misses, one package. The
+	// leader's origin pull is held open while the crowd arrives. ---
+	counted.reset()
+	pkgGate, pkgHit := make(chan struct{}), make(chan struct{})
+	gated.pkgGate, gated.pkgHit = pkgGate, pkgHit
+	go release(pkgHit, func() { close(pkgGate) })
+	if err := inParallel(k, func(int) error {
+		_, err := rep.FetchPackage(probe)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	gated.pkgGate = nil
+	res.EdgeOriginPulls = counted.packages.Load()
+	res.EdgeCoalesced = rep.Stats().CoalescedPulls
+
+	// --- Origin fill coalescing: evict the probe's sanitized bytes so
+	// every request needs the re-sanitization fill, and hold the
+	// leader's original-package read open while the crowd arrives. ---
+	if err := evictSanitized(backing, w.Tenant.ID, probe); err != nil {
+		return nil, err
+	}
+	hit, open := backing.arm(w.Tenant.ID + "/orig/" + probe + "@")
+	go release(hit, open)
+	before := w.Tenant.CacheStats()
+	backing.hits.Store(0)
+	if err := inParallel(k, func(int) error {
+		_, err := w.Tenant.FetchPackage(probe)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	backing.disarm()
+	after := w.Tenant.CacheStats()
+	res.OriginCoalesced = after.CoalescedFills - before.CoalescedFills
+	res.OriginFills = backing.hits.Load()
+
+	// --- Sync storm: advance the origin one generation, then hit the
+	// stale replica with K concurrent Sync calls; the leader's delta
+	// fetch is held open while the storm arrives. ---
+	if err := advanceWorld(w, "zzz-flash-crowd", "1.0-r0"); err != nil {
+		return nil, err
+	}
+	counted.reset()
+	syncsBefore := rep.Stats().CoalescedSyncs
+	deltaGate, deltaHit := make(chan struct{}), make(chan struct{})
+	gated.deltaGate, gated.deltaHit = deltaGate, deltaHit
+	go release(deltaHit, func() { close(deltaGate) })
+	if err := inParallel(k, func(int) error { return rep.Sync() }); err != nil {
+		return nil, err
+	}
+	gated.deltaGate = nil
+	res.SyncFetches = counted.deltas.Load() + counted.indexes.Load()
+	res.SyncCoalesced = rep.Stats().CoalescedSyncs - syncsBefore
+
+	// --- Admission control over the HTTP handler. ---
+	if err := measureAdmission(rep, w.Tenant.ID, probe, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// evict deletes every store entry under a key prefix.
+func (s *latchStore) evict(prefix string) error {
+	var keys []string
+	err := s.Iterate(func(info store.Info) bool {
+		if strings.HasPrefix(info.Key, prefix) {
+			keys = append(keys, info.Key)
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if len(keys) == 0 {
+		return fmt.Errorf("flash-crowd: no cached entry under %q to evict", prefix)
+	}
+	for _, key := range keys {
+		if err := s.Delete(key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evictSanitized deletes the probe's sanitized cache entry, making the
+// next request for it a cold fill.
+func evictSanitized(s *latchStore, repoID, name string) error {
+	return s.evict(repoID + "/san/" + name + "@")
+}
+
+// measureAdmission drives the obs-wrapped edge handler: a sequential
+// uncontended phase, then an overload phase at 2x the in-flight bound,
+// recording the shed count and the served latency tails.
+func measureAdmission(rep *edge.Replica, repoID, probe string, res *FlashCrowdResult) error {
+	res.MaxInflight = flashMaxInflight
+	inner := edge.Handler(map[string]*edge.Replica{repoID: rep}, "flash-edge")
+	slowed := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(flashServiceFloor)
+		inner.ServeHTTP(w, r)
+	})
+	o := obs.New(obs.Options{MaxInflight: flashMaxInflight})
+	handler := o.Wrap(slowed)
+	path := "/repos/" + repoID + "/packages/" + probe
+
+	request := func() (int, time.Duration) {
+		rec := httptest.NewRecorder()
+		start := time.Now()
+		handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		return rec.Code, time.Since(start)
+	}
+
+	// Uncontended: one client, sequential.
+	const uncontendedReqs = 24
+	var uncontended []float64
+	for i := 0; i < uncontendedReqs; i++ {
+		code, d := request()
+		if code != http.StatusOK {
+			return fmt.Errorf("flash-crowd: uncontended request got HTTP %d", code)
+		}
+		uncontended = append(uncontended, float64(d)/float64(time.Millisecond))
+	}
+	sort.Float64s(uncontended)
+	res.UncontendedP99Ms = stats.MustPercentile(uncontended, 99)
+
+	// Overload: 2x max-inflight concurrent clients, several rounds
+	// each, no backoff — the worst-case storm the limiter exists for.
+	const rounds = 6
+	clients := 2 * flashMaxInflight
+	var mu sync.Mutex
+	var served []float64
+	var servedCount int
+	err := inParallel(clients, func(int) error {
+		for r := 0; r < rounds; r++ {
+			code, d := request()
+			switch code {
+			case http.StatusOK:
+				mu.Lock()
+				served = append(served, float64(d)/float64(time.Millisecond))
+				servedCount++
+				mu.Unlock()
+			case http.StatusTooManyRequests:
+				// Shed: counted by the middleware.
+			default:
+				return fmt.Errorf("flash-crowd: overload request got HTTP %d", code)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	res.Offered = clients * rounds
+	res.Served = servedCount
+	res.Shed = o.Snapshot().ShedTotal
+	sort.Float64s(served)
+	if len(served) > 0 {
+		res.OverloadP99Ms = stats.MustPercentile(served, 99)
+	}
+	return nil
+}
+
+// inParallel runs fn in k goroutines released together and returns the
+// first error.
+func inParallel(k int, fn func(i int) error) error {
+	gate := make(chan struct{})
+	errs := make(chan error, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-gate
+			errs <- fn(i)
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// firstPackageName returns the first package of a signed index — the
+// shared probe every flash-crowd client requests.
+func firstPackageName(signed *index.Signed) (string, error) {
+	ix, err := index.Decode(signed.Raw)
+	if err != nil {
+		return "", err
+	}
+	names := ix.Names()
+	if len(names) == 0 {
+		return "", fmt.Errorf("flash-crowd: empty index")
+	}
+	return names[0], nil
+}
+
+// FlashCrowd renders the experiment table at K = 64.
+func FlashCrowd(cfg Config) (*Table, error) {
+	const k = 64
+	res, err := FlashCrowdRun(cfg, k)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Flash crowd (K=%d concurrent requesters; seed behavior was K of each)", k),
+		Header: []string{"Scenario", "Upstream work", "Coalesced", "Shed", "p99"},
+		Rows: [][]string{
+			{"edge cold miss x K", fmt.Sprintf("%d origin pull(s)", res.EdgeOriginPulls),
+				fmt.Sprint(res.EdgeCoalesced), "-", "-"},
+			{"origin cache fill x K", fmt.Sprintf("%d fill(s)", res.OriginFills),
+				fmt.Sprint(res.OriginCoalesced), "-", "-"},
+			{"sync storm x K", fmt.Sprintf("%d origin fetch(es)", res.SyncFetches),
+				fmt.Sprint(res.SyncCoalesced), "-", "-"},
+			{fmt.Sprintf("overload 2x max-inflight=%d", res.MaxInflight),
+				fmt.Sprintf("%d/%d served", res.Served, res.Offered),
+				"-", fmt.Sprint(res.Shed),
+				fmt.Sprintf("%.1f ms (uncontended %.1f ms)", res.OverloadP99Ms, res.UncontendedP99Ms)},
+		},
+		Notes: []string{
+			"coalescing: concurrent identical misses share one upstream pull/fill/delta fetch (internal/flight)",
+			"admission: -max-inflight sheds excess load with 429 + Retry-After; served p99 must stay within 10x uncontended",
+		},
+	}
+	return t, nil
+}

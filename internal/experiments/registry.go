@@ -35,6 +35,7 @@ func All() []Runner {
 		{"read-under-refresh", "non-blocking snapshot read path", ReadUnderRefresh},
 		{"edge-fanout", "edge replication tier", EdgeFanout},
 		{"crash-restart", "durable store warm restart", CrashRestart},
+		{"flash-crowd", "request coalescing + admission control", FlashCrowd},
 	}
 }
 

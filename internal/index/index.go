@@ -36,6 +36,13 @@ type Entry struct {
 	Depends []string
 }
 
+// ETag renders the entry's content hash as the strong HTTP ETag of
+// the package it describes — one definition shared by the origin and
+// edge tiers, so conditional requests agree across them.
+func (e Entry) ETag() string {
+	return `"` + hex.EncodeToString(e.Hash[:]) + `"`
+}
+
 // Index is the repository metadata index.
 type Index struct {
 	// Origin names the repository that generated the index (e.g.

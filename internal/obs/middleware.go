@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Options configures one daemon's observability wrapper.
+type Options struct {
+	// MaxInflight bounds concurrently served requests; excess load is
+	// shed with 429 + Retry-After instead of queueing unboundedly
+	// behind a saturated handler. 0 means unlimited (metrics only).
+	MaxInflight int64
+	// RetryAfter is the Retry-After hint on shed responses (default 1s,
+	// rounded up to whole seconds as the header requires).
+	RetryAfter time.Duration
+}
+
+// Obs wraps an http.Handler with the metrics subsystem and admission
+// control, and serves the registry at GET /metrics.
+type Obs struct {
+	metrics    *Metrics
+	max        int64
+	retryAfter string
+}
+
+// New builds an Obs with a fresh Metrics registry.
+func New(opts Options) *Obs {
+	retry := opts.RetryAfter
+	if retry <= 0 {
+		retry = time.Second
+	}
+	secs := int64((retry + time.Second - 1) / time.Second)
+	return &Obs{
+		metrics:    NewMetrics(),
+		max:        opts.MaxInflight,
+		retryAfter: strconv.FormatInt(secs, 10),
+	}
+}
+
+// Metrics exposes the registry (for tests and in-process reporting).
+func (o *Obs) Metrics() *Metrics { return o.metrics }
+
+// Snapshot reads the full metrics document.
+func (o *Obs) Snapshot() Snapshot {
+	s := o.metrics.Snapshot()
+	s.MaxInflight = o.max
+	return s
+}
+
+// Wrap returns next wrapped with metrics + admission control, plus the
+// GET /metrics endpoint. Request flow:
+//
+//  1. GET /metrics is answered from the registry (never shed — the
+//     one endpoint that must work during an overload is the one that
+//     shows the overload).
+//  2. /healthz bypasses admission control too: load shedding must not
+//     make the daemon look dead to its orchestrator. It is still
+//     measured.
+//  3. Everything else passes the in-flight gate: a CAS increment up to
+//     MaxInflight, or 429 + Retry-After and a shed count.
+//  4. Served requests record latency and status class per route.
+func (o *Obs) Wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/metrics" && (r.Method == http.MethodGet || r.Method == http.MethodHead) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(o.Snapshot())
+			return
+		}
+		key := routeKey(r.Method, r.URL.Path)
+		// gauged: whether this request occupies an in-flight slot. When
+		// admission is on, exempt paths (/healthz) bypass the gate AND
+		// the gauge — a health probe must neither consume admission
+		// capacity (at -max-inflight 1 a probe would shed every real
+		// request) nor push the gauge past the bound acquire()
+		// guarantees. With admission off the gauge is pure telemetry
+		// and counts everything.
+		gauged := true
+		switch {
+		case o.max > 0 && r.URL.Path != "/healthz":
+			if !o.acquire() {
+				o.metrics.ObserveShed(key)
+				w.Header().Set("Retry-After", o.retryAfter)
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusTooManyRequests)
+				_ = json.NewEncoder(w).Encode(map[string]string{
+					"error": "server at max in-flight capacity; retry after backoff",
+				})
+				return
+			}
+		case o.max > 0:
+			gauged = false
+		default:
+			o.metrics.RequestStarted()
+		}
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			d := time.Since(start)
+			if gauged {
+				o.metrics.RequestDone()
+			}
+			o.metrics.ObserveRequest(key, sw.status, d)
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// acquire tries to reserve one in-flight slot; false means shed. The
+// gate IS the metrics in-flight gauge (one CAS reserves the slot and
+// moves the gauge together), so /metrics reports exactly the quantity
+// admission is bounding and the bound is never transiently exceeded.
+func (o *Obs) acquire() bool {
+	for {
+		cur := o.metrics.inflight.Load()
+		if cur >= o.max {
+			return false
+		}
+		if o.metrics.inflight.CompareAndSwap(cur, cur+1) {
+			o.metrics.notePeak(cur + 1)
+			return true
+		}
+	}
+}
+
+// statusWriter captures the response status for the metrics record.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.status = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// routeKey normalizes a request path to its route pattern, so metrics
+// aggregate per endpoint instead of per URL. It mirrors the route
+// shapes of the tsr and edge handlers: the repo id and package name
+// segments become {id} and {pkg}. Unmatched paths pass through but
+// are clipped (segment count and byte length), so a single absurd URL
+// cannot become a kilobytes-long registry key; the registry itself is
+// additionally capped (see maxEndpoints).
+func routeKey(method, path string) string {
+	trimmed := strings.Trim(path, "/")
+	if trimmed == "" {
+		return method + " /"
+	}
+	parts := strings.Split(trimmed, "/")
+	if len(parts) > 5 {
+		parts = append(parts[:5], "...")
+	}
+	if parts[0] == "repos" && len(parts) >= 2 {
+		parts[1] = "{id}"
+		if len(parts) >= 4 && (parts[2] == "packages" || parts[2] == "scripts") {
+			parts[3] = "{pkg}"
+		}
+	}
+	key := method + " /" + strings.Join(parts, "/")
+	if len(key) > 96 {
+		key = key[:96] + "..."
+	}
+	return key
+}

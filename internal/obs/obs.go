@@ -1,0 +1,291 @@
+// Package obs is the serving-tier observability subsystem: lock-free
+// per-endpoint latency histograms, an in-flight gauge, and a bounded
+// admission controller, wrapped as HTTP middleware around the origin
+// (tsrd) and edge (tsredge) handlers and exposed as JSON at
+// GET /metrics.
+//
+// Everything on the request path is wait-free after the first request
+// to an endpoint: histograms are fixed arrays of atomic counters
+// (log-bucketed, so 40 integers cover nanoseconds to hours with ≤2x
+// relative error on quantiles), the endpoint registry is a
+// copy-on-write map behind an atomic pointer (a lookup is one load +
+// one map read; the write lock is taken only when a never-seen route
+// appears), and the admission gate is a CAS loop on one integer. A
+// metrics scrape reads the same atomics — it never stalls serving, and
+// serving never stalls it.
+package obs
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of log2 latency buckets. Bucket i counts
+// observations with ceil(log2(µs)) == i, so bucket 0 is ≤1µs and
+// bucket 39 is ~9.1 days — comfortably past any real request.
+const histBuckets = 40
+
+// Histogram is a lock-free log-bucketed latency histogram. The zero
+// value is ready to use.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	max     atomic.Int64 // nanoseconds
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketFor maps a duration to its log2 bucket index.
+func bucketFor(d time.Duration) int {
+	us := uint64(d / time.Microsecond)
+	if us == 0 {
+		return 0
+	}
+	// bits.Len64(us) is ceil(log2(us))+1 for non-powers, exactly
+	// log2+1 for powers; using Len64(us-1) gives ceil(log2(us)).
+	b := bits.Len64(us - 1)
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// bucketUpperUs is the inclusive upper bound of bucket i in µs.
+func bucketUpperUs(i int) float64 { return float64(uint64(1) << uint(i)) }
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	h.buckets[bucketFor(d)].Add(1)
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time read of a histogram. Quantiles
+// are bucket upper bounds, so they overestimate by at most 2x — the
+// right direction for an SLO readout.
+type HistogramSnapshot struct {
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	// Buckets lists only the occupied buckets as {le_us, count} pairs,
+	// cumulative-free (count is per-bucket), keeping /metrics compact.
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one occupied histogram bucket: Count observations at or
+// under LeUs microseconds (and above the previous bucket's bound).
+type Bucket struct {
+	LeUs  float64 `json:"le_us"`
+	Count int64   `json:"count"`
+}
+
+// Snapshot reads the histogram. Concurrent Observe calls may straddle
+// the reads; the snapshot is still internally consistent enough for
+// monitoring (counts are monotone, quantiles bucket-accurate).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var counts [histBuckets]int64
+	var total int64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := HistogramSnapshot{Count: h.count.Load()}
+	if s.Count > 0 {
+		s.MeanMs = float64(h.sum.Load()) / float64(s.Count) / float64(time.Millisecond)
+	}
+	s.MaxMs = float64(h.max.Load()) / float64(time.Millisecond)
+	if total == 0 {
+		return s
+	}
+	// Quantiles over the bucketed total (which may trail count by the
+	// handful of in-flight Observes — harmless).
+	q := func(p float64) float64 {
+		target := int64(p*float64(total)) + 1
+		if target > total {
+			target = total
+		}
+		var cum int64
+		for i := 0; i < histBuckets; i++ {
+			cum += counts[i]
+			if cum >= target {
+				return bucketUpperUs(i) / 1e3 // µs → ms
+			}
+		}
+		return bucketUpperUs(histBuckets-1) / 1e3
+	}
+	s.P50Ms, s.P90Ms, s.P99Ms = q(0.50), q(0.90), q(0.99)
+	for i, c := range counts {
+		if c > 0 {
+			s.Buckets = append(s.Buckets, Bucket{LeUs: bucketUpperUs(i), Count: c})
+		}
+	}
+	return s
+}
+
+// Endpoint aggregates one route's metrics.
+type Endpoint struct {
+	latency Histogram
+	// status counts responses by class: index 1→1xx … 5→5xx.
+	status [6]atomic.Int64
+	shed   atomic.Int64
+}
+
+// EndpointSnapshot is the JSON form of one endpoint's metrics.
+type EndpointSnapshot struct {
+	Count   int64             `json:"count"`
+	Status  map[string]int64  `json:"status,omitempty"`
+	Shed    int64             `json:"shed,omitempty"`
+	Latency HistogramSnapshot `json:"latency"`
+}
+
+// Metrics is one daemon's metric registry.
+type Metrics struct {
+	start time.Time
+
+	// endpoints is copy-on-write: readers load the map and index it
+	// without locking; mu serializes only the insertion of new routes.
+	endpoints atomic.Pointer[map[string]*Endpoint]
+	mu        sync.Mutex
+
+	inflight     atomic.Int64
+	peakInflight atomic.Int64
+	shed         atomic.Int64
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	m := &Metrics{start: time.Now()}
+	empty := map[string]*Endpoint{}
+	m.endpoints.Store(&empty)
+	return m
+}
+
+// maxEndpoints caps the registry size. The real API has ~a dozen
+// routes; the cap exists because routeKey passes unmatched paths
+// through, and an unauthenticated scanner spraying unique URLs must
+// not be able to allocate an unbounded number of permanent Endpoint
+// structs (each a 40-bucket histogram, plus an O(n) copy-on-write map
+// rebuild per insert). Once full, unseen keys collapse into one
+// overflow bucket.
+const maxEndpoints = 64
+
+// overflowKey aggregates requests beyond the registry cap.
+const overflowKey = "(other)"
+
+// endpoint returns the Endpoint for a route key, creating it on first
+// sight (the only path that takes the lock).
+func (m *Metrics) endpoint(key string) *Endpoint {
+	if ep, ok := (*m.endpoints.Load())[key]; ok {
+		return ep
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur := *m.endpoints.Load()
+	if ep, ok := cur[key]; ok {
+		return ep
+	}
+	if len(cur) >= maxEndpoints {
+		if ep, ok := cur[overflowKey]; ok {
+			return ep
+		}
+		key = overflowKey
+	}
+	next := make(map[string]*Endpoint, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	ep := &Endpoint{}
+	next[key] = ep
+	m.endpoints.Store(&next)
+	return ep
+}
+
+// ObserveRequest records one served request: its latency and response
+// status class, under the given route key.
+func (m *Metrics) ObserveRequest(key string, status int, d time.Duration) {
+	ep := m.endpoint(key)
+	ep.latency.Observe(d)
+	class := status / 100
+	if class < 1 || class > 5 {
+		class = 5
+	}
+	ep.status[class].Add(1)
+}
+
+// ObserveShed records one request refused by admission control (not
+// counted in the latency histogram: shed responses are near-instant
+// and would drag the served-request quantiles toward zero).
+func (m *Metrics) ObserveShed(key string) {
+	m.shed.Add(1)
+	m.endpoint(key).shed.Add(1)
+}
+
+// RequestStarted / RequestDone maintain the in-flight gauge.
+func (m *Metrics) RequestStarted() {
+	m.notePeak(m.inflight.Add(1))
+}
+
+// notePeak ratchets the peak-inflight watermark.
+func (m *Metrics) notePeak(cur int64) {
+	for {
+		peak := m.peakInflight.Load()
+		if cur <= peak || m.peakInflight.CompareAndSwap(peak, cur) {
+			break
+		}
+	}
+}
+
+func (m *Metrics) RequestDone() { m.inflight.Add(-1) }
+
+// Snapshot is the full JSON document served at GET /metrics.
+type Snapshot struct {
+	UptimeMs     int64                       `json:"uptime_ms"`
+	Inflight     int64                       `json:"inflight"`
+	PeakInflight int64                       `json:"peak_inflight"`
+	MaxInflight  int64                       `json:"max_inflight"` // 0 = unlimited
+	ShedTotal    int64                       `json:"shed_total"`
+	Endpoints    map[string]EndpointSnapshot `json:"endpoints"`
+}
+
+// Snapshot reads every counter. Lock-free with respect to the request
+// path.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		UptimeMs:     time.Since(m.start).Milliseconds(),
+		Inflight:     m.inflight.Load(),
+		PeakInflight: m.peakInflight.Load(),
+		ShedTotal:    m.shed.Load(),
+		Endpoints:    map[string]EndpointSnapshot{},
+	}
+	for key, ep := range *m.endpoints.Load() {
+		es := EndpointSnapshot{Latency: ep.latency.Snapshot(), Shed: ep.shed.Load()}
+		for class := 1; class <= 5; class++ {
+			if n := ep.status[class].Load(); n > 0 {
+				if es.Status == nil {
+					es.Status = map[string]int64{}
+				}
+				es.Status[statusClassLabel(class)] = n
+				es.Count += n
+			}
+		}
+		s.Endpoints[key] = es
+	}
+	return s
+}
+
+func statusClassLabel(class int) string {
+	return string([]byte{byte('0' + class), 'x', 'x'})
+}

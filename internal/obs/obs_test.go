@@ -1,0 +1,290 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 90 fast observations (~1ms) and 10 slow (~100ms): p50/p90 land in
+	// the 1ms region, p99 in the 100ms region.
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if s.P50Ms > 4 {
+		t.Fatalf("p50 = %.2fms, want ~1ms (log-bucket bound ≤4ms)", s.P50Ms)
+	}
+	if s.P99Ms < 64 || s.P99Ms > 256 {
+		t.Fatalf("p99 = %.2fms, want in the 100ms bucket range", s.P99Ms)
+	}
+	if s.MaxMs < 99 {
+		t.Fatalf("max = %.2fms, want ≥ 100ms sample", s.MaxMs)
+	}
+	if s.MeanMs < 10 || s.MeanMs > 12 {
+		t.Fatalf("mean = %.2fms, want ~10.9ms", s.MeanMs)
+	}
+	if len(s.Buckets) != 2 {
+		t.Fatalf("%d occupied buckets, want 2", len(s.Buckets))
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(time.Duration(j) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != 8000 {
+		t.Fatalf("count = %d, want 8000", s.Count)
+	}
+}
+
+func TestRouteKeyNormalization(t *testing.T) {
+	cases := []struct{ method, path, want string }{
+		{"GET", "/repos/abc123/packages/openssl", "GET /repos/{id}/packages/{pkg}"},
+		{"GET", "/repos/abc123/scripts/openssl", "GET /repos/{id}/scripts/{pkg}"},
+		{"GET", "/repos/abc123/index", "GET /repos/{id}/index"},
+		{"GET", "/repos/abc123/index/delta", "GET /repos/{id}/index/delta"},
+		{"POST", "/repos/abc123/sync", "POST /repos/{id}/sync"},
+		{"POST", "/policies", "POST /policies"},
+		{"GET", "/healthz", "GET /healthz"},
+		{"GET", "/", "GET /"},
+	}
+	for _, tc := range cases {
+		if got := routeKey(tc.method, tc.path); got != tc.want {
+			t.Errorf("routeKey(%s %s) = %q, want %q", tc.method, tc.path, got, tc.want)
+		}
+	}
+}
+
+// TestAdmissionControlSheds saturates a wrapped handler and verifies
+// the gate: requests beyond MaxInflight get 429 + Retry-After, the
+// shed is counted, and /healthz plus /metrics stay reachable.
+func TestAdmissionControlSheds(t *testing.T) {
+	const maxInflight = 2
+	release := make(chan struct{})
+	entered := make(chan struct{}, 16)
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		entered <- struct{}{}
+		<-release
+		w.WriteHeader(http.StatusOK)
+	})
+	o := New(Options{MaxInflight: maxInflight, RetryAfter: 3 * time.Second})
+	handler := o.Wrap(inner)
+
+	// Fill both slots.
+	var wg sync.WaitGroup
+	for i := 0; i < maxInflight; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := httptest.NewRecorder()
+			handler.ServeHTTP(rec, httptest.NewRequest("GET", "/repos/r/index", nil))
+			if rec.Code != http.StatusOK {
+				t.Errorf("admitted request got %d", rec.Code)
+			}
+		}()
+	}
+	<-entered
+	<-entered
+
+	// Saturated: the next request is shed.
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest("GET", "/repos/r/index", nil))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity request got %d, want 429", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "3" {
+		t.Fatalf("Retry-After = %q, want \"3\"", got)
+	}
+
+	// Health and metrics bypass the gate.
+	rec = httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/healthz got %d during saturation, want 200", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics got %d during saturation, want 200", rec.Code)
+	}
+	var mid Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &mid); err != nil {
+		t.Fatal(err)
+	}
+	if mid.Inflight != maxInflight {
+		t.Fatalf("inflight gauge = %d during saturation, want %d", mid.Inflight, maxInflight)
+	}
+	if mid.ShedTotal != 1 {
+		t.Fatalf("shed_total = %d, want 1", mid.ShedTotal)
+	}
+
+	close(release)
+	wg.Wait()
+
+	s := o.Snapshot()
+	if s.Inflight != 0 {
+		t.Fatalf("inflight = %d after drain, want 0", s.Inflight)
+	}
+	// Exempt requests (/healthz) bypass the gate AND the gauge, so the
+	// peak never exceeds the admission bound.
+	if s.PeakInflight != maxInflight {
+		t.Fatalf("peak_inflight = %d, want exactly %d", s.PeakInflight, maxInflight)
+	}
+	if s.MaxInflight != maxInflight {
+		t.Fatalf("max_inflight = %d, want %d", s.MaxInflight, maxInflight)
+	}
+	ep, ok := s.Endpoints["GET /repos/{id}/index"]
+	if !ok {
+		t.Fatalf("no endpoint entry for the index route; have %v", keysOf(s.Endpoints))
+	}
+	if ep.Count != maxInflight {
+		t.Fatalf("index endpoint count = %d, want %d served", ep.Count, maxInflight)
+	}
+	if ep.Shed != 1 {
+		t.Fatalf("index endpoint shed = %d, want 1", ep.Shed)
+	}
+	if ep.Status["2xx"] != maxInflight {
+		t.Fatalf("status 2xx = %d, want %d", ep.Status["2xx"], maxInflight)
+	}
+	if ep.Latency.Count != maxInflight {
+		t.Fatalf("latency count = %d, want %d (shed responses must not enter the histogram)", ep.Latency.Count, maxInflight)
+	}
+}
+
+// TestHealthzDoesNotConsumeCapacity pins the exemption semantics: a
+// health probe in flight must not occupy an admission slot, or at
+// -max-inflight 1 an orchestrator's probes would shed every real
+// request.
+func TestHealthzDoesNotConsumeCapacity(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			entered <- struct{}{}
+			<-release
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	o := New(Options{MaxInflight: 1})
+	handler := o.Wrap(inner)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	}()
+	<-entered
+
+	// With the probe parked in flight, the single admission slot must
+	// still be free for a real request.
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest("GET", "/repos/r/index", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("request during health probe got %d, want 200 (probe consumed the admission slot)", rec.Code)
+	}
+	if got := o.Snapshot().Inflight; got != 0 {
+		t.Fatalf("inflight = %d with only an exempt probe running, want 0", got)
+	}
+	close(release)
+	<-done
+}
+
+// TestStatusClassesRecorded verifies response classes are tallied per
+// endpoint.
+func TestStatusClassesRecorded(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/repos/a/index":
+			w.WriteHeader(http.StatusOK)
+		case "/repos/b/index":
+			w.WriteHeader(http.StatusNotFound)
+		default:
+			w.WriteHeader(http.StatusInternalServerError)
+		}
+	})
+	o := New(Options{})
+	handler := o.Wrap(inner)
+	for _, path := range []string{"/repos/a/index", "/repos/b/index", "/oops"} {
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	}
+	s := o.Snapshot()
+	ep := s.Endpoints["GET /repos/{id}/index"]
+	if ep.Status["2xx"] != 1 || ep.Status["4xx"] != 1 {
+		t.Fatalf("index endpoint status = %v, want one 2xx and one 4xx", ep.Status)
+	}
+	if s.Endpoints["GET /oops"].Status["5xx"] != 1 {
+		t.Fatalf("oops endpoint status = %v, want one 5xx", s.Endpoints["GET /oops"].Status)
+	}
+	if s.MaxInflight != 0 {
+		t.Fatalf("max_inflight = %d, want 0 (unlimited)", s.MaxInflight)
+	}
+}
+
+// TestEndpointCardinalityBounded verifies a URL-spraying client cannot
+// grow the registry without bound: past the cap, unseen routes fold
+// into one overflow bucket, and absurd paths are clipped.
+func TestEndpointCardinalityBounded(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+	})
+	o := New(Options{})
+	handler := o.Wrap(inner)
+	for i := 0; i < maxEndpoints*4; i++ {
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, httptest.NewRequest("GET", fmt.Sprintf("/scan-%d", i), nil))
+	}
+	s := o.Snapshot()
+	if len(s.Endpoints) > maxEndpoints+1 {
+		t.Fatalf("registry grew to %d endpoints, cap is %d + overflow", len(s.Endpoints), maxEndpoints)
+	}
+	over, ok := s.Endpoints[overflowKey]
+	if !ok {
+		t.Fatalf("no %q overflow bucket after %d unique paths", overflowKey, maxEndpoints*4)
+	}
+	if over.Count != int64(maxEndpoints*4-maxEndpoints) {
+		t.Fatalf("overflow count = %d, want %d", over.Count, maxEndpoints*3)
+	}
+
+	// Long paths are clipped to bounded keys.
+	long := "/a/b/c/d/e/f/g/h/" + strings.Repeat("x", 500)
+	if key := routeKey("GET", long); len(key) > 104 {
+		t.Fatalf("routeKey produced a %d-byte key", len(key))
+	}
+}
+
+func keysOf(m map[string]EndpointSnapshot) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

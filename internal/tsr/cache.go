@@ -100,6 +100,10 @@ type counters struct {
 	// deltaReads counts index reads answered as a delta (edge replica
 	// sync); each is also counted in indexReads.
 	deltaReads atomic.Int64
+	// coalescedFills counts serving-path cache fills that shared
+	// another in-flight request's download+re-sanitization instead of
+	// running their own (flash-crowd coalescing).
+	coalescedFills atomic.Int64
 }
 
 // CacheStats are cumulative per-repository counters, exposed over the
@@ -129,21 +133,26 @@ type CacheStats struct {
 	// DeltaReads counts index reads answered as a delta (edge replica
 	// sync); each is also counted in IndexReads.
 	DeltaReads int64 `json:"delta_reads"`
+	// CoalescedFills counts package requests that shared a concurrent
+	// identical cache fill instead of re-running it (flash-crowd
+	// request coalescing on the serving path).
+	CoalescedFills int64 `json:"coalesced_fills"`
 }
 
 // CacheStats returns the cumulative counters. Lock-free: safe to call
 // at any rate while a refresh runs.
 func (r *Repo) CacheStats() CacheStats {
 	return CacheStats{
-		Refreshes:    r.totals.refreshes.Load(),
-		CacheHits:    r.totals.cacheHits.Load(),
-		Sanitized:    r.totals.sanitized.Load(),
-		Rejected:     r.totals.rejected.Load(),
-		Downloaded:   r.totals.downloaded.Load(),
-		Failed:       r.totals.failed.Load(),
-		IndexReads:   r.totals.indexReads.Load(),
-		PackageReads: r.totals.packageReads.Load(),
-		NotModified:  r.totals.notModified.Load(),
-		DeltaReads:   r.totals.deltaReads.Load(),
+		Refreshes:      r.totals.refreshes.Load(),
+		CacheHits:      r.totals.cacheHits.Load(),
+		Sanitized:      r.totals.sanitized.Load(),
+		Rejected:       r.totals.rejected.Load(),
+		Downloaded:     r.totals.downloaded.Load(),
+		Failed:         r.totals.failed.Load(),
+		IndexReads:     r.totals.indexReads.Load(),
+		PackageReads:   r.totals.packageReads.Load(),
+		NotModified:    r.totals.notModified.Load(),
+		DeltaReads:     r.totals.deltaReads.Load(),
+		CoalescedFills: r.totals.coalescedFills.Load(),
 	}
 }

@@ -82,7 +82,7 @@ func TestFetchIndexDeltaAcrossGenerations(t *testing.T) {
 
 	// A generation pushed out of the retained history: full fetch
 	// required.
-	for i := 0; i < maxIndexHistory+1; i++ {
+	for i := 0; i < index.HistoryWindow+1; i++ {
 		advance(t, w, r, "tool", fmt.Sprintf("1.%d-r0", i+1))
 	}
 	if _, err := r.FetchIndexDelta(baseTag); !errors.Is(err, index.ErrNoDelta) {

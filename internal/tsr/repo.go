@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"tsr/internal/apk"
+	"tsr/internal/flight"
 	"tsr/internal/index"
 	"tsr/internal/keys"
 	"tsr/internal/netsim"
@@ -145,12 +146,16 @@ type Repo struct {
 	pinned         map[string]index.Entry  // packages serving a previous version after a failed refresh: name -> the upstream entry that version came from
 	planDebt       map[string]bool         // packages whose current-version scripts did not inform the plan (fetch failed); re-fetched and re-planned next refresh
 	keepStats      bool
-	seq            uint64       // local index sequence
-	history        []generation // recent published generations, for delta sync (see snapshot.go)
+	seq            uint64             // local index sequence
+	history        []index.Generation // recent published generations, for delta sync (see snapshot.go)
 
 	// served is the published read state; see snapshot.go. Swapped in
 	// one atomic store at the end of a successful Refresh/RestoreState.
 	served atomic.Pointer[snapshot]
+	// fills coalesces concurrent cache-fill work on the serving path
+	// (see fillCoalesced in snapshot.go): N concurrent cold requests
+	// for the same content run ONE download+re-sanitization.
+	fills flight.Group[fillResult]
 	// totals are the cumulative serving/pipeline counters. All-atomic,
 	// so CacheStats never touches mu either.
 	totals counters

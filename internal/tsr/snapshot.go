@@ -36,22 +36,12 @@ type snapshot struct {
 	// history holds the most recent published index generations
 	// (including this one, as the last element) so edge replicas can
 	// delta-sync: GET /index/delta?since=<etag> diffs a retained
-	// generation against the current index. The slice is rebuilt on
-	// every publish (never mutated in place) and capped at
-	// maxIndexHistory entries.
-	history []generation
+	// generation against the current index. Maintained copy-on-write
+	// via index.AppendGeneration, capped at index.HistoryWindow — the
+	// same machinery the edge tier retains its window with, so origin
+	// and edge delta endpoints can never drift apart.
+	history []index.Generation
 }
-
-// generation is one retained published index generation.
-type generation struct {
-	etag  string
-	local *index.Index
-}
-
-// maxIndexHistory bounds how many generations the delta endpoint can
-// serve from. A replica whose base fell out of the window falls back to
-// a full index fetch.
-const maxIndexHistory = 8
 
 // publishLocked builds a snapshot from the current refresh-side state
 // and publishes it atomically. Caller holds r.mu. No-op until the first
@@ -79,16 +69,7 @@ func (r *Repo) publishLocked() {
 	// Append this generation to the retained history (copy-on-write: a
 	// previously published snapshot keeps its own slice). A republish of
 	// the same generation (e.g. SetCacheMode) does not duplicate it.
-	hist := r.history
-	if n := len(hist); n == 0 || hist[n-1].etag != snap.etag {
-		next := make([]generation, 0, len(hist)+1)
-		next = append(next, hist...)
-		next = append(next, generation{etag: snap.etag, local: r.local})
-		if len(next) > maxIndexHistory {
-			next = next[len(next)-maxIndexHistory:]
-		}
-		r.history = next
-	}
+	r.history = index.AppendGeneration(r.history, snap.etag, r.local)
 	snap.history = r.history
 	r.served.Store(snap)
 }
@@ -112,12 +93,10 @@ func (r *Repo) FetchIndexDelta(sinceETag string) (*index.Delta, error) {
 		r.totals.deltaReads.Add(1)
 		return nil, index.ErrDeltaUnchanged
 	}
-	for _, gen := range snap.history {
-		if gen.etag == sinceETag {
-			r.totals.indexReads.Add(1)
-			r.totals.deltaReads.Add(1)
-			return index.ComputeDelta(sinceETag, gen.local, snap.localSig, snap.local)
-		}
+	if base, ok := index.FindGeneration(snap.history, sinceETag); ok {
+		r.totals.indexReads.Add(1)
+		r.totals.deltaReads.Add(1)
+		return index.ComputeDelta(sinceETag, base, snap.localSig, snap.local)
 	}
 	return nil, fmt.Errorf("%w: since %s", index.ErrNoDelta, sinceETag)
 }
@@ -165,12 +144,7 @@ func (r *Repo) PackageETag(name string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return entryETag(entry), nil
-}
-
-// entryETag renders an index entry's content hash as a strong ETag.
-func entryETag(e index.Entry) string {
-	return `"` + hex.EncodeToString(e.Hash[:]) + `"`
+	return entry.ETag(), nil
 }
 
 // noteIndexNotModified / notePackageNotModified count an If-None-Match
@@ -277,16 +251,59 @@ func (r *Repo) fetchFromSnapshot(snap *snapshot, name string) ([]byte, *FetchRes
 	if snap.mode == CacheBoth {
 		if raw, err := r.svc.cfg.Store.Get(r.sanitizedKey(name, entry.Hash)); err == nil {
 			if int64(len(raw)) == entry.Size && sha256.Sum256(raw) == entry.Hash {
-				return raw, &FetchResult{From: ServedSanitizedCache, Latency: time.Since(start), ETag: entryETag(entry)}, nil
+				return raw, &FetchResult{From: ServedSanitizedCache, Latency: time.Since(start), ETag: entry.ETag()}, nil
 			}
 			// Cache tampered or rolled back. Re-sanitize from original.
-			if raw, res, err := r.resanitize(snap, name, entry, start); err == nil {
+			if raw, res, err := r.fillCoalesced(snap, name, entry, start); err == nil {
 				return raw, res, nil
 			}
 			return nil, nil, fmt.Errorf("%w: %s", ErrCacheTampered, name)
 		}
 	}
-	return r.resanitize(snap, name, entry, start)
+	return r.fillCoalesced(snap, name, entry, start)
+}
+
+// fillResult is the shared output of one coalesced cache fill.
+type fillResult struct {
+	raw []byte
+	res *FetchResult
+}
+
+// fillCoalesced wraps resanitize in a singleflight keyed by the
+// content hash: when a flash crowd of N concurrent cold requests
+// lands on the same package (cache cold, evicted, or CacheNone), ONE
+// request runs the expensive download + re-sanitization and the other
+// N-1 wait and share its verified bytes. Without this, the origin
+// re-ran the identical deterministic fill N times precisely when it
+// was already the bottleneck. The key is the entry hash, so identical
+// content coalesces even across snapshot generations and package
+// names; the result is verified against that same hash inside
+// resanitize, so followers share only index-proven bytes.
+func (r *Repo) fillCoalesced(snap *snapshot, name string, entry index.Entry, start time.Time) ([]byte, *FetchResult, error) {
+	v, leader, err := r.fills.Do(hex.EncodeToString(entry.Hash[:]), func() (fillResult, error) {
+		raw, res, err := r.resanitize(snap, name, entry, start)
+		if err != nil {
+			return fillResult{}, err
+		}
+		return fillResult{raw: raw, res: res}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	// Every caller — leader included — gets its own COPY of the bytes:
+	// every FetchPackage caller has always owned its returned slice
+	// (the mem store copies on Get, resanitize allocates fresh), and
+	// with followers possibly still mid-copy when the leader's Do
+	// returns, a caller mutating a shared buffer must not corrupt the
+	// verified bytes the rest of the cohort is holding.
+	raw := append([]byte(nil), v.raw...)
+	if leader {
+		return raw, v.res, nil
+	}
+	r.totals.coalescedFills.Add(1)
+	// Followers get their own result: same provenance and ETag, their
+	// own wall-clock wait (which is ≤ the leader's full fill time).
+	return raw, &FetchResult{From: v.res.From, Latency: time.Since(start), ETag: v.res.ETag}, nil
 }
 
 // resanitize rebuilds the sanitized package from the original (cached
@@ -356,5 +373,5 @@ func (r *Repo) resanitize(snap *snapshot, name string, entry index.Entry, start 
 		}
 		r.noteServedWrite(key)
 	}
-	return res.Raw, &FetchResult{From: from, Latency: time.Since(start) + dl, ETag: entryETag(entry)}, nil
+	return res.Raw, &FetchResult{From: from, Latency: time.Since(start) + dl, ETag: entry.ETag()}, nil
 }
