@@ -151,6 +151,39 @@ func BenchmarkFlashCrowd(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetSoak runs the composed-failure soak (docs/SOAK.md) at
+// bench scale: diurnal client traffic through failover clients while
+// edges die, restart, roll back, and turn byzantine, the origin
+// crash-restarts from its data dir, and flash crowds hit the admission
+// gate. Any invariant violation fails the benchmark. Reported metrics:
+// read p99s, shed rate, composed failure count, and the origin's warm
+// restart time.
+func BenchmarkFleetSoak(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Scale = 0.004
+	// Seed 3 like the CI soak-smoke job: seed 1 draws a workload with a
+	// multi-megabyte tail package that turns the soak's package reads
+	// into a 100s bench iteration without exercising anything extra.
+	cfg.Seed = 3
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.FleetSoakRun(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.InvariantViolations != 0 {
+			b.Fatalf("%d invariant violations: %v", res.InvariantViolations, res.Violations)
+		}
+		if res.ComposedFailures < 5 {
+			b.Fatalf("only %d composed failures scheduled, want >= 5", res.ComposedFailures)
+		}
+		b.ReportMetric(res.IndexLatency.P99Ms, "idx-p99-ms")
+		b.ReportMetric(res.PackageLatency.P99Ms, "pkg-p99-ms")
+		b.ReportMetric(res.ShedRate*100, "%shed")
+		b.ReportMetric(float64(res.ComposedFailures), "failures")
+		b.ReportMetric(res.WarmRestartMs, "warm-restart-ms")
+	}
+}
+
 // --- refresh pipeline ----------------------------------------------------
 
 // refreshWorld builds one simulated deployment shared by the refresh

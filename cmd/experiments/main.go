@@ -32,6 +32,7 @@ func run(args []string) error {
 	scale := fs.Float64("scale", 0.05, "population scale (1.0 = full 11,581 packages)")
 	seed := fs.Int64("seed", 1, "workload seed")
 	maxPkgs := fs.Int("max", 150, "cap for per-package experiment loops (0 = no cap)")
+	benchDir := fs.String("bench-dir", ".", "directory for BENCH_*.json emission (empty disables)")
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -42,7 +43,7 @@ func run(args []string) error {
 		}
 		return nil
 	}
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, MaxPackages: *maxPkgs}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, MaxPackages: *maxPkgs, BenchDir: *benchDir}
 
 	var runners []experiments.Runner
 	if *runList == "all" {

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"testing"
+)
 
 func TestRunList(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
@@ -23,5 +26,19 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
 		t.Fatal("want flag parse error")
+	}
+}
+
+// TestRunFleetSoakEmitsBench is the CLI path the CI soak-smoke job
+// uses: fleet-soak at tiny scale with -bench-dir must leave
+// BENCH_fleet_soak.json behind (and exit nonzero on any invariant
+// violation, which run surfaces as an error).
+func TestRunFleetSoakEmitsBench(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-run", "fleet-soak", "-scale", "0.004", "-seed", "3", "-bench-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir + "/BENCH_fleet_soak.json"); err != nil {
+		t.Fatalf("BENCH file not emitted: %v", err)
 	}
 }

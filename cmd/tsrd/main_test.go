@@ -6,9 +6,14 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"tsr/internal/chaos"
+	"tsr/internal/index"
+	"tsr/internal/obs"
 	"tsr/internal/tsr"
 )
 
@@ -60,6 +65,106 @@ func TestBuildServiceAndServe(t *testing.T) {
 	}
 }
 
+// TestAdmissionShedContract storms the exact middleware stack run()
+// builds — obs.New(Options{MaxInflight}).Wrap(tsr.Handler(svc)) — and
+// holds it to the chaos checker's serving invariants: every 200
+// package response pairs its strong ETag with exactly the body it
+// serves, every 429 carries a Retry-After hint, and the in-flight peak
+// never exceeds the advertised -max-inflight bound. A small service-
+// time floor under the gate (the same device the flash-crowd
+// experiment uses) makes the bursts genuinely overlap, so the gate has
+// something to shed.
+func TestAdmissionShedContract(t *testing.T) {
+	deps, err := openHost("", false, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, examplePolicy, err := buildService(0.003, 9, 4, deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	api := tsr.Handler(svc)
+	do := func(method, path, body string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		api.ServeHTTP(rec, httptest.NewRequest(method, path, strings.NewReader(body)))
+		return rec
+	}
+	rec := do("POST", "/policies", examplePolicy)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("deploy status = %d: %s", rec.Code, rec.Body)
+	}
+	var deployed struct {
+		RepositoryID string `json:"repository_id"`
+	}
+	if err := json.NewDecoder(rec.Body).Decode(&deployed); err != nil {
+		t.Fatal(err)
+	}
+	if rec := do("POST", "/repos/"+deployed.RepositoryID+"/refresh", ""); rec.Code != http.StatusOK {
+		t.Fatalf("refresh status = %d", rec.Code)
+	}
+	rec = do("GET", "/repos/"+deployed.RepositoryID+"/index", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("index status = %d", rec.Code)
+	}
+	ix, err := index.Decode(rec.Body.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ix.Entries) == 0 {
+		t.Fatal("no packages to storm")
+	}
+
+	const maxInflight = 4
+	gate := obs.New(obs.Options{MaxInflight: maxInflight})
+	wrapped := gate.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(2 * time.Millisecond) // service-time floor: make bursts overlap
+		api.ServeHTTP(w, r)
+	}))
+
+	checker := chaos.NewChecker(nil)
+	var served, shed atomic.Int64
+	var wg sync.WaitGroup
+	for round := 0; round < 3; round++ {
+		for c := 0; c < 4*maxInflight; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				name := ix.Entries[c%len(ix.Entries)].Name
+				rec := httptest.NewRecorder()
+				wrapped.ServeHTTP(rec, httptest.NewRequest("GET",
+					"/repos/"+deployed.RepositoryID+"/packages/"+name, nil))
+				checker.HTTPResponse("tsrd", rec.Code,
+					rec.Header().Get("ETag"), rec.Header().Get("Retry-After"), rec.Body.Bytes())
+				switch rec.Code {
+				case http.StatusOK:
+					served.Add(1)
+				case http.StatusTooManyRequests:
+					shed.Add(1)
+				default:
+					t.Errorf("unexpected status %d for %s", rec.Code, name)
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+
+	snap := gate.Snapshot()
+	checker.AdmissionSnapshot("tsrd", snap)
+	if v := checker.Violations(); len(v) != 0 {
+		t.Fatalf("invariant violations: %v", v)
+	}
+	if served.Load() == 0 {
+		t.Fatal("storm served nothing")
+	}
+	if shed.Load() == 0 || snap.ShedTotal == 0 {
+		t.Fatalf("4x overload shed nothing (served=%d shed=%d snapshot=%d)",
+			served.Load(), shed.Load(), snap.ShedTotal)
+	}
+	if snap.PeakInflight > maxInflight {
+		t.Fatalf("peak inflight %d > bound %d", snap.PeakInflight, maxInflight)
+	}
+}
+
 func TestRunBadFlag(t *testing.T) {
 	if err := run(context.Background(), []string{"-nope"}); err == nil {
 		t.Fatal("want flag error")
@@ -73,7 +178,10 @@ func TestRunShutsDownGracefully(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-scale", "0.003", "-auto-refresh", "1h"})
+		// Seed 9 like the rest of the file: the default seed 1 draws a
+		// workload whose race-instrumented build alone exceeds the 120s
+		// deadline below, turning this into a build-speed test.
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-scale", "0.003", "-seed", "9", "-auto-refresh", "1h"})
 	}()
 	// Let the service build and the listener start, then deliver the
 	// shutdown signal. (If cancel lands before ListenAndServe, Shutdown

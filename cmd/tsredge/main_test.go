@@ -2,14 +2,21 @@ package main
 
 import (
 	"context"
+	"fmt"
+	"net/http"
 	"net/http/httptest"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"tsr/internal/apk"
+	"tsr/internal/chaos"
 	"tsr/internal/edge"
 	"tsr/internal/experiments"
+	"tsr/internal/index"
 	"tsr/internal/keys"
+	"tsr/internal/obs"
 	"tsr/internal/tsr"
 )
 
@@ -74,6 +81,138 @@ func TestReplicateOverHTTP(t *testing.T) {
 	}
 	if _, err := client.FetchPackage("zzz-edge"); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestEdgeETagBodyUnderConcurrentSync hammers the exact serving stack
+// run() builds — obs.New(Options{MaxInflight}).Wrap(edge.Handler(...))
+// — with concurrent index and package reads while the replica syncs
+// new origin generations underneath. The chaos checker holds every 200
+// package response to the strong-ETag invariant (ETag == sha256 of the
+// body actually served): even when a sync publishes a new generation
+// mid-request, a response must never pair one generation's tag with
+// another's bytes. After the churn quiesces, a final sync must leave
+// every published package served and verified.
+func TestEdgeETagBodyUnderConcurrentSync(t *testing.T) {
+	w, err := experiments.NewWorld(experiments.Config{Scale: 0.003, Seed: 5}, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	originSrv := httptest.NewServer(tsr.Handler(w.Service))
+	defer originSrv.Close()
+	ring := keys.NewRing(w.Tenant.PublicKey())
+	origin := &tsr.Client{BaseURL: originSrv.URL, RepoID: w.Tenant.ID, HTTPClient: originSrv.Client()}
+	rep := &edge.Replica{RepoID: w.Tenant.ID, Origin: origin, CacheBudget: 64 << 20, TrustRing: ring}
+	if err := rep.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	const maxInflight = 8
+	gate := obs.New(obs.Options{MaxInflight: maxInflight})
+	handler := gate.Wrap(edge.Handler(map[string]*edge.Replica{w.Tenant.ID: rep}, "edge-soak"))
+	checker := chaos.NewChecker(ring)
+
+	const readers, iterations = 4, 12
+	var served atomic.Int64
+	var wg, pubWG sync.WaitGroup
+	for c := 0; c < readers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			actor := fmt.Sprintf("reader-%d", c)
+			for i := 0; i < iterations; i++ {
+				rec := httptest.NewRecorder()
+				handler.ServeHTTP(rec, httptest.NewRequest("GET", "/repos/"+w.Tenant.ID+"/index", nil))
+				if rec.Code != http.StatusOK {
+					continue // availability under churn, not a violation
+				}
+				ix, err := index.Decode(rec.Body.Bytes())
+				if err != nil {
+					t.Errorf("%s: edge served undecodable index: %v", actor, err)
+					return
+				}
+				for _, e := range ix.Entries {
+					rec := httptest.NewRecorder()
+					handler.ServeHTTP(rec, httptest.NewRequest("GET",
+						"/repos/"+w.Tenant.ID+"/packages/"+e.Name, nil))
+					checker.HTTPResponse(actor, rec.Code,
+						rec.Header().Get("ETag"), rec.Header().Get("Retry-After"), rec.Body.Bytes())
+					if rec.Code == http.StatusOK {
+						served.Add(1)
+					}
+				}
+			}
+		}(c)
+	}
+	// Publisher: three new origin generations land and sync mid-read.
+	pubWG.Add(1)
+	go func() {
+		defer pubWG.Done()
+		for gen := 0; gen < 3; gen++ {
+			p := &apk.Package{Name: fmt.Sprintf("zzz-soak-%d", gen), Version: "1.0-r0",
+				Files: []apk.File{{Path: "/usr/bin/zzz-soak", Mode: 0o755,
+					Content: []byte(fmt.Sprintf("gen-%d", gen))}}}
+			if err := apk.Sign(p, w.Distro); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := w.Repo.Publish(p); err != nil {
+				t.Error(err)
+				return
+			}
+			for _, m := range w.Mirrors {
+				m.Sync(w.Repo)
+			}
+			if _, err := w.Tenant.Refresh(); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := rep.Sync(); err != nil {
+				t.Errorf("mid-read sync: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	pubWG.Wait()
+
+	checker.AdmissionSnapshot("edge", gate.Snapshot())
+	if v := checker.Violations(); len(v) != 0 {
+		t.Fatalf("invariant violations: %v", v)
+	}
+	if served.Load() == 0 {
+		t.Fatal("no package responses served during churn")
+	}
+
+	// Quiesce: one more sync, then every published generation's package
+	// must be present and verified through the same wrapped stack.
+	if err := rep.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest("GET", "/repos/"+w.Tenant.ID+"/index", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-quiesce index status = %d", rec.Code)
+	}
+	ix, err := index.Decode(rec.Body.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gen := 0; gen < 3; gen++ {
+		name := fmt.Sprintf("zzz-soak-%d", gen)
+		if _, err := ix.Lookup(name); err != nil {
+			t.Fatalf("post-quiesce index missing %s", name)
+		}
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, httptest.NewRequest("GET", "/repos/"+w.Tenant.ID+"/packages/"+name, nil))
+		checker.HTTPResponse("quiesce", rec.Code,
+			rec.Header().Get("ETag"), rec.Header().Get("Retry-After"), rec.Body.Bytes())
+		if rec.Code != http.StatusOK {
+			t.Fatalf("post-quiesce fetch %s status = %d", name, rec.Code)
+		}
+	}
+	if v := checker.Violations(); len(v) != 0 {
+		t.Fatalf("post-quiesce violations: %v", v)
 	}
 }
 

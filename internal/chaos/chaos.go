@@ -1,0 +1,212 @@
+// Package chaos provides the composed-failure machinery behind the
+// fleet-soak experiment: a deterministic, seeded schedule of fault
+// events (schedule.go) and a continuous invariant checker that observes
+// every client-visible read while the faults compose.
+//
+// The checker encodes the paper's end-to-end trust claim as runtime
+// assertions: no matter what the untrusted middleware between clients
+// and the enclave does — frozen, corrupt, or offline edges, crashed
+// origins, dead mirrors — a client must never accept unverified bytes,
+// never move backwards in index generations, and must converge to the
+// origin's generation once the weather clears. A read that *fails* is
+// availability, not a violation; a read that *succeeds with wrong
+// data* is a violation, and one violation fails the run.
+package chaos
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"tsr/internal/index"
+	"tsr/internal/keys"
+	"tsr/internal/obs"
+)
+
+// Invariant names, used as the Violation.Invariant discriminator and
+// documented in docs/SOAK.md.
+const (
+	// InvVerifiedBytes: every package body accepted by a client matches
+	// the size and SHA-256 of its entry in a verified signed index.
+	InvVerifiedBytes = "verified-bytes"
+	// InvIndexSignature: every index accepted by a client carries a
+	// valid origin signature (checked independently of the client).
+	InvIndexSignature = "index-signature"
+	// InvMonotoneSequence: per client, accepted index sequences never
+	// regress.
+	InvMonotoneSequence = "monotone-sequence"
+	// InvETagBody: every HTTP 200 package response pairs its strong
+	// ETag with exactly the body it serves (ETag == sha256(body)).
+	InvETagBody = "etag-matches-body"
+	// InvShedContract: every HTTP 429 carries a Retry-After hint.
+	InvShedContract = "shed-contract"
+	// InvAdmissionBound: the in-flight peak never exceeds the
+	// -max-inflight bound the admission gate advertises.
+	InvAdmissionBound = "admission-bound"
+	// InvBoundedStaleness: once churn quiesces and replicas resync,
+	// every client converges on the origin's current sequence.
+	InvBoundedStaleness = "bounded-staleness"
+)
+
+// Violation is one observed invariant breach.
+type Violation struct {
+	Invariant string `json:"invariant"`
+	Actor     string `json:"actor"`
+	Detail    string `json:"detail"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s[%s]: %s", v.Invariant, v.Actor, v.Detail)
+}
+
+// Checker is the continuous invariant checker: every client-visible
+// read during a soak is reported to it, and it accumulates violations
+// instead of failing fast, so one run surfaces every breach at once.
+// All methods are safe for concurrent use from client goroutines.
+type Checker struct {
+	// Trust verifies index signatures independently of the clients
+	// under test — a buggy client cannot vouch for itself.
+	Trust *keys.Ring
+
+	mu sync.Mutex
+	// lastSeq tracks the highest index sequence accepted per actor.
+	lastSeq    map[string]uint64
+	violations []Violation
+	checks     int64
+}
+
+// NewChecker builds a checker that verifies indexes against ring.
+func NewChecker(ring *keys.Ring) *Checker {
+	return &Checker{Trust: ring, lastSeq: make(map[string]uint64)}
+}
+
+func (c *Checker) violate(invariant, actor, format string, args ...any) {
+	c.mu.Lock()
+	c.violations = append(c.violations, Violation{
+		Invariant: invariant,
+		Actor:     actor,
+		Detail:    fmt.Sprintf(format, args...),
+	})
+	c.mu.Unlock()
+}
+
+func (c *Checker) note(n int64) {
+	c.mu.Lock()
+	c.checks += n
+	c.mu.Unlock()
+}
+
+// IndexAccepted checks an index a client accepted: independent
+// signature verification, decodability, and per-client sequence
+// monotonicity. It returns the decoded index (nil when it failed to
+// decode) so the caller can resolve package entries from exactly the
+// generation the checker recorded.
+func (c *Checker) IndexAccepted(actor string, signed *index.Signed) *index.Index {
+	c.note(3)
+	if c.Trust != nil {
+		if err := signed.VerifySignature(c.Trust); err != nil {
+			c.violate(InvIndexSignature, actor, "accepted index fails independent verification: %v", err)
+			return nil
+		}
+	}
+	ix, err := index.Decode(signed.Raw)
+	if err != nil {
+		c.violate(InvIndexSignature, actor, "accepted index does not decode: %v", err)
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.lastSeq[actor]; ok && ix.Sequence < prev {
+		c.violations = append(c.violations, Violation{
+			Invariant: InvMonotoneSequence,
+			Actor:     actor,
+			Detail:    fmt.Sprintf("sequence regressed %d -> %d", prev, ix.Sequence),
+		})
+		return ix
+	}
+	c.lastSeq[actor] = ix.Sequence
+	return ix
+}
+
+// PackageAccepted checks package bytes a client accepted against the
+// entry of the verified index it requested them under.
+func (c *Checker) PackageAccepted(actor string, entry index.Entry, body []byte) {
+	c.note(1)
+	if int64(len(body)) != entry.Size || sha256.Sum256(body) != entry.Hash {
+		c.violate(InvVerifiedBytes, actor,
+			"%s: accepted %d bytes not matching signed entry (size %d)", entry.Name, len(body), entry.Size)
+	}
+}
+
+// HTTPResponse checks one response from an obs-wrapped HTTP package
+// endpoint: a 200 must pair its strong ETag with the body it carries,
+// a 429 must carry the Retry-After backoff hint. Other statuses
+// (404/503 during churn) are availability, not violations.
+func (c *Checker) HTTPResponse(actor string, status int, etag, retryAfter string, body []byte) {
+	c.note(1)
+	switch status {
+	case 200:
+		sum := sha256.Sum256(body)
+		if want := `"` + hex.EncodeToString(sum[:]) + `"`; etag != want {
+			c.violate(InvETagBody, actor, "200 with ETag %s over body hashing to %s", etag, want)
+		}
+	case 429:
+		if retryAfter == "" {
+			c.violate(InvShedContract, actor, "429 without Retry-After")
+		}
+	}
+}
+
+// AdmissionSnapshot checks an obs middleware snapshot against the
+// -max-inflight contract: the peak of the in-flight gauge must never
+// have exceeded the advertised bound.
+func (c *Checker) AdmissionSnapshot(actor string, s obs.Snapshot) {
+	c.note(1)
+	if s.MaxInflight > 0 && s.PeakInflight > s.MaxInflight {
+		c.violate(InvAdmissionBound, actor,
+			"peak inflight %d > max inflight %d", s.PeakInflight, s.MaxInflight)
+	}
+}
+
+// Quiesced asserts bounded staleness after the churn schedule drains:
+// every actor that accepted at least one index must have converged on
+// the origin's current sequence. Returns the number of lagging actors.
+func (c *Checker) Quiesced(originSeq uint64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lagging := 0
+	for actor, seq := range c.lastSeq {
+		c.checks++
+		if seq != originSeq {
+			lagging++
+			c.violations = append(c.violations, Violation{
+				Invariant: InvBoundedStaleness,
+				Actor:     actor,
+				Detail:    fmt.Sprintf("converged on sequence %d, origin is at %d", seq, originSeq),
+			})
+		}
+	}
+	return lagging
+}
+
+// Sequence returns the highest sequence recorded for an actor.
+func (c *Checker) Sequence(actor string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastSeq[actor]
+}
+
+// Checks returns how many invariant assertions ran.
+func (c *Checker) Checks() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.checks
+}
+
+// Violations returns a copy of every breach observed so far.
+func (c *Checker) Violations() []Violation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Violation(nil), c.violations...)
+}

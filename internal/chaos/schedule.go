@@ -1,0 +1,205 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+
+	"tsr/internal/edge"
+	"tsr/internal/netsim"
+)
+
+// EventKind enumerates the scenario zoo: every fault class the soak
+// composes, plus the control-plane events (refreshes, restarts) that
+// keep the world moving underneath them.
+type EventKind int
+
+const (
+	// FlashCrowd drives an overload burst through the obs-wrapped edge
+	// HTTP handler at 2x the admission bound.
+	FlashCrowd EventKind = iota
+	// EdgeKill takes an edge replica out from under live traffic.
+	EdgeKill
+	// EdgeRestart brings a killed edge back over its persisted store
+	// (warm LoadState + catch-up sync).
+	EdgeRestart
+	// EdgeRollback restarts an edge over a rolled-back journal: the
+	// replica comes back serving an old generation, and the clients'
+	// freshness floor has to route around it until it resyncs.
+	EdgeRollback
+	// ByzantineFlip switches an edge's behavior
+	// (Honest/Freeze/Corrupt/Offline) mid-traffic.
+	ByzantineFlip
+	// OriginCrash kills the origin service; OriginRestart warm-boots it
+	// from the -data-dir store while traffic continues on the edges.
+	OriginCrash
+	OriginRestart
+	// MirrorOutage / MirrorRecover toggle an upstream mirror, so a
+	// refresh landing in the window exercises the quorum degradation.
+	MirrorOutage
+	MirrorRecover
+	// Refresh publishes a new package and refreshes the tenant — a new
+	// signed generation for the fleet to converge on.
+	Refresh
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case FlashCrowd:
+		return "flash-crowd"
+	case EdgeKill:
+		return "edge-kill"
+	case EdgeRestart:
+		return "edge-restart"
+	case EdgeRollback:
+		return "edge-rollback"
+	case ByzantineFlip:
+		return "byzantine-flip"
+	case OriginCrash:
+		return "origin-crash"
+	case OriginRestart:
+		return "origin-restart"
+	case MirrorOutage:
+		return "mirror-outage"
+	case MirrorRecover:
+		return "mirror-recover"
+	case Refresh:
+		return "refresh"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one scheduled fault or control-plane action.
+type Event struct {
+	// Tick is the soak tick the event fires at.
+	Tick int
+	// Kind selects the scenario.
+	Kind EventKind
+	// Target is the edge slot or mirror this event hits (unused for
+	// origin and flash-crowd events). Edge slot 0 — the slot fronting
+	// the HTTP/admission path — is never targeted, so the ETag/body and
+	// shed invariants stay checkable on every 200 it serves.
+	Target int
+	// Behavior is the edge.Behavior a ByzantineFlip switches to.
+	Behavior edge.Behavior
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case ByzantineFlip:
+		return fmt.Sprintf("t%02d %s edge-%d -> %s", e.Tick, e.Kind, e.Target, e.Behavior)
+	case EdgeKill, EdgeRestart, EdgeRollback:
+		return fmt.Sprintf("t%02d %s edge-%d", e.Tick, e.Kind, e.Target)
+	case MirrorOutage, MirrorRecover:
+		return fmt.Sprintf("t%02d %s mirror-%d", e.Tick, e.Kind, e.Target)
+	default:
+		return fmt.Sprintf("t%02d %s", e.Tick, e.Kind)
+	}
+}
+
+// minSoakTicks is the floor BuildSchedule clamps to: below this the
+// guaranteed event classes cannot be spread out enough to compose.
+const minSoakTicks = 12
+
+// BuildSchedule derives the event schedule for one soak run from a
+// seeded RNG. The schedule is a pure function of the RNG stream and
+// the shape parameters, so two runs with the same seed replay the same
+// weather. It guarantees at least one of every composed failure class:
+// two flash crowds, edge kill/restart churn, an edge rollback, a
+// byzantine flip through each misbehavior (each flipped back to honest
+// later), an origin crash with a warm restart 2-3 ticks after, and a
+// mirror outage window — with refreshes publishing new generations
+// throughout. Edge slot 0 and all events assume edges >= 2; with fewer
+// edges the edge-targeted classes are skipped.
+func BuildSchedule(rng *netsim.RNG, ticks, edges, mirrors int) []Event {
+	if ticks < minSoakTicks {
+		ticks = minSoakTicks
+	}
+	var events []Event
+	add := func(tick int, kind EventKind, target int, b edge.Behavior) {
+		if tick < 1 {
+			tick = 1
+		}
+		if tick > ticks-1 {
+			tick = ticks - 1
+		}
+		events = append(events, Event{Tick: tick, Kind: kind, Target: target, Behavior: b})
+	}
+	// Ticks in [lo, hi] chosen from the seeded stream.
+	pick := func(lo, hi int) int {
+		if hi <= lo {
+			return lo
+		}
+		return lo + rng.Intn(hi-lo+1)
+	}
+	// A regular heartbeat of new generations for the fleet to chase.
+	for t := 2; t <= ticks-3; t += 3 {
+		add(t, Refresh, 0, edge.Honest)
+	}
+	// Two flash crowds, one in each half of the run.
+	add(pick(1, ticks/2-1), FlashCrowd, 0, edge.Honest)
+	add(pick(ticks/2, ticks-2), FlashCrowd, 0, edge.Honest)
+	if edges >= 2 {
+		victim := func() int { return 1 + rng.Intn(edges-1) }
+		// Two kill/restart churn pairs.
+		for i := 0; i < 2; i++ {
+			v := victim()
+			kill := pick(1, ticks-4)
+			add(kill, EdgeKill, v, edge.Honest)
+			add(kill+1+rng.Intn(2), EdgeRestart, v, edge.Honest)
+		}
+		// One rollback: the replica comes back on an old journal.
+		add(pick(2, ticks-3), EdgeRollback, victim(), edge.Honest)
+		// Each misbehavior flips on somewhere, then back to honest.
+		for _, b := range []edge.Behavior{edge.Freeze, edge.Corrupt, edge.Offline} {
+			v := victim()
+			flip := pick(1, ticks-4)
+			add(flip, ByzantineFlip, v, b)
+			add(flip+1+rng.Intn(3), ByzantineFlip, v, edge.Honest)
+		}
+	}
+	// Origin crash in the middle third, warm restart 2-3 ticks later —
+	// wide enough that client traffic runs against a dead origin, short
+	// enough that the run still converges.
+	crash := pick(ticks/3, 2*ticks/3)
+	add(crash, OriginCrash, 0, edge.Honest)
+	add(crash+2+rng.Intn(2), OriginRestart, 0, edge.Honest)
+	if mirrors > 0 {
+		m := rng.Intn(mirrors)
+		out := pick(2, ticks-4)
+		add(out, MirrorOutage, m, edge.Honest)
+		add(out+2, MirrorRecover, m, edge.Honest)
+	}
+	// Stable order: by tick, construction order breaking ties — the
+	// harness applies each tick's events in slice order.
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Tick < events[j].Tick })
+	return events
+}
+
+// ComposedFailures counts the events that count toward the "composed
+// failure" acceptance floor: the faults themselves, not the restarts
+// and refreshes that heal them.
+func ComposedFailures(events []Event) int {
+	n := 0
+	for _, e := range events {
+		switch e.Kind {
+		case FlashCrowd, EdgeKill, EdgeRollback, OriginCrash, MirrorOutage:
+			n++
+		case ByzantineFlip:
+			if e.Behavior != edge.Honest {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// CountByKind tallies a schedule for the BENCH report.
+func CountByKind(events []Event) map[string]int {
+	out := make(map[string]int)
+	for _, e := range events {
+		out[e.Kind.String()]++
+	}
+	return out
+}

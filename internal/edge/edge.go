@@ -370,6 +370,12 @@ const (
 	replicaStateKey = metaKeyPrefix + "index"
 )
 
+// StateKey is the store key of the journaled last-synced signed index
+// (see PersistIndex). Exported so harnesses that simulate crash,
+// restart, and rollback of an edge data dir can capture and replay the
+// journal without duplicating the key string.
+const StateKey = replicaStateKey
+
 // cacheKey addresses a cached package purely by content.
 func cacheKey(hash [32]byte) string { return pkgKeyPrefix + hex.EncodeToString(hash[:]) }
 

@@ -1,0 +1,33 @@
+package experiments
+
+import "testing"
+
+// TestSeedDeterminism runs registered experiments twice with the same
+// Config.Seed and requires byte-identical rendered tables. The subset
+// covers each deterministic-by-construction family — census counts
+// (table1/table2), seeded quorum trials (fig13), and the edge tier's
+// modeled-clock client simulation (edge-fanout); experiments that
+// render wall-clock CPU measurements (fig10/fig11, sanitization,
+// restart, soak) are inherently run-to-run variable and are excluded,
+// but their row structure is covered by their own tests.
+func TestSeedDeterminism(t *testing.T) {
+	for _, id := range []string{"table1", "table2", "fig13", "edge-fanout"} {
+		t.Run(id, func(t *testing.T) {
+			r, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func() string {
+				tbl, err := r.Run(testCfg())
+				if err != nil {
+					t.Fatal(err)
+				}
+				return tbl.Render()
+			}
+			first, second := run(), run()
+			if first != second {
+				t.Fatalf("two runs with the same seed differ:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+			}
+		})
+	}
+}

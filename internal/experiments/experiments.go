@@ -42,6 +42,10 @@ type Config struct {
 	QuorumTrials int
 	// EPC overrides the SGX cost model (zero value: paper defaults).
 	EPC enclave.CostModel
+	// BenchDir, when set, is where experiments that emit machine-readable
+	// BENCH_*.json results (fleet-soak) write them. Empty disables
+	// emission.
+	BenchDir string
 }
 
 // withDefaults fills zero fields.

@@ -1,0 +1,734 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tsr/internal/apk"
+	"tsr/internal/chaos"
+	"tsr/internal/edge"
+	"tsr/internal/enclave"
+	"tsr/internal/index"
+	"tsr/internal/keys"
+	"tsr/internal/mirror"
+	"tsr/internal/netsim"
+	"tsr/internal/obs"
+	"tsr/internal/store"
+	"tsr/internal/tpm"
+	"tsr/internal/tsr"
+)
+
+// Fleet-soak shape. Slot 0 is the protected front edge: it stays
+// honest and alive for the whole run so the HTTP/admission invariants
+// (ETag == sha256(body), shed contract, in-flight bound) are checkable
+// on every response it serves; the chaos schedule only ever targets
+// slots 1..soakEdges-1.
+const (
+	soakTicks       = 16
+	soakEdges       = 4
+	soakClients     = 6
+	soakBaseReads   = 4 // package reads per client per tick at diurnal peak
+	soakMaxInflight = 8
+	soakCrowdRounds = 3
+)
+
+// errOriginDown models the crashed origin process: connections to it
+// fail until the warm restart brings it back.
+var errOriginDown = errors.New("fleet-soak: origin is down")
+
+// originGate is the swappable origin endpoint: OriginCrash stores nil,
+// OriginRestart stores the restored tenant. It satisfies the same read
+// surface as *tsr.Repo, so countingOrigin and the replicas sit on top
+// unchanged.
+type originGate struct {
+	tenant atomic.Pointer[tsr.Repo]
+}
+
+func (g *originGate) FetchIndexTagged() (*index.Signed, string, error) {
+	t := g.tenant.Load()
+	if t == nil {
+		return nil, "", errOriginDown
+	}
+	return t.FetchIndexTagged()
+}
+
+func (g *originGate) FetchIndexDelta(since string) (*index.Delta, error) {
+	t := g.tenant.Load()
+	if t == nil {
+		return nil, errOriginDown
+	}
+	return t.FetchIndexDelta(since)
+}
+
+func (g *originGate) FetchPackage(name string) ([]byte, error) {
+	t := g.tenant.Load()
+	if t == nil {
+		return nil, errOriginDown
+	}
+	return t.FetchPackage(name)
+}
+
+// edgeSlot is one edge position in the fleet. The slot — not the
+// replica — is the client-facing Fetcher: EdgeKill swaps the replica
+// pointer to nil and EdgeRestart/EdgeRollback swap in a fresh Replica
+// over the slot's surviving store, while FailoverClient.rank keeps
+// reading a stable Endpoints slice. The cache is the slot's "data
+// dir": it survives kills, and journal0 snapshots its first persisted
+// index journal so EdgeRollback can play old state back over it.
+type edgeSlot struct {
+	name      string
+	continent netsim.Continent
+	cache     *store.Mem
+	journal0  []byte
+	rep       atomic.Pointer[edge.Replica]
+}
+
+func (s *edgeSlot) FetchIndexTagged() (*index.Signed, string, error) {
+	rep := s.rep.Load()
+	if rep == nil {
+		return nil, "", fmt.Errorf("%w: %s killed", edge.ErrOffline, s.name)
+	}
+	return rep.FetchIndexTagged()
+}
+
+func (s *edgeSlot) FetchPackage(name string) ([]byte, error) {
+	rep := s.rep.Load()
+	if rep == nil {
+		return nil, fmt.Errorf("%w: %s killed", edge.ErrOffline, s.name)
+	}
+	return rep.FetchPackage(name)
+}
+
+// FleetSoakResult is the measured outcome of one soak run; it is also
+// the BENCH_fleet_soak.json document.
+type FleetSoakResult struct {
+	Scale       float64 `json:"scale"`
+	Seed        int64   `json:"seed"`
+	Ticks       int     `json:"ticks"`
+	Edges       int     `json:"edges"`
+	Clients     int     `json:"clients"`
+	MaxInflight int64   `json:"max_inflight"`
+
+	// Events tallies the executed schedule by kind;
+	// ComposedFailures counts the fault events among them (the
+	// acceptance floor is >= 5).
+	Events           map[string]int `json:"events"`
+	ComposedFailures int            `json:"composed_failures"`
+	Schedule         []string       `json:"schedule"`
+
+	// Client-side reads through the failover clients. FailedReads is
+	// availability (endpoints down mid-churn), never a violation.
+	IndexReads   int64 `json:"index_reads"`
+	PackageReads int64 `json:"package_reads"`
+	FailedReads  int64 `json:"failed_reads"`
+
+	// Refresh control plane: generations published during the soak.
+	RefreshesOK      int `json:"refreshes_ok"`
+	RefreshesFailed  int `json:"refreshes_failed"`
+	RefreshesSkipped int `json:"refreshes_skipped"` // origin was down
+
+	// Wall-clock read latency through the soak (internal/obs
+	// histograms; quantiles are bucket upper bounds, so nonzero
+	// whenever any read completed).
+	IndexLatency   obs.HistogramSnapshot `json:"index_latency"`
+	PackageLatency obs.HistogramSnapshot `json:"package_latency"`
+
+	// Flash crowds through the obs-wrapped front edge handler.
+	FrontHTTP    obs.Snapshot `json:"front_http"`
+	CrowdOffered int64        `json:"crowd_offered"`
+	CrowdServed  int64        `json:"crowd_served"`
+	CrowdShed    int64        `json:"crowd_shed"`
+	ShedRate     float64      `json:"shed_rate"`
+
+	// Coalescing across live replicas at the end of the run (killed
+	// replicas take their counters with them).
+	CoalescedPulls int64 `json:"coalesced_pulls"`
+	CoalescedSyncs int64 `json:"coalesced_syncs"`
+
+	// Client defense counters summed over the fleet: byzantine edges
+	// were detected and routed around this many times.
+	Failovers         int64 `json:"failovers"`
+	RejectedStale     int64 `json:"rejected_stale"`
+	RejectedBytes     int64 `json:"rejected_bytes"`
+	RejectedSignature int64 `json:"rejected_signature"`
+
+	// OriginWarmRestart reports that the mid-soak origin restart came
+	// back warm from the -data-dir store (no re-sanitization), in
+	// WarmRestartMs.
+	OriginWarmRestart bool    `json:"origin_warm_restart"`
+	WarmRestartMs     float64 `json:"warm_restart_ms"`
+
+	// Invariants (internal/chaos). Violations must be empty.
+	LaggingAtQuiesce    int               `json:"lagging_at_quiesce"`
+	InvariantChecks     int64             `json:"invariant_checks"`
+	InvariantViolations int               `json:"invariant_violations"`
+	Violations          []chaos.Violation `json:"violations,omitempty"`
+}
+
+// soakPackage builds the deterministic package a Refresh event
+// publishes; the origin restart republishes the same list byte-for-byte
+// so regenerated entries hash identically to what clients already hold.
+func soakPackage(name string) *apk.Package {
+	const version = "1.0-r0"
+	return &apk.Package{
+		Name: name, Version: version,
+		Files: []apk.File{{Path: "/usr/bin/" + name, Mode: 0o755, Content: []byte(name + version)}},
+	}
+}
+
+// FleetSoakRun drives the composed-failure soak: soakClients failover
+// clients read through a fleet of soakEdges replicas plus the origin
+// while the seeded chaos schedule kills, rolls back, and corrupts edges
+// under them, crashes and warm-restarts the origin, takes mirrors out,
+// and publishes new generations — with every client-visible read fed to
+// the continuous invariant checker.
+func FleetSoakRun(cfg Config) (*FleetSoakResult, error) {
+	cfg = cfg.withDefaults()
+	cfg.Scale = minFloat(cfg.Scale, 0.006)
+
+	dir, err := os.MkdirTemp("", "tsr-soak-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Host hardware that survives the origin crash (restart.go): the
+	// platform sealing root and the TPM counters. The store handle does
+	// not — each life reopens and re-scrubs the data dir.
+	platform, err := enclave.NewPlatform(keys.Shared.MustGet("exp-quoting"))
+	if err != nil {
+		return nil, err
+	}
+	hostTPM := tpm.New(keys.Shared.MustGet("exp-host-tpm"))
+	openStore := func() (*store.FS, error) {
+		return store.OpenFS(dir, store.FSOptions{})
+	}
+
+	// --- first life --------------------------------------------------
+	st1, err := openStore()
+	if err != nil {
+		return nil, err
+	}
+	w, err := NewWorldWith(cfg, nil, false, WorldDeps{
+		Store: st1, TPM: hostTPM, Platform: platform, AutoPersist: true, SkipDeploy: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	repoID, _, _, err := w.Service.DeployPolicy(w.PolicyRaw)
+	if err != nil {
+		return nil, err
+	}
+	tenant, err := w.Service.Repo(repoID)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := tenant.Refresh(); err != nil {
+		return nil, err
+	}
+	w.Tenant = tenant
+
+	trust := keys.NewRing(tenant.PublicKey())
+	checker := chaos.NewChecker(trust)
+	gate := &originGate{}
+	gate.tenant.Store(tenant)
+	counted := &countingOrigin{tenant: gate}
+
+	// Control-plane state. ctlMu serializes the control goroutines
+	// (refreshes, origin restart, mirror toggles) against each other;
+	// the data plane reads only through the gate and slot atomics.
+	var ctlMu sync.Mutex
+	cur := w
+	var published []string
+	var ctlErrs []error
+	res := &FleetSoakResult{
+		Scale: cfg.Scale, Seed: cfg.Seed,
+		Ticks: soakTicks, Edges: soakEdges, Clients: soakClients,
+		MaxInflight: soakMaxInflight,
+	}
+	ctlFail := func(err error) {
+		ctlMu.Lock()
+		ctlErrs = append(ctlErrs, err)
+		ctlMu.Unlock()
+	}
+
+	// --- edge fleet ---------------------------------------------------
+	newReplica := func(s *edgeSlot) *edge.Replica {
+		return &edge.Replica{
+			RepoID:       repoID,
+			Origin:       counted,
+			Continent:    s.continent,
+			TrustRing:    trust,
+			Cache:        s.cache,
+			PersistIndex: true,
+		}
+	}
+	slots := make([]*edgeSlot, soakEdges)
+	for i := range slots {
+		slots[i] = &edgeSlot{
+			name:      fmt.Sprintf("edge-%d", i),
+			continent: edgeContinents[i%len(edgeContinents)],
+			cache:     store.NewMemBudget(1 << 30),
+		}
+		rep := newReplica(slots[i])
+		if err := rep.Sync(); err != nil {
+			return nil, err
+		}
+		slots[i].rep.Store(rep)
+		if j, err := slots[i].cache.Get(edge.StateKey); err == nil {
+			slots[i].journal0 = append([]byte(nil), j...)
+		}
+	}
+
+	// --- clients ------------------------------------------------------
+	var endpoints []edge.Endpoint
+	for _, s := range slots {
+		endpoints = append(endpoints, edge.Endpoint{Name: s.name, Continent: s.continent, Fetcher: s})
+	}
+	endpoints = append(endpoints, edge.Endpoint{Name: "origin", Continent: netsim.Europe, Fetcher: counted})
+	link := netsim.DefaultLinkModel(nil)
+	type soakClient struct {
+		name string
+		fc   *edge.FailoverClient
+		rng  *netsim.RNG
+	}
+	clients := make([]*soakClient, soakClients)
+	for i := range clients {
+		clients[i] = &soakClient{
+			name: fmt.Sprintf("client-%d", i),
+			fc: &edge.FailoverClient{
+				Local:     edgeContinents[i%len(edgeContinents)],
+				Link:      link,
+				Clock:     netsim.NewVirtualClock(time.Time{}),
+				TrustRing: trust,
+				Endpoints: endpoints,
+			},
+			rng: netsim.NewRNG(cfg.Seed + 100 + int64(i)),
+		}
+	}
+
+	// --- front HTTP handler (admission + ETag invariants) -------------
+	// The front replica never changes, so binding it into the handler
+	// once is safe; the service floor models saturated hardware exactly
+	// like the flash-crowd experiment.
+	inner := edge.Handler(map[string]*edge.Replica{repoID: slots[0].rep.Load()}, "soak-front")
+	slowed := http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		time.Sleep(flashServiceFloor)
+		inner.ServeHTTP(rw, r)
+	})
+	o := obs.New(obs.Options{MaxInflight: soakMaxInflight})
+	handler := o.Wrap(slowed)
+
+	// --- instruments --------------------------------------------------
+	var idxHist, pkgHist obs.Histogram
+	var indexReads, packageReads, failedReads atomic.Int64
+	var crowdOffered, crowdServed atomic.Int64
+
+	// --- event handlers ----------------------------------------------
+	doRefresh := func(tick int) {
+		ctlMu.Lock()
+		defer ctlMu.Unlock()
+		if gate.tenant.Load() == nil {
+			res.RefreshesSkipped++
+			return
+		}
+		name := fmt.Sprintf("soak-gen-%03d", tick)
+		published = append(published, name)
+		if err := advanceWorld(cur, name, "1.0-r0"); err != nil {
+			// A refresh failing during a mirror outage is availability;
+			// the previous snapshot keeps serving.
+			res.RefreshesFailed++
+			return
+		}
+		res.RefreshesOK++
+	}
+
+	doOriginRestart := func() error {
+		ctlMu.Lock()
+		defer ctlMu.Unlock()
+		if gate.tenant.Load() != nil {
+			return nil
+		}
+		st, err := openStore()
+		if err != nil {
+			return err
+		}
+		w2, err := NewWorldWith(cfg, nil, false, WorldDeps{
+			Store: st, TPM: hostTPM, Platform: platform, AutoPersist: true, SkipDeploy: true,
+		})
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		restored, err := w2.Service.RestoreAll()
+		if err != nil {
+			return err
+		}
+		restoreDur := time.Since(t0)
+		if len(restored) != 1 {
+			return fmt.Errorf("fleet-soak: RestoreAll restored %d repositories, want 1", len(restored))
+		}
+		tenant2, err := w2.Service.Repo(repoID)
+		if err != nil {
+			return err
+		}
+		w2.Tenant = tenant2
+		// Republish the soak generations into the regenerated upstream
+		// before the next refresh, so no generation ever retracts
+		// packages clients already verified.
+		for _, name := range published {
+			p := soakPackage(name)
+			if err := apk.Sign(p, w2.Distro); err != nil {
+				return err
+			}
+			if err := w2.Repo.Publish(p); err != nil {
+				return err
+			}
+		}
+		for _, m := range w2.Mirrors {
+			m.Sync(w2.Repo)
+		}
+		if _, err := tenant2.Refresh(); err != nil {
+			return err
+		}
+		cur = w2
+		res.OriginWarmRestart = restored[0].Warm
+		res.WarmRestartMs = float64(restoreDur) / float64(time.Millisecond)
+		gate.tenant.Store(tenant2)
+		return nil
+	}
+
+	restartEdge := func(s *edgeSlot) {
+		if s.rep.Load() != nil {
+			return
+		}
+		rep := newReplica(s)
+		if err := rep.LoadState(); err != nil && !errors.Is(err, edge.ErrNoState) {
+			ctlFail(fmt.Errorf("fleet-soak: %s restart: %w", s.name, err))
+			return
+		}
+		// Catch-up sync is best-effort: the origin may be down, and the
+		// replica serves its persisted generation until it isn't.
+		_ = rep.Sync()
+		s.rep.Store(rep)
+	}
+
+	rollbackEdge := func(s *edgeSlot) {
+		s.rep.Store(nil)
+		if s.journal0 == nil {
+			restartEdge(s)
+			return
+		}
+		if err := s.cache.Put(edge.StateKey, s.journal0); err != nil {
+			ctlFail(fmt.Errorf("fleet-soak: %s rollback: %w", s.name, err))
+			return
+		}
+		rep := newReplica(s)
+		if err := rep.LoadState(); err != nil {
+			ctlFail(fmt.Errorf("fleet-soak: %s rollback load: %w", s.name, err))
+			return
+		}
+		// Deliberately no sync: the replica comes back serving the
+		// rolled-back generation, and the clients' freshness floor has
+		// to reject it (RejectedStale) until the next sync round.
+		s.rep.Store(rep)
+	}
+
+	flashCrowd := func() {
+		signed, _, err := slots[0].FetchIndexTagged()
+		if err != nil {
+			ctlFail(fmt.Errorf("fleet-soak: flash crowd probe: %w", err))
+			return
+		}
+		probe, err := firstPackageName(signed)
+		if err != nil {
+			ctlFail(err)
+			return
+		}
+		path := "/repos/" + repoID + "/packages/" + probe
+		_ = inParallel(2*soakMaxInflight, func(int) error {
+			for r := 0; r < soakCrowdRounds; r++ {
+				rec := httptest.NewRecorder()
+				handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+				crowdOffered.Add(1)
+				if rec.Code == http.StatusOK {
+					crowdServed.Add(1)
+				}
+				checker.HTTPResponse("soak-front", rec.Code,
+					rec.Header().Get("ETag"), rec.Header().Get("Retry-After"), rec.Body.Bytes())
+			}
+			return nil
+		})
+		checker.AdmissionSnapshot("soak-front", o.Snapshot())
+	}
+
+	setMirror := func(i int, b mirror.Behavior) {
+		ctlMu.Lock()
+		defer ctlMu.Unlock()
+		if i < len(cur.Mirrors) {
+			cur.Mirrors[i].SetBehavior(b)
+		}
+	}
+
+	// Long-running control actions (refresh, origin restart) run
+	// concurrently with client traffic — that is the point of the soak —
+	// and are joined before quiesce.
+	var ctlWG sync.WaitGroup
+	applyEvent := func(ev chaos.Event) {
+		switch ev.Kind {
+		case chaos.Refresh:
+			ctlWG.Add(1)
+			go func() {
+				defer ctlWG.Done()
+				doRefresh(ev.Tick)
+			}()
+		case chaos.FlashCrowd:
+			flashCrowd()
+		case chaos.EdgeKill:
+			slots[ev.Target].rep.Store(nil)
+		case chaos.EdgeRestart:
+			restartEdge(slots[ev.Target])
+		case chaos.EdgeRollback:
+			rollbackEdge(slots[ev.Target])
+		case chaos.ByzantineFlip:
+			if rep := slots[ev.Target].rep.Load(); rep != nil {
+				rep.SetBehavior(ev.Behavior)
+			}
+		case chaos.OriginCrash:
+			gate.tenant.Store(nil)
+		case chaos.OriginRestart:
+			ctlWG.Add(1)
+			go func() {
+				defer ctlWG.Done()
+				if err := doOriginRestart(); err != nil {
+					ctlFail(err)
+				}
+			}()
+		case chaos.MirrorOutage:
+			setMirror(ev.Target, mirror.Offline)
+		case chaos.MirrorRecover:
+			setMirror(ev.Target, mirror.Honest)
+		}
+	}
+
+	clientTick := func(c *soakClient, reads int) {
+		t0 := time.Now()
+		signed, err := c.fc.FetchIndex()
+		if err != nil {
+			failedReads.Add(1)
+			return
+		}
+		idxHist.ObserveSince(t0)
+		indexReads.Add(1)
+		ix := checker.IndexAccepted(c.name, signed)
+		if ix == nil || len(ix.Entries) == 0 {
+			return
+		}
+		for j := 0; j < reads; j++ {
+			e := ix.Entries[c.rng.Intn(len(ix.Entries))]
+			t1 := time.Now()
+			body, err := c.fc.FetchPackage(e.Name)
+			if err != nil {
+				failedReads.Add(1)
+				continue
+			}
+			pkgHist.ObserveSince(t1)
+			packageReads.Add(1)
+			checker.PackageAccepted(c.name, e, body)
+		}
+	}
+
+	// --- the soak -----------------------------------------------------
+	schedule := chaos.BuildSchedule(netsim.NewRNG(cfg.Seed+7), soakTicks, soakEdges, len(w.Mirrors))
+	byTick := make(map[int][]chaos.Event)
+	for _, ev := range schedule {
+		byTick[ev.Tick] = append(byTick[ev.Tick], ev)
+		res.Schedule = append(res.Schedule, ev.String())
+	}
+	res.Events = chaos.CountByKind(schedule)
+	res.ComposedFailures = chaos.ComposedFailures(schedule)
+	curve := netsim.DefaultDiurnal(time.Duration(soakTicks) * time.Hour)
+
+	for tick := 0; tick < soakTicks; tick++ {
+		for _, ev := range byTick[tick] {
+			applyEvent(ev)
+		}
+		reads := int(math.Round(soakBaseReads * curve.At(time.Duration(tick)*time.Hour)))
+		if reads < 1 {
+			reads = 1
+		}
+		var wg sync.WaitGroup
+		for _, c := range clients {
+			wg.Add(1)
+			go func(c *soakClient) {
+				defer wg.Done()
+				clientTick(c, reads)
+			}(c)
+		}
+		// Live replicas chase the origin concurrently with the traffic.
+		for _, s := range slots {
+			if rep := s.rep.Load(); rep != nil {
+				wg.Add(1)
+				go func(r *edge.Replica) {
+					defer wg.Done()
+					_ = r.Sync()
+				}(rep)
+			}
+		}
+		wg.Wait()
+	}
+	ctlWG.Wait()
+	if len(ctlErrs) > 0 {
+		return nil, ctlErrs[0]
+	}
+
+	// --- quiesce: heal everything, then assert convergence ------------
+	if gate.tenant.Load() == nil {
+		if err := doOriginRestart(); err != nil {
+			return nil, err
+		}
+	}
+	ctlMu.Lock()
+	for _, m := range cur.Mirrors {
+		m.SetBehavior(mirror.Honest)
+	}
+	tenantNow := gate.tenant.Load()
+	ctlMu.Unlock()
+	for _, s := range slots {
+		if s.rep.Load() == nil {
+			restartEdge(s)
+		}
+		rep := s.rep.Load()
+		if rep == nil {
+			return nil, fmt.Errorf("fleet-soak: %s failed to restart at quiesce", s.name)
+		}
+		rep.SetBehavior(edge.Honest)
+		if err := rep.Sync(); err != nil {
+			return nil, fmt.Errorf("fleet-soak: quiesce sync %s: %w", s.name, err)
+		}
+		st := rep.Stats()
+		res.CoalescedPulls += st.CoalescedPulls
+		res.CoalescedSyncs += st.CoalescedSyncs
+	}
+	for _, c := range clients {
+		signed, err := c.fc.FetchIndex()
+		if err != nil {
+			return nil, fmt.Errorf("fleet-soak: quiesce read %s: %w", c.name, err)
+		}
+		checker.IndexAccepted(c.name, signed)
+		st := c.fc.Stats()
+		res.Failovers += st.Failovers
+		res.RejectedStale += st.RejectedStale
+		res.RejectedBytes += st.RejectedBytes
+		res.RejectedSignature += st.RejectedSignature
+	}
+	curSigned, _, err := tenantNow.FetchIndexTagged()
+	if err != nil {
+		return nil, err
+	}
+	curIx, err := index.Decode(curSigned.Raw)
+	if err != nil {
+		return nil, err
+	}
+	res.LaggingAtQuiesce = checker.Quiesced(curIx.Sequence)
+
+	// --- report -------------------------------------------------------
+	res.IndexReads = indexReads.Load()
+	res.PackageReads = packageReads.Load()
+	res.FailedReads = failedReads.Load()
+	res.IndexLatency = idxHist.Snapshot()
+	res.PackageLatency = pkgHist.Snapshot()
+	res.FrontHTTP = o.Snapshot()
+	res.CrowdOffered = crowdOffered.Load()
+	res.CrowdServed = crowdServed.Load()
+	res.CrowdShed = res.FrontHTTP.ShedTotal
+	if res.CrowdOffered > 0 {
+		res.ShedRate = float64(res.CrowdShed) / float64(res.CrowdOffered)
+	}
+	res.Violations = checker.Violations()
+	res.InvariantChecks = checker.Checks()
+	res.InvariantViolations = len(res.Violations)
+	return res, nil
+}
+
+// WriteBench writes the BENCH_fleet_soak.json document and returns its
+// path.
+func (r *FleetSoakResult) WriteBench(dir string) (string, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_fleet_soak.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// FleetSoak is the registered experiment: it runs the soak, emits the
+// BENCH document when Config.BenchDir is set, and fails — after
+// emitting — when any invariant was violated, so CI turns red on the
+// violation rather than on a missing artifact.
+func FleetSoak(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	res, err := FleetSoakRun(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var notes []string
+	if cfg.BenchDir != "" {
+		path, err := res.WriteBench(cfg.BenchDir)
+		if err != nil {
+			return nil, err
+		}
+		notes = append(notes, "machine-readable results: "+path)
+	}
+	if res.InvariantViolations > 0 {
+		max := res.InvariantViolations
+		if max > 8 {
+			max = 8
+		}
+		msg := ""
+		for _, v := range res.Violations[:max] {
+			msg += "\n  " + v.String()
+		}
+		return nil, fmt.Errorf("fleet-soak: %d invariant violation(s):%s", res.InvariantViolations, msg)
+	}
+	t := &Table{
+		Title:  "Fleet soak (composed failures under a diurnal load curve; every read invariant-checked)",
+		Header: []string{"metric", "value"},
+		Rows: [][]string{
+			{"fleet", fmt.Sprintf("%d edges + origin, %d clients, %d ticks", res.Edges, res.Clients, res.Ticks)},
+			{"composed failure events", fmt.Sprintf("%d (of %d scheduled events)", res.ComposedFailures, len(res.Schedule))},
+			{"generations published", fmt.Sprintf("%d ok / %d failed / %d skipped (origin down)",
+				res.RefreshesOK, res.RefreshesFailed, res.RefreshesSkipped)},
+			{"client reads", fmt.Sprintf("%d index + %d package (%d failed-over endpoints, %d unavailable)",
+				res.IndexReads, res.PackageReads, res.Failovers, res.FailedReads)},
+			{"index read latency", fmt.Sprintf("p50 %.3f ms / p99 %.3f ms", res.IndexLatency.P50Ms, res.IndexLatency.P99Ms)},
+			{"package read latency", fmt.Sprintf("p50 %.3f ms / p99 %.3f ms", res.PackageLatency.P50Ms, res.PackageLatency.P99Ms)},
+			{"byzantine rejections", fmt.Sprintf("%d stale / %d tampered / %d bad signature",
+				res.RejectedStale, res.RejectedBytes, res.RejectedSignature)},
+			{"flash crowds", fmt.Sprintf("%d offered, %d served, %d shed (%.0f%%), peak inflight %d <= max %d",
+				res.CrowdOffered, res.CrowdServed, res.CrowdShed, res.ShedRate*100,
+				res.FrontHTTP.PeakInflight, res.MaxInflight)},
+			{"coalesced pulls / syncs", fmt.Sprintf("%d / %d", res.CoalescedPulls, res.CoalescedSyncs)},
+			{"origin warm restart under load", fmt.Sprintf("%v (%.1f ms)", res.OriginWarmRestart, res.WarmRestartMs)},
+			{"clients lagging at quiesce", fmt.Sprint(res.LaggingAtQuiesce)},
+			{"invariant checks / violations", fmt.Sprintf("%d / %d", res.InvariantChecks, res.InvariantViolations)},
+		},
+		Notes: append([]string{
+			"invariants (docs/SOAK.md): verified bytes, index signature, monotone sequence, ETag==sha256(body),",
+			"shed contract, admission bound, bounded staleness after quiesce — one violation fails the run",
+		}, notes...),
+	}
+	return t, nil
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestFleetSoak runs the full composed-failure soak at test scale and
+// asserts the PR's acceptance criteria: zero invariant violations
+// across at least five composed failure events, full convergence at
+// quiesce, and a BENCH document with nonzero latency quantiles.
+func TestFleetSoak(t *testing.T) {
+	cfg := testCfg()
+	cfg.Seed = 3
+	res, err := FleetSoakRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InvariantViolations != 0 {
+		t.Fatalf("%d invariant violations: %v", res.InvariantViolations, res.Violations)
+	}
+	if res.ComposedFailures < 5 {
+		t.Fatalf("only %d composed failure events, want >= 5", res.ComposedFailures)
+	}
+	if res.LaggingAtQuiesce != 0 {
+		t.Fatalf("%d clients lagging at quiesce", res.LaggingAtQuiesce)
+	}
+	if res.IndexReads == 0 || res.PackageReads == 0 {
+		t.Fatalf("no successful reads: %d index / %d package", res.IndexReads, res.PackageReads)
+	}
+	if res.IndexLatency.P50Ms <= 0 || res.IndexLatency.P99Ms <= 0 {
+		t.Fatalf("index latency quantiles not populated: %+v", res.IndexLatency)
+	}
+	if res.PackageLatency.P50Ms <= 0 || res.PackageLatency.P99Ms <= 0 {
+		t.Fatalf("package latency quantiles not populated: %+v", res.PackageLatency)
+	}
+	if !res.OriginWarmRestart {
+		t.Fatal("origin restart did not come back warm")
+	}
+	if res.CrowdShed == 0 {
+		t.Fatal("flash crowds at 2x max-inflight shed nothing")
+	}
+	if res.InvariantChecks == 0 {
+		t.Fatal("invariant checker saw no reads")
+	}
+
+	// The BENCH document round-trips and carries the violation count.
+	dir := t.TempDir()
+	path, err := res.WriteBench(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("BENCH document is not valid JSON: %v", err)
+	}
+	if v, ok := doc["invariant_violations"].(float64); !ok || v != 0 {
+		t.Fatalf("BENCH invariant_violations = %v, want 0", doc["invariant_violations"])
+	}
+	if _, ok := doc["index_latency"].(map[string]any); !ok {
+		t.Fatalf("BENCH missing index_latency: %s", data)
+	}
+}
+
+// TestFleetSoakTableAndBenchEmission exercises the registered runner:
+// the table renders and the BENCH file lands in Config.BenchDir.
+func TestFleetSoakTableAndBenchEmission(t *testing.T) {
+	cfg := testCfg()
+	cfg.Seed = 3
+	cfg.BenchDir = t.TempDir()
+	tbl, err := FleetSoak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.Render()
+	if len(out) == 0 {
+		t.Fatal("empty table")
+	}
+	if _, err := os.Stat(cfg.BenchDir + "/BENCH_fleet_soak.json"); err != nil {
+		t.Fatalf("BENCH file not emitted: %v", err)
+	}
+}

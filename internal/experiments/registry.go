@@ -36,6 +36,7 @@ func All() []Runner {
 		{"edge-fanout", "edge replication tier", EdgeFanout},
 		{"crash-restart", "durable store warm restart", CrashRestart},
 		{"flash-crowd", "request coalescing + admission control", FlashCrowd},
+		{"fleet-soak", "ROADMAP item 5: composed-failure soak", FleetSoak},
 	}
 }
 

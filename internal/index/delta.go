@@ -148,7 +148,7 @@ func DecodeDelta(raw []byte) (*Delta, error) {
 		if line == "" {
 			continue
 		}
-		key, value, ok := strings.Cut(line, " = ")
+		key, value, ok := cutKV(line)
 		if !ok {
 			return nil, fmt.Errorf("%w: delta line %d: %q", ErrFormat, lineno+1, line)
 		}

@@ -136,6 +136,20 @@ func (ix *Index) Encode() []byte {
 	return []byte(b.String())
 }
 
+// cutKV splits a "key = value" line. An empty field encodes as
+// "key = " whose trailing space does not survive the per-line
+// TrimSpace, so the bare "key =" form is accepted as an empty value —
+// without it, canonical encodings would not re-decode.
+func cutKV(line string) (key, value string, ok bool) {
+	if k, v, ok := strings.Cut(line, " = "); ok {
+		return k, v, true
+	}
+	if k, found := strings.CutSuffix(line, " ="); found {
+		return k, "", true
+	}
+	return line, "", false
+}
+
 // Decode parses an encoded index.
 func Decode(raw []byte) (*Index, error) {
 	ix := &Index{}
@@ -145,7 +159,7 @@ func Decode(raw []byte) (*Index, error) {
 		if line == "" {
 			continue
 		}
-		key, value, ok := strings.Cut(line, " = ")
+		key, value, ok := cutKV(line)
 		if !ok {
 			return nil, fmt.Errorf("%w: line %d: %q", ErrFormat, lineno+1, line)
 		}

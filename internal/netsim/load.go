@@ -1,0 +1,50 @@
+package netsim
+
+import (
+	"math"
+	"time"
+)
+
+// DiurnalCurve models the daily load shape a production repository
+// fleet sees: traffic oscillates between a nightly base and a daytime
+// peak following a raised cosine. The soak harness scales its offered
+// client load by At(elapsed), so churn events land on a realistic
+// moving background instead of a flat request rate.
+type DiurnalCurve struct {
+	// Base is the load multiplier at the bottom of the trough.
+	Base float64
+	// Peak is the multiplier at the top of the daily peak.
+	Peak float64
+	// Period is the cycle length (24h for a real diurnal cycle; soak
+	// runs compress it so a short run still sweeps trough and peak).
+	Period time.Duration
+	// PeakAt is the phase [0,1) within the period where the peak lands
+	// (0.58 ≈ early afternoon when the period starts at midnight).
+	PeakAt float64
+}
+
+// DefaultDiurnal is the curve used by the fleet-soak experiment:
+// traffic swings between 35% and 100% of peak over one period.
+func DefaultDiurnal(period time.Duration) DiurnalCurve {
+	return DiurnalCurve{Base: 0.35, Peak: 1.0, Period: period, PeakAt: 0.58}
+}
+
+// At returns the load multiplier after elapsed time: a raised cosine
+// between Base and Peak, peaking at the PeakAt phase. Degenerate
+// configurations fall back to a flat curve at Peak (or 1.0 when that
+// is unset too), so a zero value never divides by zero.
+func (c DiurnalCurve) At(elapsed time.Duration) float64 {
+	if c.Period <= 0 || c.Peak <= c.Base {
+		if c.Peak > 0 {
+			return c.Peak
+		}
+		return 1.0
+	}
+	phase := math.Mod(elapsed.Seconds()/c.Period.Seconds(), 1.0)
+	if phase < 0 {
+		phase += 1.0
+	}
+	// cos(2π(phase-PeakAt)) is 1 exactly at the peak phase and -1 half a
+	// period away, mapping onto [Base, Peak].
+	return c.Base + (c.Peak-c.Base)*0.5*(1+math.Cos(2*math.Pi*(phase-c.PeakAt)))
+}

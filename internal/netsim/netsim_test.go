@@ -93,6 +93,40 @@ func TestRNGJitterBounds(t *testing.T) {
 	}
 }
 
+func TestDiurnalCurveShape(t *testing.T) {
+	c := DefaultDiurnal(24 * time.Hour)
+	peak := c.At(time.Duration(c.PeakAt * float64(24*time.Hour)))
+	trough := c.At(time.Duration((c.PeakAt + 0.5) * float64(24*time.Hour)))
+	if math.Abs(peak-c.Peak) > 1e-9 {
+		t.Fatalf("At(peak phase) = %v, want %v", peak, c.Peak)
+	}
+	if math.Abs(trough-c.Base) > 1e-9 {
+		t.Fatalf("At(trough phase) = %v, want %v", trough, c.Base)
+	}
+	// Every sample stays inside [Base, Peak] and the curve is periodic.
+	for i := 0; i < 100; i++ {
+		d := time.Duration(i) * 17 * time.Minute
+		v := c.At(d)
+		if v < c.Base-1e-9 || v > c.Peak+1e-9 {
+			t.Fatalf("At(%v) = %v outside [%v, %v]", d, v, c.Base, c.Peak)
+		}
+		if w := c.At(d + 24*time.Hour); math.Abs(v-w) > 1e-9 {
+			t.Fatalf("curve not periodic at %v: %v != %v", d, v, w)
+		}
+	}
+}
+
+func TestDiurnalCurveDegenerate(t *testing.T) {
+	var zero DiurnalCurve
+	if got := zero.At(time.Hour); got != 1.0 {
+		t.Fatalf("zero-value curve = %v, want flat 1.0", got)
+	}
+	flat := DiurnalCurve{Base: 0.5, Peak: 0.5, Period: time.Hour}
+	if got := flat.At(time.Minute); got != 0.5 {
+		t.Fatalf("flat curve = %v, want 0.5", got)
+	}
+}
+
 func TestContinentString(t *testing.T) {
 	tests := []struct {
 		c    Continent

@@ -70,6 +70,14 @@ func (h *Histogram) Observe(d time.Duration) {
 	}
 }
 
+// ObserveSince records the latency of an operation started at start —
+// the one-liner every read site of the soak harness uses, so the
+// measurement convention (time.Since at the call site) cannot drift
+// between call sites.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start))
+}
+
 // HistogramSnapshot is a point-in-time read of a histogram. Quantiles
 // are bucket upper bounds, so they overestimate by at most 2x — the
 // right direction for an SLO readout.

@@ -60,6 +60,24 @@ func TestHistogramConcurrentObserve(t *testing.T) {
 	}
 }
 
+func TestHistogramObserveSince(t *testing.T) {
+	var h Histogram
+	h.ObserveSince(time.Now().Add(-5 * time.Millisecond))
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("count = %d, want 1", s.Count)
+	}
+	if s.MaxMs < 4 || s.MaxMs > 100 {
+		t.Fatalf("max = %.2fms, want ~5ms", s.MaxMs)
+	}
+	// A start in the future must clamp to the zero bucket, not panic or
+	// go negative.
+	h.ObserveSince(time.Now().Add(time.Hour))
+	if s := h.Snapshot(); s.Count != 2 {
+		t.Fatalf("count = %d, want 2", s.Count)
+	}
+}
+
 func TestRouteKeyNormalization(t *testing.T) {
 	cases := []struct{ method, path, want string }{
 		{"GET", "/repos/abc123/packages/openssl", "GET /repos/{id}/packages/{pkg}"},
