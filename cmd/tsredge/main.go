@@ -37,6 +37,8 @@ package main
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"flag"
 	"fmt"
@@ -144,7 +146,7 @@ func run(ctx context.Context, args []string) error {
 // deploy, a recovered rack) would otherwise delta-sync in lockstep and
 // hit the origin as one synchronized thundering herd forever.
 func syncLoop(ctx context.Context, rep *edge.Replica, every time.Duration) {
-	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	rng := rand.New(rand.NewSource(cryptoSeed()))
 	timer := time.NewTimer(jitter(rng, every))
 	defer timer.Stop()
 	for {
@@ -158,6 +160,21 @@ func syncLoop(ctx context.Context, rep *edge.Replica, every time.Duration) {
 		}
 		timer.Reset(jitter(rng, every))
 	}
+}
+
+// cryptoSeed derives a jitter-RNG seed from crypto/rand. A wall-clock
+// seed (the previous implementation) gives every replica in a
+// simultaneously deployed fleet a near-identical seed — and detrand
+// flags it as the classic unreproducible-failure pattern; entropy from
+// the kernel keeps the phases independent instead.
+func cryptoSeed() int64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// No kernel entropy: fall back to something per-process. The
+		// jitter degrades (possible fleet alignment), nothing breaks.
+		return int64(os.Getpid())
+	}
+	return int64(binary.LittleEndian.Uint64(b[:]))
 }
 
 // jitter spreads an interval uniformly over [0.9d, 1.1d].

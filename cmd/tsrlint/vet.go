@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"log"
+	"os"
+
+	"tsr/internal/analysis"
+)
+
+// vetConfig is the JSON compilation-unit description cmd/go hands a
+// vettool (one .cfg file per package). The field set is cmd/go's
+// protocol; only the fields tsrlint needs are decoded.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit analyzes the single compilation unit described by the
+// .cfg file, printing diagnostics to stderr and exiting nonzero when
+// any survive — the contract "go vet" expects.
+func runVetUnit(cfgFile string, analyzers []*analysis.Analyzer) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		log.Fatalf("cannot decode vet config %s: %v", cfgFile, err)
+	}
+
+	// tsrlint exports no facts, but cmd/go expects the vetx output file
+	// to exist; write the (empty) facts file up front.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		return
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return
+			}
+			log.Fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	exportFile := func(path string) (string, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return "", fmt.Errorf("no package file for %q", path)
+		}
+		return file, nil
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{
+		Importer: analysis.ExportDataImporter(fset, exportFile, cfg.ImportMap),
+		Sizes:    types.SizesFor("gc", "amd64"),
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		log.Fatalf("type-checking %s: %v", cfg.ImportPath, err)
+	}
+
+	unit := &analysis.Unit{Path: cfg.ImportPath, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+	diags, err := analysis.RunUnit(unit, analyzers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,64 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tsr/internal/analysis"
+)
+
+// TestAllowDirectives pins the escape hatch's whole contract against
+// testdata/src/lintallow, run through the full analyzer suite exactly
+// as the driver would:
+//
+//   - allowed.go: a well-formed line allow suppresses its violation;
+//   - fileallow.go: a file-level allow suppresses the whole file;
+//   - malformed.go: a reason-less directive is itself reported and
+//     suppresses nothing;
+//   - unknown.go: a directive naming a nonexistent analyzer is itself
+//     reported and suppresses nothing.
+func TestAllowDirectives(t *testing.T) {
+	unit, err := analysis.LoadDir(".", "testdata/src/lintallow", "tsr/internal/chaos")
+	if err != nil {
+		t.Fatalf("loading lintallow testdata: %v", err)
+	}
+	diags, err := analysis.RunUnit(unit, analysis.All())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+
+	want := []struct {
+		file     string
+		analyzer string
+		substr   string
+	}{
+		{"malformed.go", "lintallow", "the reason is mandatory"},
+		{"malformed.go", "detrand", "reads the wall clock"},
+		{"unknown.go", "lintallow", `unknown analyzer "detrnad"`},
+		{"unknown.go", "detrand", "reads the wall clock"},
+	}
+	matched := make([]bool, len(diags))
+	for _, w := range want {
+		found := false
+		for i, d := range diags {
+			if matched[i] {
+				continue
+			}
+			if filepath.Base(d.Pos.Filename) == w.file && d.Analyzer == w.analyzer &&
+				strings.Contains(d.Message, w.substr) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing diagnostic: %s %s %q", w.file, w.analyzer, w.substr)
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxhttp enforces the outbound-HTTP hygiene PR 4 retrofitted onto
+// tsr.Client after a hung origin was observed wedging a
+// FailoverClient's ranking forever: every outgoing request must be
+// cancelable (http.NewRequestWithContext, so daemon shutdown aborts
+// in-flight syncs instead of draining them) and every client must
+// bound its requests (an http.Client literal without a Timeout, the
+// package-level http.Get/Head/Post/PostForm helpers, and
+// http.DefaultClient all hang forever on a black-holed peer). Test
+// files are exempt — httptest servers are loopback.
+var Ctxhttp = &Analyzer{
+	Name: "ctxhttp",
+	Doc:  "outgoing requests must use http.NewRequestWithContext and clients must carry timeouts",
+	Run:  runCtxhttp,
+}
+
+// ctxhttpBareRequest are net/http package-level functions that issue
+// or build requests without a context.
+var ctxhttpBareRequest = map[string]string{
+	"NewRequest": "http.NewRequestWithContext (wire the daemon shutdown context through)",
+	"Get":        "http.NewRequestWithContext with a timeout-bounded client",
+	"Head":       "http.NewRequestWithContext with a timeout-bounded client",
+	"Post":       "http.NewRequestWithContext with a timeout-bounded client",
+	"PostForm":   "http.NewRequestWithContext with a timeout-bounded client",
+}
+
+func runCtxhttp(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				obj := pass.TypesInfo.Uses[n]
+				if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "net/http" {
+					return true
+				}
+				if fn, ok := obj.(*types.Func); ok {
+					if replacement, banned := ctxhttpBareRequest[fn.Name()]; banned &&
+						fn.Type().(*types.Signature).Recv() == nil {
+						pass.Reportf(n.Pos(), "http.%s issues an uncancelable request; use %s", fn.Name(), replacement)
+					}
+					return true
+				}
+				if v, ok := obj.(*types.Var); ok && v.Name() == "DefaultClient" {
+					pass.Reportf(n.Pos(), "http.DefaultClient has no timeout and hangs forever on a black-holed peer; construct an http.Client with a Timeout")
+				}
+			case *ast.CompositeLit:
+				tv, ok := pass.TypesInfo.Types[n]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				if named, ok := tv.Type.(*types.Named); !ok ||
+					named.Obj().Name() != "Client" || named.Obj().Pkg() == nil ||
+					named.Obj().Pkg().Path() != "net/http" {
+					return true
+				}
+				for _, elt := range n.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Timeout" {
+							return true
+						}
+					}
+				}
+				pass.Reportf(n.Pos(), "http.Client literal without a Timeout hangs forever on a black-holed peer; set Timeout (or annotate a deliberate streaming client with //lint:allow ctxhttp <reason>)")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Detrand enforces seeded determinism in the packages whose outputs
+// must be reproducible: internal/chaos (the fault schedule is a pure
+// function of the seed — PR 6), internal/netsim (the modeled network
+// is driven by an injected clock and RNG — seed state), and
+// internal/experiments (seed-determinism tests assert byte-identical
+// tables). In those packages, non-test code must not read the wall
+// clock (time.Now — use the injected netsim.Clock), must not draw
+// from the global math/rand source (use a seeded *rand.Rand /
+// netsim.RNG), and must not emit output while ranging over a map
+// (iteration order is deliberately random — collect and sort first).
+// Latency-measurement sites that genuinely need the wall clock carry
+// //lint:allow or //lint:file-allow annotations with reasons.
+//
+// One check applies to EVERY package, test files included:
+// time-seeded RNGs (rand.NewSource(time.Now().UnixNano()) and
+// friends). In production code they cause fleet lockstep or
+// untraceable behavior; in tests they are the classic flake generator
+// — a failure can never be reproduced because the seed is gone.
+// TestRunShutsDownGracefully and BenchmarkFleetSoak pin their seeds
+// for exactly this reason (docs/LINT.md documents the convention).
+var Detrand = &Analyzer{
+	Name: "detrand",
+	Doc:  "no wall clock, global math/rand, or map-ordered output in deterministic packages; no time-seeded RNGs anywhere",
+	Run:  runDetrand,
+}
+
+// detrandScoped reports whether the full determinism rules apply to a
+// package.
+func detrandScoped(pkgPath string) bool {
+	return pathHasSuffixSegments(pkgPath, "internal/chaos") ||
+		pathHasSuffixSegments(pkgPath, "internal/netsim") ||
+		pathHasSuffixSegments(pkgPath, "internal/experiments")
+}
+
+// detrandGlobalRand is the set of package-level math/rand functions
+// that draw from (or reseed) the shared global source. The
+// constructors New/NewSource are fine — with an explicit seed.
+var detrandGlobalRand = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+func runDetrand(pass *Pass) error {
+	scoped := detrandScoped(pass.Pkg.Path())
+	// seededCalls collects the time.Now idents consumed by a flagged
+	// rand.NewSource/rand.Seed seed expression, so the scoped
+	// wall-clock check does not double-report them.
+	seededNow := make(map[*ast.Ident]bool)
+	emittingCalls := make(map[*ast.CallExpr]bool)
+
+	for _, f := range pass.Files {
+		inTest := pass.InTestFile(f.Pos())
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				// Global check: time-seeded RNGs, everywhere including
+				// tests.
+				if fn := calleeFunc(pass, n); fn != nil && fn.Pkg() != nil &&
+					fn.Pkg().Path() == "math/rand" &&
+					(fn.Name() == "NewSource" || fn.Name() == "Seed") {
+					if nows := timeNowIdents(pass, n); len(nows) > 0 {
+						for _, id := range nows {
+							seededNow[id] = true
+						}
+						pass.Reportf(n.Pos(), "RNG seeded from time.Now: failures are unreproducible and fleets run in lockstep; derive the seed from crypto/rand, or pin it (see docs/LINT.md)")
+					}
+				}
+			case *ast.RangeStmt:
+				// Scoped check: output emitted during map iteration.
+				if !scoped || inTest {
+					return true
+				}
+				if tv, ok := pass.TypesInfo.Types[n.X]; !ok || tv.Type == nil {
+					return true
+				} else if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				ast.Inspect(n.Body, func(m ast.Node) bool {
+					call, ok := m.(*ast.CallExpr)
+					if !ok || emittingCalls[call] {
+						return true
+					}
+					if isOutputCall(pass, call) {
+						emittingCalls[call] = true
+						pass.Reportf(call.Pos(), "output emitted while ranging over a map is nondeterministically ordered; collect keys, sort, then emit")
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+
+	if !scoped {
+		return nil
+	}
+	// Scoped checks: wall clock and the global math/rand source, in
+	// non-test files.
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || seededNow[id] {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || obj.Pkg() == nil {
+				return true
+			}
+			switch {
+			case obj.Pkg().Path() == "time" && obj.Name() == "Now":
+				pass.Reportf(id.Pos(), "deterministic package reads the wall clock; inject a netsim.Clock (or annotate a genuine latency measurement with //lint:allow detrand <reason>)")
+			case obj.Pkg().Path() == "math/rand" && detrandGlobalRand[obj.Name()] &&
+				obj.Type().(*types.Signature).Recv() == nil:
+				pass.Reportf(id.Pos(), "deterministic package draws from the global math/rand source; use a seeded *rand.Rand (netsim.RNG)")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeFunc resolves a call's static callee, if it is a named
+// function or method.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// timeNowIdents returns the identifiers within expr that resolve to
+// time.Now.
+func timeNowIdents(pass *Pass, expr ast.Node) []*ast.Ident {
+	var out []*ast.Ident
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if fn, ok := pass.TypesInfo.Uses[id].(*types.Func); ok &&
+				fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+				out = append(out, id)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isOutputCall reports whether a call emits output whose order the
+// caller observes: the fmt print family and Write/WriteString
+// methods.
+func isOutputCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return true
+		}
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "io" && fn.Name() == "WriteString" {
+		return true
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch fn.Name() {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			return true
+		}
+	}
+	return false
+}

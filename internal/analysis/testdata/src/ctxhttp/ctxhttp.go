@@ -1,0 +1,46 @@
+// Package ctxhttp exercises the ctxhttp analyzer: outgoing requests
+// must be built with http.NewRequestWithContext and every client must
+// bound its requests with a Timeout.
+package ctxhttp
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// fetch is the approved shape: context-carrying request, caller-owned
+// bounded client.
+func fetch(ctx context.Context, client *http.Client, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return client.Do(req)
+}
+
+func bareRequest(url string) (*http.Request, error) {
+	return http.NewRequest(http.MethodGet, url, nil) // want `http\.NewRequest issues an uncancelable request`
+}
+
+func bareGet(url string) (*http.Response, error) {
+	return http.Get(url) // want `http\.Get issues an uncancelable request`
+}
+
+func defaultClient(req *http.Request) (*http.Response, error) {
+	return http.DefaultClient.Do(req) // want `http\.DefaultClient has no timeout`
+}
+
+func unboundedClient() *http.Client {
+	return &http.Client{} // want `http\.Client literal without a Timeout`
+}
+
+func boundedClient() *http.Client {
+	return &http.Client{Timeout: 10 * time.Second}
+}
+
+// streaming documents a deliberate exception through the escape
+// hatch.
+//
+//lint:allow ctxhttp long-poll streaming client; per-request deadlines come from contexts
+var streaming = &http.Client{Transport: http.DefaultTransport}

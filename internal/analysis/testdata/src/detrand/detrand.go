@@ -1,0 +1,59 @@
+// Package detrand exercises the detrand analyzer's scoped rules. The
+// harness loads it under tsr/internal/chaos, one of the deterministic
+// packages: no wall clock, no global math/rand source, no output
+// emitted while ranging over a map, and — like everywhere else — no
+// time-seeded RNGs.
+package detrand
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// schedule draws from an explicitly seeded source: fine.
+func schedule(seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Perm(4)
+}
+
+func jitter() time.Duration {
+	return time.Duration(rand.Intn(50)) * time.Millisecond // want `global math/rand source`
+}
+
+func stamp() time.Time {
+	return time.Now() // want `reads the wall clock`
+}
+
+// reseed is the classic flake generator; the seed report covers the
+// inner time.Now, which is not double-reported.
+func reseed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `RNG seeded from time\.Now`
+}
+
+func dumpUnsorted(m map[string]int) {
+	for name, count := range m {
+		fmt.Println(name, count) // want `ranging over a map is nondeterministically ordered`
+	}
+}
+
+// dumpSorted collects, sorts, then emits: the approved pattern.
+func dumpSorted(m map[string]int) {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Println(name, m[name])
+	}
+}
+
+// measured carries the documented escape hatch for a genuine latency
+// measurement, so its wall-clock read is suppressed.
+func measured() time.Duration {
+	//lint:allow detrand genuine latency measurement for the harness report
+	start := time.Now()
+	return time.Since(start)
+}

@@ -1,0 +1,18 @@
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Test files are exempt from the scoped wall-clock and global-source
+// rules...
+func testStamp() time.Time {
+	return time.Now()
+}
+
+// ...but NOT from the time-seeded-RNG rule: a flaky test failure with
+// a discarded seed can never be reproduced.
+func testFlaky() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `RNG seeded from time\.Now`
+}

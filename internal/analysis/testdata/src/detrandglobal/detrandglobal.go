@@ -1,0 +1,23 @@
+// Package detrandglobal exercises the detrand analyzer outside the
+// deterministic packages (the harness loads it under
+// tsr/internal/origin): the wall clock and the global math/rand
+// source are fine there — only time-seeded RNGs are flagged, because
+// they are a hazard everywhere.
+package detrandglobal
+
+import (
+	"math/rand"
+	"time"
+)
+
+func now() time.Time {
+	return time.Now()
+}
+
+func roll() int {
+	return rand.Intn(6)
+}
+
+func lockstep() {
+	rand.Seed(time.Now().UnixNano()) // want `RNG seeded from time\.Now`
+}

@@ -1,0 +1,14 @@
+// Package lintallow exercises the //lint:allow escape hatch itself.
+// The harness loads it under tsr/internal/chaos so the detrand scoped
+// rules are live; allow_test.go asserts the exact surviving
+// diagnostics per file.
+package lintallow
+
+import "time"
+
+// measured carries a well-formed line allow: analyzer name plus a
+// reason. Its violation is suppressed.
+func measured() time.Time {
+	//lint:allow detrand measuring real handler latency for the report
+	return time.Now()
+}

@@ -1,0 +1,14 @@
+//lint:file-allow detrand this whole file measures wall-clock latency by design
+package lintallow
+
+import "time"
+
+// Every detrand violation in this file is suppressed by the
+// file-level allow above the package clause.
+func wallOne() time.Time {
+	return time.Now()
+}
+
+func wallTwo() time.Duration {
+	return time.Since(time.Now())
+}

@@ -1,0 +1,11 @@
+package lintallow
+
+import "time"
+
+// missingReason's directive omits the mandatory reason string: the
+// directive is reported AND suppresses nothing, so the wall-clock
+// violation below it still fires.
+func missingReason() time.Time {
+	//lint:allow detrand
+	return time.Now()
+}

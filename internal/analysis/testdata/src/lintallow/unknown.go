@@ -1,0 +1,11 @@
+package lintallow
+
+import "time"
+
+// typoed names an analyzer that does not exist: a typo would
+// otherwise silently suppress nothing forever, so it is reported and
+// the violation below still fires.
+func typoed() time.Time {
+	//lint:allow detrnad wall clock needed here
+	return time.Now()
+}

@@ -1,0 +1,10 @@
+package noresign
+
+import "tsr/internal/keys"
+
+// Test files may mint keys: provisioning test fixtures requires
+// signing material, and the trust boundary only constrains shipped
+// edge code.
+func newFixturePair() (*keys.Pair, error) {
+	return keys.Generate("test-fixture")
+}

@@ -1,0 +1,51 @@
+// Package snapfreeze exercises the snapfreeze analyzer. The harness
+// loads it under tsr/internal/tsr, so the local snapshot and
+// replicaState types are frozen: field writes are legal only inside
+// the designated build/publish functions.
+package snapfreeze
+
+type snapshot struct {
+	etag string
+	hits int
+}
+
+type replicaState struct {
+	etag string
+	gen  int
+}
+
+type repoLike struct{ snap *snapshot }
+
+// publishLocked is snapshot's designated build site.
+func (r *repoLike) publishLocked(next *snapshot) {
+	next.etag = "v2"
+	next.hits = 0
+	r.snap = next
+}
+
+func mutateLive(s *snapshot) {
+	s.etag = "v3" // want `snapshot\.etag is written outside`
+	s.hits++      // want `snapshot\.hits is written outside`
+}
+
+// publish and fullSync are replicaState's designated build sites.
+func (r *replicaState) publish(etag string) {
+	r.etag = etag
+	r.gen++
+}
+
+func fullSync(r *replicaState) {
+	r.etag = ""
+}
+
+func drift(r *replicaState) {
+	r.gen++ // want `replicaState\.gen is written outside`
+}
+
+// scratch shares field names with snapshot but is not frozen: writes
+// anywhere are fine.
+type scratch struct{ etag string }
+
+func build(s *scratch) {
+	s.etag = "ok"
+}

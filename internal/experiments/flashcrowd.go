@@ -1,5 +1,7 @@
 package experiments
 
+//lint:file-allow detrand this experiment measures real wall-clock latency under admission control; its headline numbers are timings, not deterministic tables
+
 import (
 	"fmt"
 	"net/http"

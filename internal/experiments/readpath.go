@@ -1,5 +1,7 @@
 package experiments
 
+//lint:file-allow detrand read-under-refresh measures real read latencies while a sanitization cycle runs; wall-clock by design
+
 import (
 	"fmt"
 	"time"

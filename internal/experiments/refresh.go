@@ -1,5 +1,7 @@
 package experiments
 
+//lint:file-allow detrand the workers ablation reports real wall-clock refresh times; wall-clock by design
+
 import (
 	"fmt"
 	"time"

@@ -1,5 +1,7 @@
 package experiments
 
+//lint:file-allow detrand crash-restart reports real cold-init vs warm-restart wall times; wall-clock by design
+
 import (
 	"fmt"
 	"os"

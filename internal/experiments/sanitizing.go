@@ -1,5 +1,7 @@
 package experiments
 
+//lint:file-allow detrand the sanitization experiments time real CPU-bound work (Fig 8/11); wall-clock by design
+
 import (
 	"fmt"
 	"time"

@@ -27,6 +27,8 @@ type Clock interface {
 type RealClock struct{}
 
 // Now implements Clock.
+//
+//lint:allow detrand RealClock IS the real-clock escape hatch; deterministic code injects SimClock instead
 func (RealClock) Now() time.Time { return time.Now() }
 
 // Sleep implements Clock.

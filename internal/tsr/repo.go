@@ -231,6 +231,7 @@ func (r *Repo) SetCacheMode(m CacheMode) {
 	r.mode = m
 	if snap := r.served.Load(); snap != nil {
 		cp := *snap // maps/indexes are immutable; sharing them is safe
+		//lint:allow snapfreeze cp is a private copy, mutated before the Store publishes it; no reader can hold it yet
 		cp.mode = m
 		r.served.Store(&cp)
 	}

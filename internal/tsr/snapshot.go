@@ -210,6 +210,7 @@ func (r *Repo) FetchPackageTraced(name string) ([]byte, *FetchResult, error) {
 		// exactly this case — and retry once on what it published.
 		// Loading the pointer under the lock guarantees we observe that
 		// refresh's publish.
+		//lint:allow servenolock deliberate lock barrier on the once-per-snapshot retry path only: it waits out an in-flight refresh, never fronts a read
 		r.mu.Lock()
 		cur := r.served.Load()
 		r.mu.Unlock()
