@@ -10,6 +10,7 @@
 package tsrbench
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -21,6 +22,7 @@ import (
 	"tsr/internal/keys"
 	"tsr/internal/sanitize"
 	"tsr/internal/stats"
+	"tsr/internal/trace"
 	"tsr/internal/workload"
 )
 
@@ -288,6 +290,10 @@ func BenchmarkConcurrentReads(b *testing.B) {
 		b.Fatal("served index is empty")
 	}
 	probe := ix.Entries[0].Name
+	// Hammer through the traced entry points at production sampling
+	// defaults: the read-tier latency this benchmark reports is the
+	// latency clients see with the span layer in the path.
+	tctx := trace.NewContext(context.Background(), trace.NewTracer(trace.Config{Tier: "origin"}))
 
 	var idxLat, pkgLat []float64 // milliseconds, during-refresh only
 	b.ResetTimer()
@@ -312,7 +318,7 @@ func BenchmarkConcurrentReads(b *testing.B) {
 		b.StartTimer()
 		done := make(chan error, 1)
 		go func() {
-			_, err := w.Tenant.Refresh()
+			_, err := w.Tenant.RefreshCtx(tctx)
 			done <- err
 		}()
 	sample:
@@ -326,12 +332,12 @@ func BenchmarkConcurrentReads(b *testing.B) {
 			default:
 			}
 			t0 := time.Now()
-			if _, err := w.Tenant.FetchIndex(); err != nil {
+			if _, _, err := w.Tenant.FetchIndexTaggedCtx(tctx); err != nil {
 				b.Fatal(err)
 			}
 			idxLat = append(idxLat, float64(time.Since(t0))/float64(time.Millisecond))
 			t0 = time.Now()
-			if _, err := w.Tenant.FetchPackage(probe); err != nil {
+			if _, err := w.Tenant.FetchPackageCtx(tctx, probe); err != nil {
 				b.Fatal(err)
 			}
 			pkgLat = append(pkgLat, float64(time.Since(t0))/float64(time.Millisecond))

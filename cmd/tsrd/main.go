@@ -7,7 +7,7 @@
 //
 //	tsrd [-addr :8473] [-scale 0.02] [-seed 1] [-workers 4] [-auto-refresh 0]
 //	     [-data-dir /var/lib/tsrd] [-fsync] [-host-state <path>]
-//	     [-max-inflight 256]
+//	     [-max-inflight 256] [-log-format text|json] [-debug-addr <addr>]
 //
 // The serving path is wrapped in the observability middleware
 // (internal/obs): per-endpoint latency histograms, the in-flight
@@ -51,7 +51,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -70,6 +72,7 @@ import (
 	"tsr/internal/repo"
 	"tsr/internal/store"
 	"tsr/internal/tpm"
+	"tsr/internal/trace"
 	"tsr/internal/tsr"
 	"tsr/internal/workload"
 )
@@ -94,14 +97,20 @@ func run(ctx context.Context, args []string) error {
 	fsyncF := fs.Bool("fsync", false, "fsync every data-dir write (with -data-dir)")
 	hostStatePath := fs.String("host-state", "", "trusted host hardware state (seal root, TPM counters); default <data-dir>.hoststate, keep OUTSIDE -data-dir")
 	maxInflight := fs.Int64("max-inflight", 256, "admission control: max concurrently served requests, excess sheds with 429 (0 = unlimited)")
+	logFormat := fs.String("log-format", "text", "operational log format: text or json (json lines carry trace_id/span_id for joining against /debug/traces)")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this address (empty disables; keep it off the public listen address)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	deps, err := openHost(*dataDir, *fsyncF, *hostStatePath)
+	log, err := obs.NewLogger(os.Stderr, *logFormat, "tsrd")
 	if err != nil {
 		return err
 	}
-	svc, examplePolicy, err := buildService(*scale, *seed, *workers, deps)
+	deps, err := openHost(*dataDir, *fsyncF, *hostStatePath, log)
+	if err != nil {
+		return err
+	}
+	svc, examplePolicy, err := buildService(*scale, *seed, *workers, deps, log)
 	if err != nil {
 		return err
 	}
@@ -113,37 +122,65 @@ func run(ctx context.Context, args []string) error {
 		for _, r := range restored {
 			switch {
 			case r.Warm:
-				fmt.Printf("tsrd: restored repository %s warm (serving previous signed index, no re-sanitization)\n", r.ID)
+				log.Info("restored repository warm (serving previous signed index, no re-sanitization)", "repo", r.ID)
 			case r.RolledBack():
-				fmt.Fprintf(os.Stderr, "tsrd: repository %s: checkpoint REFUSED, counter mismatch — a rolled-back data dir, or a crash mid-checkpoint; repository is cold until the next refresh (%v)\n", r.ID, r.Err)
+				log.Error("checkpoint REFUSED, counter mismatch — a rolled-back data dir, or a crash mid-checkpoint; repository is cold until the next refresh", "repo", r.ID, "err", r.Err)
 			default:
-				fmt.Fprintf(os.Stderr, "tsrd: repository %s restored cold: %v\n", r.ID, r.Err)
+				log.Warn("repository restored cold", "repo", r.ID, "err", r.Err)
 			}
 		}
 		if len(restored) == 0 {
-			fmt.Println("tsrd: data dir holds no repositories; starting fresh")
+			log.Info("data dir holds no repositories; starting fresh")
 		}
 	}
-	fmt.Println("tsrd: example policy for this deployment:")
-	fmt.Println(examplePolicy)
+	// The example policy is operator I/O, not telemetry: in text mode
+	// it must stay a copy-pasteable YAML block (the documented workflow
+	// extracts it from the log between the header and "listening"), so
+	// only json mode folds it into the record (jq -r .policy).
+	if *logFormat == "json" {
+		log.Info("example policy for this deployment", "policy", examplePolicy)
+	} else {
+		fmt.Fprintf(os.Stderr, "tsrd: example policy for this deployment:\n%stsrd: end of example policy\n", examplePolicy)
+	}
+	tracer := trace.NewTracer(trace.Config{Tier: "origin"})
 	if *autoRefresh > 0 {
-		go autoRefreshLoop(ctx, svc, *autoRefresh)
-		fmt.Printf("tsrd: auto-refreshing every %s\n", *autoRefresh)
+		go autoRefreshLoop(ctx, svc, *autoRefresh, tracer, log)
+		log.Info("auto-refresh enabled", "every", *autoRefresh)
+	}
+	if *debugAddr != "" {
+		go servePprof(*debugAddr, log)
 	}
 	server := &http.Server{
 		Addr:              *addr,
-		Handler:           obs.New(obs.Options{MaxInflight: *maxInflight}).Wrap(tsr.Handler(svc)),
+		Handler:           obs.New(obs.Options{MaxInflight: *maxInflight, Tracer: tracer}).Wrap(tsr.Handler(svc)),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	fmt.Printf("tsrd: listening on %s (metrics at /metrics, max in-flight %d)\n", *addr, *maxInflight)
-	return serveUntilDone(ctx, server, "tsrd")
+	log.Info("listening", "addr", *addr, "max_inflight", *maxInflight, "metrics", "/metrics", "traces", "/debug/traces")
+	return serveUntilDone(ctx, server, log)
+}
+
+// servePprof exposes the net/http/pprof handlers on their own listen
+// address, so profiling never rides the public API (and never competes
+// with admission control).
+func servePprof(addr string, log *slog.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	log.Info("pprof listening", "addr", addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Error("pprof server failed", "err", err)
+	}
 }
 
 // serveUntilDone runs the server until it fails or the context is
 // canceled (SIGINT/SIGTERM), then drains in-flight requests through
 // http.Server.Shutdown with a deadline. (cmd/tsredge carries the same
 // helper; main packages cannot share code.)
-func serveUntilDone(ctx context.Context, server *http.Server, name string) error {
+func serveUntilDone(ctx context.Context, server *http.Server, log *slog.Logger) error {
 	errCh := make(chan error, 1)
 	go func() { errCh <- server.ListenAndServe() }()
 	select {
@@ -153,13 +190,13 @@ func serveUntilDone(ctx context.Context, server *http.Server, name string) error
 		}
 		return err
 	case <-ctx.Done():
-		fmt.Printf("%s: signal received, draining connections...\n", name)
+		log.Info("signal received, draining connections")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := server.Shutdown(shutdownCtx); err != nil {
-			return fmt.Errorf("%s: shutdown: %w", name, err)
+			return fmt.Errorf("shutdown: %w", err)
 		}
-		fmt.Printf("%s: stopped\n", name)
+		log.Info("stopped")
 		return nil
 	}
 }
@@ -169,9 +206,13 @@ func serveUntilDone(ctx context.Context, server *http.Server, name string) error
 // the previous published state during each cycle, so the daemon stays
 // fully responsive to package managers while the trusted pipeline runs
 // in the background.
-func autoRefreshLoop(ctx context.Context, svc *tsr.Service, every time.Duration) {
+func autoRefreshLoop(ctx context.Context, svc *tsr.Service, every time.Duration, tracer *trace.Tracer, log *slog.Logger) {
 	ticker := time.NewTicker(every)
 	defer ticker.Stop()
+	// Each cycle runs under the daemon's tracer, so auto-refreshes show
+	// up in /debug/traces with per-stage child spans exactly like
+	// operator-triggered POST /refresh cycles do.
+	tctx := trace.NewContext(ctx, tracer)
 	for {
 		select {
 		case <-ctx.Done():
@@ -183,8 +224,8 @@ func autoRefreshLoop(ctx context.Context, svc *tsr.Service, every time.Duration)
 			if err != nil {
 				continue // deleted between listing and lookup
 			}
-			if _, err := repo.Refresh(); err != nil {
-				fmt.Fprintf(os.Stderr, "tsrd: auto-refresh %s: %v\n", id, err)
+			if _, err := repo.RefreshCtx(tctx); err != nil {
+				log.Error("auto-refresh failed", "repo", id, "err", err)
 			}
 		}
 	}
@@ -218,7 +259,7 @@ type hostState struct {
 
 // openHost builds hostDeps. Without a data dir everything is
 // in-memory and ephemeral.
-func openHost(dataDir string, fsync bool, hostStatePath string) (hostDeps, error) {
+func openHost(dataDir string, fsync bool, hostStatePath string, log *slog.Logger) (hostDeps, error) {
 	if dataDir == "" {
 		distro, err := keys.Generate("alpine-distro")
 		if err != nil {
@@ -262,7 +303,7 @@ func openHost(dataDir string, fsync bool, hostStatePath string) (hostDeps, error
 		defer saveMu.Unlock()
 		hs.TPMCounters = encodeCounters(hostTPM.Counters())
 		if err := saveHostState(hostStatePath, hs); err != nil {
-			fmt.Fprintf(os.Stderr, "tsrd: persisting host state: %v\n", err)
+			log.Error("persisting host state failed", "path", hostStatePath, "err", err)
 		}
 	}
 	st, err := store.OpenFS(dataDir, store.FSOptions{Fsync: fsync})
@@ -270,7 +311,7 @@ func openHost(dataDir string, fsync bool, hostStatePath string) (hostDeps, error
 		return hostDeps{}, err
 	}
 	kept, dropped := st.ScrubReport()
-	fmt.Printf("tsrd: data dir %s: %d entries kept, %d dropped by scrub\n", dataDir, kept, dropped)
+	log.Info("data dir opened", "path", dataDir, "entries_kept", kept, "dropped_by_scrub", dropped)
 	return hostDeps{store: st, tpm: hostTPM, platform: platform, distro: distro, persist: true}, nil
 }
 
@@ -347,9 +388,9 @@ func decodeCounters(bank map[string]uint64) map[uint32]uint64 {
 // buildService generates the synthetic deployment (repository, mirrors,
 // TSR service) on the given host and returns the service plus a
 // ready-to-use policy text.
-func buildService(scaleV float64, seedV int64, workers int, deps hostDeps) (*tsr.Service, string, error) {
+func buildService(scaleV float64, seedV int64, workers int, deps hostDeps, log *slog.Logger) (*tsr.Service, string, error) {
 	scale, seed := &scaleV, &seedV
-	fmt.Printf("tsrd: generating synthetic repository (scale %.2f)...\n", *scale)
+	log.Info("generating synthetic repository", "scale", *scale)
 	origin := repo.New("alpine", deps.distro)
 	gen := workload.New(workload.Config{Seed: *seed, Scale: *scale})
 	for _, spec := range gen.Specs() {
@@ -364,7 +405,7 @@ func buildService(scaleV float64, seedV int64, workers int, deps hostDeps) (*tsr
 			return nil, "", err
 		}
 	}
-	fmt.Printf("tsrd: published %d packages\n", len(gen.Specs()))
+	log.Info("published synthetic packages", "count", len(gen.Specs()))
 
 	mirrors := map[string]*mirror.Mirror{}
 	for i, c := range []netsim.Continent{netsim.Europe, netsim.Europe, netsim.NorthAmerica} {

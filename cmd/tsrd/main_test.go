@@ -3,6 +3,8 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -17,12 +19,22 @@ import (
 	"tsr/internal/tsr"
 )
 
+// testLogger discards output: the helpers under test log operational
+// chatter the tests do not assert on.
+func testLogger() *slog.Logger {
+	log, err := obs.NewLogger(io.Discard, "text", "tsrd-test")
+	if err != nil {
+		panic(err)
+	}
+	return log
+}
+
 func TestBuildServiceAndServe(t *testing.T) {
-	deps, err := openHost("", false, "")
+	deps, err := openHost("", false, "", testLogger())
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc, examplePolicy, err := buildService(0.003, 9, 4, deps)
+	svc, examplePolicy, err := buildService(0.003, 9, 4, deps, testLogger())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,11 +87,11 @@ func TestBuildServiceAndServe(t *testing.T) {
 // experiment uses) makes the bursts genuinely overlap, so the gate has
 // something to shed.
 func TestAdmissionShedContract(t *testing.T) {
-	deps, err := openHost("", false, "")
+	deps, err := openHost("", false, "", testLogger())
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc, examplePolicy, err := buildService(0.003, 9, 4, deps)
+	svc, examplePolicy, err := buildService(0.003, 9, 4, deps, testLogger())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,11 +218,11 @@ func TestWarmRestartSmoke(t *testing.T) {
 	tmp := t.TempDir()
 	dataDir := tmp + "/data"
 	boot := func() (*tsr.Service, func() []byte) {
-		deps, err := openHost(dataDir, false, "")
+		deps, err := openHost(dataDir, false, "", testLogger())
 		if err != nil {
 			t.Fatal(err)
 		}
-		svc, examplePolicy, err := buildService(0.003, 9, 4, deps)
+		svc, examplePolicy, err := buildService(0.003, 9, 4, deps, testLogger())
 		if err != nil {
 			t.Fatal(err)
 		}

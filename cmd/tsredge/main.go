@@ -12,6 +12,7 @@
 //	tsredge -origin http://localhost:8473 -repo <id> [-addr :8474]
 //	        [-sync 30s] [-cache-mb 256] [-name edge-1]
 //	        [-data-dir /var/lib/tsredge] [-fsync] [-max-inflight 512]
+//	        [-log-format text|json] [-debug-addr <addr>]
 //
 // Like the origin, the edge wraps its handler in the observability
 // middleware: GET /metrics serves per-endpoint latency histograms, the
@@ -42,8 +43,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -53,6 +56,7 @@ import (
 	"tsr/internal/edge"
 	"tsr/internal/obs"
 	"tsr/internal/store"
+	"tsr/internal/trace"
 	"tsr/internal/tsr"
 )
 
@@ -76,7 +80,13 @@ func run(ctx context.Context, args []string) error {
 	dataDir := fs.String("data-dir", "", "persist the package cache and last-synced index here; restarts resume warm via delta sync")
 	fsyncF := fs.Bool("fsync", false, "fsync every data-dir write (with -data-dir)")
 	maxInflight := fs.Int64("max-inflight", 512, "admission control: max concurrently served requests, excess sheds with 429 (0 = unlimited)")
+	logFormat := fs.String("log-format", "text", "operational log format: text or json (json lines carry trace_id/span_id for joining against /debug/traces)")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this address (empty disables; keep it off the public listen address)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	log, err := obs.NewLogger(os.Stderr, *logFormat, "tsredge")
+	if err != nil {
 		return err
 	}
 	if *repoID == "" {
@@ -107,36 +117,59 @@ func run(ctx context.Context, args []string) error {
 			return err
 		}
 		kept, dropped := st.ScrubReport()
-		fmt.Printf("tsredge: data dir %s: %d entries kept, %d dropped by scrub\n", *dataDir, kept, dropped)
+		log.Info("data dir opened", "path", *dataDir, "entries_kept", kept, "dropped_by_scrub", dropped)
 		rep.Cache = st
 		rep.PersistIndex = true
 		switch err := rep.LoadState(); {
 		case err == nil:
-			fmt.Printf("tsredge: warm restart: serving persisted index (etag %s), resuming delta sync\n", rep.ETag())
+			log.Info("warm restart: serving persisted index, resuming delta sync", "etag", rep.ETag())
 		case errors.Is(err, edge.ErrNoState):
-			fmt.Println("tsredge: no persisted index; starting cold")
+			log.Info("no persisted index; starting cold")
 		default:
-			fmt.Fprintf(os.Stderr, "tsredge: persisted index unusable (%v); starting cold\n", err)
+			log.Warn("persisted index unusable; starting cold", "err", err)
 		}
 	}
-	if err := rep.Sync(); err != nil {
+	tracer := trace.NewTracer(trace.Config{Tier: "edge"})
+	tctx := trace.NewContext(ctx, tracer)
+	if err := rep.SyncCtx(tctx); err != nil {
 		// The origin may be unreachable or not refreshed yet: serve
 		// 503s (or the persisted snapshot) and let the sync loop catch
 		// up rather than flapping.
-		fmt.Fprintf(os.Stderr, "tsredge: initial sync: %v (retrying every %s)\n", err, *syncEvery)
+		log.Warn("initial sync failed; retrying on the sync interval", "err", err, "every", *syncEvery)
 	} else {
-		fmt.Printf("tsredge: synced %s from %s (etag %s)\n", *repoID, *originURL, rep.ETag())
+		log.Info("synced from origin", "repo", *repoID, "origin", *originURL, "etag", rep.ETag())
 	}
-	go syncLoop(ctx, rep, *syncEvery)
+	go syncLoop(tctx, rep, *syncEvery, log)
+	if *debugAddr != "" {
+		go servePprof(*debugAddr, log)
+	}
 
 	server := &http.Server{
 		Addr:              *addr,
-		Handler:           obs.New(obs.Options{MaxInflight: *maxInflight}).Wrap(edge.Handler(map[string]*edge.Replica{*repoID: rep}, *name)),
+		Handler:           obs.New(obs.Options{MaxInflight: *maxInflight, Tracer: tracer}).Wrap(edge.Handler(map[string]*edge.Replica{*repoID: rep}, *name)),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	fmt.Printf("tsredge: serving %s on %s (cache budget %d MiB, sync every %s, metrics at /metrics, max in-flight %d)\n",
-		*repoID, *addr, *cacheMB, *syncEvery, *maxInflight)
-	return serveUntilDone(ctx, server)
+	log.Info("serving", "repo", *repoID, "addr", *addr, "cache_budget_mib", *cacheMB,
+		"sync_every", *syncEvery, "max_inflight", *maxInflight, "metrics", "/metrics", "traces", "/debug/traces")
+	return serveUntilDone(ctx, server, log)
+}
+
+// servePprof exposes the net/http/pprof handlers on their own listen
+// address, so profiling never rides the public API (and never competes
+// with admission control). (cmd/tsrd carries the same helper; main
+// packages cannot share code.)
+func servePprof(addr string, log *slog.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	log.Info("pprof listening", "addr", addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Error("pprof server failed", "err", err)
+	}
 }
 
 // syncLoop keeps the replica converging on the origin until the context
@@ -145,7 +178,7 @@ func run(ctx context.Context, args []string) error {
 // carries ±10% jitter: a fleet of edges started together (a rolling
 // deploy, a recovered rack) would otherwise delta-sync in lockstep and
 // hit the origin as one synchronized thundering herd forever.
-func syncLoop(ctx context.Context, rep *edge.Replica, every time.Duration) {
+func syncLoop(ctx context.Context, rep *edge.Replica, every time.Duration, log *slog.Logger) {
 	rng := rand.New(rand.NewSource(cryptoSeed()))
 	timer := time.NewTimer(jitter(rng, every))
 	defer timer.Stop()
@@ -155,8 +188,10 @@ func syncLoop(ctx context.Context, rep *edge.Replica, every time.Duration) {
 			return
 		case <-timer.C:
 		}
-		if err := rep.Sync(); err != nil {
-			fmt.Fprintf(os.Stderr, "tsredge: sync: %v\n", err)
+		// The loop context is traced (see run), so periodic syncs land
+		// in /debug/traces as edge.sync trees like POST /sync ones do.
+		if err := rep.SyncCtx(ctx); err != nil {
+			log.Error("sync failed", "err", err)
 		}
 		timer.Reset(jitter(rng, every))
 	}
@@ -185,7 +220,7 @@ func jitter(rng *rand.Rand, d time.Duration) time.Duration {
 // serveUntilDone runs the server until it fails or the context is
 // canceled (SIGINT/SIGTERM), then drains in-flight requests through
 // http.Server.Shutdown with a deadline.
-func serveUntilDone(ctx context.Context, server *http.Server) error {
+func serveUntilDone(ctx context.Context, server *http.Server, log *slog.Logger) error {
 	errCh := make(chan error, 1)
 	go func() { errCh <- server.ListenAndServe() }()
 	select {
@@ -195,13 +230,13 @@ func serveUntilDone(ctx context.Context, server *http.Server) error {
 		}
 		return err
 	case <-ctx.Done():
-		fmt.Println("tsredge: signal received, draining connections...")
+		log.Info("signal received, draining connections")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := server.Shutdown(shutdownCtx); err != nil {
 			return fmt.Errorf("shutdown: %w", err)
 		}
-		fmt.Println("tsredge: stopped")
+		log.Info("stopped")
 		return nil
 	}
 }

@@ -10,6 +10,7 @@ func All() []*Analyzer {
 		Servenolock,
 		Detrand,
 		Ctxhttp,
+		Spanend,
 	}
 }
 

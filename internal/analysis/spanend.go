@@ -1,0 +1,262 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Spanend enforces the span-lifetime contract PR 8's tracing layer
+// depends on: every span returned by trace.Start must be ended on
+// every path out of the function that started it — otherwise the
+// trace never flushes (a root that leaks never reaches the sampler)
+// or flushes with the span marked unfinished. The idiomatic fix is a
+// defer immediately after Start: `defer sp.End()`, or the error-
+// capturing form `defer func() { sp.SetError(err); sp.End() }()`.
+//
+// The check is a CFG-lite walk of the enclosing function: a deferred
+// End settles the span for good; an explicit End settles the path it
+// runs on; a return (or falling off the end) while some path still
+// holds an unsettled span is a finding. Spans stored into fields or
+// handed to other goroutines cannot be proven ended here — annotate
+// the contract with //lint:allow spanend <reason> (internal/tsr's
+// refresh stage tracker is the exemplar).
+var Spanend = &Analyzer{
+	Name: "spanend",
+	Doc:  "every trace.Start span must be ended (deferred or on all paths) in its function",
+	Applies: func(pkgPath string) bool {
+		// The trace package itself manufactures spans; everyone else
+		// must close them.
+		return !pathHasSuffixSegments(pkgPath, "internal/trace")
+	},
+	Run: runSpanend,
+}
+
+// isTraceStart reports whether call invokes the package-level Start
+// function of internal/trace.
+func isTraceStart(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "Start" || fn.Pkg() == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	return pathHasSuffixSegments(fn.Pkg().Path(), "internal/trace")
+}
+
+// endsSpan reports whether call is <span>.End() on the tracked object.
+func endsSpan(pass *Pass, call *ast.CallExpr, span types.Object) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == span
+}
+
+// containsEnd reports whether any call inside n ends the span (used
+// for deferred func literals, where End may sit after SetError etc.).
+func containsEnd(pass *Pass, n ast.Node, span types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && endsSpan(pass, call, span) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// spanFlow is the abstract state of one span during the walk: risk is
+// true while some path through the statements seen so far has started
+// the span and not yet guaranteed its End.
+type spanFlow struct {
+	risk bool
+}
+
+// spanCheck walks one function body for one Start statement.
+type spanCheck struct {
+	pass  *Pass
+	start *ast.AssignStmt
+	span  types.Object
+}
+
+func (c *spanCheck) scan(stmts []ast.Stmt, st spanFlow) spanFlow {
+	for _, s := range stmts {
+		st = c.scanStmt(s, st)
+	}
+	return st
+}
+
+func (c *spanCheck) scanStmt(s ast.Stmt, st spanFlow) spanFlow {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		if s == c.start {
+			st.risk = true
+		}
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok && endsSpan(c.pass, call, c.span) {
+			st.risk = false
+		}
+	case *ast.DeferStmt:
+		// Either `defer sp.End()` or `defer func() { ...; sp.End() }()`:
+		// once the defer is armed, every later exit ends the span.
+		if endsSpan(c.pass, s.Call, c.span) || containsEnd(c.pass, s.Call, c.span) {
+			st.risk = false
+		}
+	case *ast.ReturnStmt:
+		if st.risk {
+			c.pass.Reportf(s.Pos(), "return without ending the span from trace.Start at line %d; add defer sp.End() after Start",
+				c.pass.Fset.Position(c.start.Pos()).Line)
+		}
+		st.risk = false // path terminates; nothing left to leak here
+	case *ast.BlockStmt:
+		st = c.scan(s.List, st)
+	case *ast.LabeledStmt:
+		st = c.scanStmt(s.Stmt, st)
+	case *ast.IfStmt:
+		then := c.scan(s.Body.List, st)
+		other := st
+		if s.Else != nil {
+			other = c.scanStmt(s.Else, st)
+		}
+		st.risk = then.risk || other.risk
+	case *ast.ForStmt:
+		out := c.scan(s.Body.List, st)
+		st.risk = st.risk || out.risk
+	case *ast.RangeStmt:
+		out := c.scan(s.Body.List, st)
+		st.risk = st.risk || out.risk
+	case *ast.SwitchStmt:
+		st = c.scanClauses(s.Body, st)
+	case *ast.TypeSwitchStmt:
+		st = c.scanClauses(s.Body, st)
+	case *ast.SelectStmt:
+		st = c.scanClauses(s.Body, st)
+	}
+	return st
+}
+
+// scanClauses merges switch/select arms: the span survives as risky if
+// any arm leaves it risky, or — absent a default — if it was risky
+// going in (the zero-arms-taken path).
+func (c *spanCheck) scanClauses(body *ast.BlockStmt, st spanFlow) spanFlow {
+	risk := false
+	hasDefault := false
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			stmts = cl.Body
+			hasDefault = hasDefault || cl.List == nil
+		case *ast.CommClause:
+			stmts = cl.Body
+			hasDefault = hasDefault || cl.Comm == nil
+		}
+		out := c.scan(stmts, st)
+		risk = risk || out.risk
+	}
+	if !hasDefault {
+		risk = risk || st.risk
+	}
+	st.risk = risk
+	return st
+}
+
+func runSpanend(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		// Each function literal is its own span scope; collect every
+		// function body and analyze each independently.
+		var fns []*ast.BlockStmt
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					fns = append(fns, n.Body)
+				}
+			case *ast.FuncLit:
+				fns = append(fns, n.Body)
+			}
+			return true
+		})
+		for _, body := range fns {
+			runSpanendFunc(pass, body)
+		}
+	}
+	return nil
+}
+
+// runSpanendFunc finds every trace.Start in one function body (not
+// descending into nested literals — they are scopes of their own) and
+// walks the body once per span.
+func runSpanendFunc(pass *Pass, body *ast.BlockStmt) {
+	var starts []*ast.AssignStmt
+	skip := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if skip[n] {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && isTraceStart(pass, call) {
+				pass.Reportf(call.Pos(), "result of trace.Start discarded; the span can never be ended")
+				return false
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 {
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok && isTraceStart(pass, call) {
+					starts = append(starts, n)
+					skip[n.Rhs[0]] = true
+				}
+			}
+		}
+		return true
+	})
+	for _, start := range starts {
+		if len(start.Lhs) != 2 {
+			continue
+		}
+		span := spanObject(pass, start.Lhs[1])
+		switch {
+		case span != nil:
+			c := &spanCheck{pass: pass, start: start, span: span}
+			if out := c.scan(body.List, spanFlow{}); out.risk {
+				pass.Reportf(start.Pos(), "span from trace.Start may reach the end of the function without End; add defer sp.End()")
+			}
+		case isBlank(start.Lhs[1]):
+			pass.Reportf(start.Pos(), "span from trace.Start assigned to _; the span can never be ended")
+		default:
+			// A field or index target outlives this walk (the refresh
+			// stage tracker pattern); the owner must carry the End
+			// contract explicitly.
+			pass.Reportf(start.Pos(), "span from trace.Start stored outside the function's scope; the analyzer cannot prove it is ended (annotate the owning contract with //lint:allow spanend <reason>)")
+		}
+	}
+}
+
+// spanObject resolves the span-valued LHS to a plain local variable,
+// or nil when it is blank or something the flow walk cannot track.
+func spanObject(pass *Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

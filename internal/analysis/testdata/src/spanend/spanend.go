@@ -1,0 +1,104 @@
+// Package spanend exercises the spanend analyzer: every span returned
+// by trace.Start must be ended on every path out of the starting
+// function, by a deferred End or explicit Ends on all branches.
+package spanend
+
+import (
+	"context"
+	"errors"
+
+	"tsr/internal/trace"
+)
+
+// deferred is the idiomatic shape: defer immediately after Start.
+func deferred(ctx context.Context) {
+	ctx, sp := trace.Start(ctx, "ok.deferred")
+	defer sp.End()
+	_ = ctx
+}
+
+// deferredFunc is the error-capturing form; End inside the deferred
+// literal settles the span for good.
+func deferredFunc(ctx context.Context) (err error) {
+	_, sp := trace.Start(ctx, "ok.deferred-func")
+	defer func() {
+		sp.SetError(err)
+		sp.End()
+	}()
+	return errors.New("boom")
+}
+
+// explicitAllPaths ends the span explicitly on both branches.
+func explicitAllPaths(ctx context.Context, fail bool) error {
+	_, sp := trace.Start(ctx, "ok.explicit")
+	if fail {
+		sp.End()
+		return errors.New("boom")
+	}
+	sp.End()
+	return nil
+}
+
+// missingOnBranch leaks the span on the early return.
+func missingOnBranch(ctx context.Context, fail bool) error {
+	_, sp := trace.Start(ctx, "bad.branch")
+	if fail {
+		return errors.New("boom") // want `return without ending the span`
+	}
+	sp.End()
+	return nil
+}
+
+// switchLeak ends the span in one arm but leaks it through the other
+// and through the no-default fallthrough.
+func switchLeak(ctx context.Context, mode int) {
+	_, sp := trace.Start(ctx, "bad.switch") // want `may reach the end of the function without End`
+	switch mode {
+	case 0:
+		sp.End()
+	case 1:
+	}
+}
+
+// fallsOff never ends the span at all.
+func fallsOff(ctx context.Context) {
+	_, sp := trace.Start(ctx, "bad.falloff") // want `may reach the end of the function without End`
+	_ = sp
+}
+
+// discarded cannot ever end the span it started.
+func discarded(ctx context.Context) {
+	trace.Start(ctx, "bad.discard") // want `result of trace\.Start discarded`
+}
+
+// blankSpan throws the span away at the assignment.
+func blankSpan(ctx context.Context) {
+	_, _ = trace.Start(ctx, "bad.blank") // want `assigned to _`
+}
+
+// tracker stores the span in a field: the flow walk cannot prove the
+// End, and the owning contract says so in the allow reason — the
+// suppressed finding needs no want comment (the allow-contract test).
+type tracker struct {
+	sp *trace.Span
+}
+
+func (t *tracker) begin(ctx context.Context) {
+	_, t.sp = trace.Start(ctx, "allowed.field") //lint:allow spanend the tracker's close() ends the span on every caller path
+}
+
+func (t *tracker) close() {
+	t.sp.End()
+}
+
+// closures are scopes of their own: the literal's leak is reported in
+// the literal, not against the outer function's spans.
+func inClosure(ctx context.Context) func() {
+	ctx, sp := trace.Start(ctx, "ok.outer")
+	defer sp.End()
+	_ = ctx
+	return func() {
+		_, inner := trace.Start(ctx, "bad.closure") // want `may reach the end of the function without End`
+		_ = inner
+	}
+}

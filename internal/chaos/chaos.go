@@ -22,6 +22,7 @@ import (
 	"tsr/internal/index"
 	"tsr/internal/keys"
 	"tsr/internal/obs"
+	"tsr/internal/trace"
 )
 
 // Invariant names, used as the Violation.Invariant discriminator and
@@ -44,6 +45,10 @@ const (
 	// InvAdmissionBound: the in-flight peak never exceeds the
 	// -max-inflight bound the admission gate advertises.
 	InvAdmissionBound = "admission-bound"
+	// InvTraceHeader: every HTTP 200 from an obs-wrapped tier names the
+	// trace that served it via a well-formed X-Tsr-Trace-Id header, so
+	// any response can be quoted against /debug/traces/{id}.
+	InvTraceHeader = "trace-header"
 	// InvBoundedStaleness: once churn quiesces and replicas resync,
 	// every client converges on the origin's current sequence.
 	InvBoundedStaleness = "bounded-staleness"
@@ -155,6 +160,20 @@ func (c *Checker) HTTPResponse(actor string, status int, etag, retryAfter string
 		if retryAfter == "" {
 			c.violate(InvShedContract, actor, "429 without Retry-After")
 		}
+	}
+}
+
+// TraceHeader checks the observability half of a served response:
+// every 200 must carry a well-formed X-Tsr-Trace-Id, the handle that
+// joins the response to its span tree in /debug/traces. Non-200s are
+// exempt — sheds and churn-window failures may bypass tracing.
+func (c *Checker) TraceHeader(actor string, status int, traceID string) {
+	c.note(1)
+	if status != 200 {
+		return
+	}
+	if !trace.ValidTraceID(traceID) {
+		c.violate(InvTraceHeader, actor, "200 with %s = %q, want a 32-hex trace ID", trace.HeaderTraceID, traceID)
 	}
 }
 

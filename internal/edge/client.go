@@ -1,6 +1,7 @@
 package edge
 
 import (
+	"context"
 	"crypto/sha256"
 	"errors"
 	"fmt"
@@ -12,6 +13,7 @@ import (
 	"tsr/internal/keys"
 	"tsr/internal/netsim"
 	"tsr/internal/quorum"
+	"tsr/internal/trace"
 )
 
 // Client-side error sentinels.
@@ -180,6 +182,20 @@ func (c *FailoverClient) charge(ep Endpoint, bytes int64) {
 // (signature + freshness) before it is returned; the decoded form is
 // cached for package hash checks.
 func (c *FailoverClient) FetchIndex() (*index.Signed, error) {
+	return c.FetchIndexCtx(context.Background())
+}
+
+// FetchIndexCtx is FetchIndex as a "client.index" span: each endpoint
+// attempt that supports it runs as a child, so a failover shows up as
+// a sequence of attempts under one span rather than as unexplained
+// latency.
+func (c *FailoverClient) FetchIndexCtx(ctx context.Context) (_ *index.Signed, err error) {
+	ctx, sp := trace.Start(ctx, "client.index")
+	defer func() {
+		sp.SetError(err)
+		sp.End()
+	}()
+	sp.SetTier("client")
 	if len(c.Endpoints) == 0 {
 		return nil, ErrNoEndpoints
 	}
@@ -187,12 +203,12 @@ func (c *FailoverClient) FetchIndex() (*index.Signed, error) {
 	c.stats.IndexFetches++
 	c.mu.Unlock()
 	if c.QuorumK >= 2 {
-		return c.fetchIndexQuorum()
+		return c.fetchIndexQuorum(ctx)
 	}
 	var errs []error
 	for attempt, i := range c.rank() {
 		ep := c.Endpoints[i]
-		signed, _, err := ep.Fetcher.FetchIndexTagged()
+		signed, _, err := originFetchIndexTagged(ctx, ep.Fetcher)
 		if err != nil {
 			c.noteFailure(i)
 			errs = append(errs, fmt.Errorf("%s: %w", ep.Name, err))
@@ -217,7 +233,7 @@ func (c *FailoverClient) FetchIndex() (*index.Signed, error) {
 // same signed index, so a byzantine minority of frozen or tampering
 // edges can neither win nor stall the read. The agreed index still
 // passes the client's own freshness floor.
-func (c *FailoverClient) fetchIndexQuorum() (*index.Signed, error) {
+func (c *FailoverClient) fetchIndexQuorum(ctx context.Context) (*index.Signed, error) {
 	ranked := c.rank()
 	k := c.QuorumK
 	if k > len(ranked) {
@@ -227,7 +243,7 @@ func (c *FailoverClient) fetchIndexQuorum() (*index.Signed, error) {
 	members := make([]quorum.Member, 0, k)
 	for _, i := range ranked[:k] {
 		ep := c.Endpoints[i]
-		src := &quorumSource{c: c, ep: i}
+		src := &quorumSource{c: c, ep: i, ctx: ctx}
 		sources = append(sources, src)
 		members = append(members, quorum.Member{
 			Host:      ep.Name,
@@ -282,10 +298,15 @@ type quorumSource struct {
 	c   *FailoverClient
 	ep  int           // index into c.Endpoints
 	got *index.Signed // the endpoint's (unverified) response, if any
+	// ctx carries the quorum read's trace through the ctx-free
+	// quorum.Source interface. The adapter lives for exactly one Read
+	// call, so the usual keep-contexts-out-of-structs rule does not
+	// bite here.
+	ctx context.Context
 }
 
 func (s *quorumSource) FetchIndex() (*index.Signed, error) {
-	signed, _, err := s.c.Endpoints[s.ep].Fetcher.FetchIndexTagged()
+	signed, _, err := originFetchIndexTagged(s.ctx, s.c.Endpoints[s.ep].Fetcher)
 	if err != nil {
 		s.c.noteFailure(s.ep)
 		return nil, err
@@ -341,21 +362,34 @@ func (c *FailoverClient) accept(ix *index.Index) {
 // moved on), so the index is revalidated once and the fetch retried
 // against the fresh entry before the failure is final.
 func (c *FailoverClient) FetchPackage(name string) ([]byte, error) {
+	return c.FetchPackageCtx(context.Background(), name)
+}
+
+// FetchPackageCtx is FetchPackage as a "client.package" span (see
+// FetchIndexCtx).
+func (c *FailoverClient) FetchPackageCtx(ctx context.Context, name string) (_ []byte, err error) {
+	ctx, sp := trace.Start(ctx, "client.package")
+	defer func() {
+		sp.SetError(err)
+		sp.End()
+	}()
+	sp.SetTier("client")
+	sp.SetAttr("package", name)
 	if len(c.Endpoints) == 0 {
 		return nil, ErrNoEndpoints
 	}
-	entry, err := c.entryFor(name)
+	entry, err := c.entryFor(ctx, name)
 	if err != nil {
 		return nil, err
 	}
 	c.mu.Lock()
 	c.stats.PackageFetches++
 	c.mu.Unlock()
-	raw, firstErr := c.fetchPackageVerified(name, entry)
+	raw, firstErr := c.fetchPackageVerified(ctx, name, entry)
 	if firstErr == nil {
 		return raw, nil
 	}
-	if _, err := c.FetchIndex(); err != nil {
+	if _, err := c.FetchIndexCtx(ctx); err != nil {
 		return nil, firstErr
 	}
 	c.mu.Lock()
@@ -367,16 +401,16 @@ func (c *FailoverClient) FetchPackage(name string) ([]byte, error) {
 		// failure stands.
 		return nil, firstErr
 	}
-	return c.fetchPackageVerified(name, fresh)
+	return c.fetchPackageVerified(ctx, name, fresh)
 }
 
 // fetchPackageVerified tries endpoints in latency order until one
 // serves bytes matching the given index entry.
-func (c *FailoverClient) fetchPackageVerified(name string, entry index.Entry) ([]byte, error) {
+func (c *FailoverClient) fetchPackageVerified(ctx context.Context, name string, entry index.Entry) ([]byte, error) {
 	var errs []error
 	for attempt, i := range c.rank() {
 		ep := c.Endpoints[i]
-		raw, err := ep.Fetcher.FetchPackage(name)
+		raw, err := originFetchPackage(ctx, ep.Fetcher, name)
 		if err != nil {
 			c.noteFailure(i)
 			errs = append(errs, fmt.Errorf("%s: %w", ep.Name, err))
@@ -400,12 +434,12 @@ func (c *FailoverClient) fetchPackageVerified(name string, entry index.Entry) ([
 // entryFor looks the package up in the verified index, fetching the
 // index first when none is cached and refreshing once when the name is
 // unknown.
-func (c *FailoverClient) entryFor(name string) (index.Entry, error) {
+func (c *FailoverClient) entryFor(ctx context.Context, name string) (index.Entry, error) {
 	c.mu.Lock()
 	ix := c.cachedIx
 	c.mu.Unlock()
 	if ix == nil {
-		if _, err := c.FetchIndex(); err != nil {
+		if _, err := c.FetchIndexCtx(ctx); err != nil {
 			return index.Entry{}, err
 		}
 		c.mu.Lock()
@@ -415,7 +449,7 @@ func (c *FailoverClient) entryFor(name string) (index.Entry, error) {
 	if e, err := ix.Lookup(name); err == nil {
 		return e, nil
 	}
-	if _, err := c.FetchIndex(); err != nil {
+	if _, err := c.FetchIndexCtx(ctx); err != nil {
 		return index.Entry{}, err
 	}
 	c.mu.Lock()

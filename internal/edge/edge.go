@@ -15,6 +15,7 @@ package edge
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -28,6 +29,7 @@ import (
 	"tsr/internal/keys"
 	"tsr/internal/netsim"
 	"tsr/internal/store"
+	"tsr/internal/trace"
 )
 
 // Error sentinels.
@@ -47,6 +49,48 @@ type Origin interface {
 	FetchIndexTagged() (*index.Signed, string, error)
 	FetchIndexDelta(sinceETag string) (*index.Delta, error)
 	FetchPackage(name string) ([]byte, error)
+}
+
+// The trace context travels through an Origin or Fetcher by optional
+// interface upgrade: when the concrete value has the matching *Ctx
+// method (*tsr.Repo, *tsr.Client, and *Replica itself all do) the call
+// goes through it, so one trace stitches client -> edge -> chained
+// edge -> origin; otherwise the plain method runs and the trace simply
+// ends at that hop. Keeping the Origin and Fetcher interfaces
+// themselves context-free preserves every existing implementation
+// (test doubles included). The parameter types are the minimal
+// single-method interfaces, so both Origin and Fetcher values fit.
+func originFetchIndexTagged(ctx context.Context, o interface {
+	FetchIndexTagged() (*index.Signed, string, error)
+}) (*index.Signed, string, error) {
+	if c, ok := o.(interface {
+		FetchIndexTaggedCtx(context.Context) (*index.Signed, string, error)
+	}); ok {
+		return c.FetchIndexTaggedCtx(ctx)
+	}
+	return o.FetchIndexTagged()
+}
+
+func originFetchIndexDelta(ctx context.Context, o interface {
+	FetchIndexDelta(sinceETag string) (*index.Delta, error)
+}, sinceETag string) (*index.Delta, error) {
+	if c, ok := o.(interface {
+		FetchIndexDeltaCtx(context.Context, string) (*index.Delta, error)
+	}); ok {
+		return c.FetchIndexDeltaCtx(ctx, sinceETag)
+	}
+	return o.FetchIndexDelta(sinceETag)
+}
+
+func originFetchPackage(ctx context.Context, o interface {
+	FetchPackage(name string) ([]byte, error)
+}, name string) ([]byte, error) {
+	if c, ok := o.(interface {
+		FetchPackageCtx(context.Context, string) ([]byte, error)
+	}); ok {
+		return c.FetchPackageCtx(ctx, name)
+	}
+	return o.FetchPackage(name)
 }
 
 // Behavior selects how a replica (mis)behaves — the same adversary
@@ -242,28 +286,43 @@ func (rep *Replica) Stats() Stats {
 // origin round trip — a POST /sync storm (every client of a stale edge
 // poking it at once) collapses into one delta fetch.
 func (rep *Replica) Sync() error {
+	return rep.SyncCtx(context.Background())
+}
+
+// SyncCtx is Sync under a caller context: the sync runs as an
+// "edge.sync" span whose children are the origin round trips, and a
+// coalesced caller links its span to the leader's instead of
+// pretending it contacted the origin itself.
+func (rep *Replica) SyncCtx(ctx context.Context) (err error) {
 	if rep.Behavior() == Freeze {
 		return nil
 	}
-	_, leader, err := rep.syncs.Do("sync", func() (struct{}, error) {
-		return struct{}{}, rep.syncOnce()
+	ctx, sp := trace.Start(ctx, "edge.sync")
+	defer func() {
+		sp.SetError(err)
+		sp.End()
+	}()
+	sp.SetTier("edge")
+	_, leaderCtx, leader, err := rep.syncs.DoCtx(ctx, "sync", func(ctx context.Context) (struct{}, error) {
+		return struct{}{}, rep.syncOnce(ctx)
 	})
 	if !leader {
 		rep.stats.coalescedSyncs.Add(1)
+		sp.LinkCoalesced(trace.SpanFromContext(leaderCtx))
 	}
 	return err
 }
 
 // syncOnce performs one origin sync (the leader's side of Sync).
-func (rep *Replica) syncOnce() error {
+func (rep *Replica) syncOnce(ctx context.Context) error {
 	rep.syncMu.Lock()
 	defer rep.syncMu.Unlock()
 	cur := rep.served.Load()
 	rep.stats.syncs.Add(1)
 	if cur == nil {
-		return rep.fullSync(nil)
+		return rep.fullSync(ctx, nil)
 	}
-	d, err := rep.Origin.FetchIndexDelta(cur.etag)
+	d, err := originFetchIndexDelta(ctx, rep.Origin, cur.etag)
 	if errors.Is(err, index.ErrDeltaUnchanged) {
 		rep.stats.noopSyncs.Add(1)
 		return nil
@@ -284,13 +343,13 @@ func (rep *Replica) syncOnce() error {
 	// Delta unavailable (base older than the origin's retained
 	// history), corrupt, or failed self-verification: full fetch.
 	rep.stats.fullFallbacks.Add(1)
-	return rep.fullSync(cur)
+	return rep.fullSync(ctx, cur)
 }
 
 // fullSync fetches and publishes the complete signed index. Caller
 // holds syncMu (not mu).
-func (rep *Replica) fullSync(cur *replicaState) error {
-	signed, _, err := rep.Origin.FetchIndexTagged()
+func (rep *Replica) fullSync(ctx context.Context, cur *replicaState) error {
+	signed, _, err := originFetchIndexTagged(ctx, rep.Origin)
 	if err != nil {
 		return fmt.Errorf("edge: sync: %w", err)
 	}
@@ -454,6 +513,21 @@ func (rep *Replica) FetchIndex() (*index.Signed, error) {
 
 // FetchIndexTagged serves the replica's current signed index and ETag.
 func (rep *Replica) FetchIndexTagged() (*index.Signed, string, error) {
+	return rep.FetchIndexTaggedCtx(context.Background())
+}
+
+// FetchIndexTaggedCtx is FetchIndexTagged as an "edge.index" span.
+func (rep *Replica) FetchIndexTaggedCtx(ctx context.Context) (_ *index.Signed, _ string, err error) {
+	_, sp := trace.Start(ctx, "edge.index")
+	defer func() {
+		sp.SetError(err)
+		sp.End()
+	}()
+	sp.SetTier("edge")
+	return rep.fetchIndexTagged()
+}
+
+func (rep *Replica) fetchIndexTagged() (*index.Signed, string, error) {
 	if rep.Behavior() == Offline {
 		return nil, "", ErrOffline
 	}
@@ -473,6 +547,26 @@ func (rep *Replica) FetchIndexTagged() (*index.Signed, string, error) {
 // still never signs anything. With this, *Replica implements the full
 // Origin interface: edges can fan out behind edges.
 func (rep *Replica) FetchIndexDelta(sinceETag string) (*index.Delta, error) {
+	return rep.FetchIndexDeltaCtx(context.Background(), sinceETag)
+}
+
+// FetchIndexDeltaCtx is FetchIndexDelta as an "edge.index_delta" span.
+// The two expected negative outcomes — base already current, base
+// outside the retained window — are not recorded as span errors: they
+// are protocol answers, not failures.
+func (rep *Replica) FetchIndexDeltaCtx(ctx context.Context, sinceETag string) (_ *index.Delta, err error) {
+	_, sp := trace.Start(ctx, "edge.index_delta")
+	defer func() {
+		if err != nil && !errors.Is(err, index.ErrDeltaUnchanged) && !errors.Is(err, index.ErrNoDelta) {
+			sp.SetError(err)
+		}
+		sp.End()
+	}()
+	sp.SetTier("edge")
+	return rep.fetchIndexDelta(sinceETag)
+}
+
+func (rep *Replica) fetchIndexDelta(sinceETag string) (*index.Delta, error) {
 	if rep.Behavior() == Offline {
 		return nil, ErrOffline
 	}
@@ -500,11 +594,26 @@ func (rep *Replica) FetchIndexDelta(sinceETag string) (*index.Delta, error) {
 // bytes are re-verified on every hit, so local disk tampering degrades
 // to a pull-through miss instead of serving garbage.
 func (rep *Replica) FetchPackage(name string) ([]byte, error) {
+	return rep.FetchPackageCtx(context.Background(), name)
+}
+
+// FetchPackageCtx is FetchPackage as an "edge.package" span: a cache
+// hit is one cheap span, a pull-through miss hangs the origin round
+// trip under it, and a coalesced miss links to the leader's span
+// instead of claiming an origin pull of its own.
+func (rep *Replica) FetchPackageCtx(ctx context.Context, name string) (_ []byte, err error) {
+	ctx, sp := trace.Start(ctx, "edge.package")
+	defer func() {
+		sp.SetError(err)
+		sp.End()
+	}()
+	sp.SetTier("edge")
+	sp.SetAttr("package", name)
 	entry, err := rep.resolveEntry(name)
 	if err != nil {
 		return nil, err
 	}
-	return rep.fetchEntry(name, entry)
+	return rep.fetchEntry(ctx, name, entry)
 }
 
 // resolveEntry loads the published state once and resolves a package's
@@ -529,22 +638,25 @@ func (rep *Replica) resolveEntry(name string) (index.Entry, error) {
 // crowd of N concurrent cold misses for the same package performs
 // exactly one origin pull; the N-1 followers share the verified bytes
 // (and count as coalesced pulls, not origin pulls).
-func (rep *Replica) fetchEntry(name string, entry index.Entry) ([]byte, error) {
+func (rep *Replica) fetchEntry(ctx context.Context, name string, entry index.Entry) ([]byte, error) {
 	rep.stats.packageReads.Add(1)
 	key := cacheKey(entry.Hash)
+	sp := trace.SpanFromContext(ctx)
 
 	cache := rep.store()
 	raw, cacheErr := cache.Get(key)
 	if cacheErr == nil && int64(len(raw)) == entry.Size && sha256.Sum256(raw) == entry.Hash {
 		rep.stats.packageHits.Add(1)
+		sp.SetAttr("served_from", "cache")
 	} else {
 		if cacheErr == nil {
 			// Tampered or truncated cache entry: drop and re-pull.
 			_ = cache.Delete(key)
 		}
+		var leaderCtx context.Context
 		var leader bool
 		var err error
-		raw, leader, err = rep.pulls.Do(key, func() ([]byte, error) {
+		raw, leaderCtx, leader, err = rep.pulls.DoCtx(ctx, key, func(ctx context.Context) ([]byte, error) {
 			// Re-check the cache inside the flight: a miss that queued
 			// behind a completed fill (the flight ended, the bytes
 			// landed) must not pull the origin again.
@@ -552,7 +664,7 @@ func (rep *Replica) fetchEntry(name string, entry index.Entry) ([]byte, error) {
 				int64(len(cached)) == entry.Size && sha256.Sum256(cached) == entry.Hash {
 				return cached, nil
 			}
-			pulled, err := rep.Origin.FetchPackage(name)
+			pulled, err := originFetchPackage(ctx, rep.Origin, name)
 			if err != nil {
 				return nil, fmt.Errorf("edge: pull-through %s: %w", name, err)
 			}
@@ -566,8 +678,14 @@ func (rep *Replica) fetchEntry(name string, entry index.Entry) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		if !leader {
+		if leader {
+			sp.SetAttr("served_from", "origin")
+		} else {
 			rep.stats.coalescedPulls.Add(1)
+			// The follower's span did not pull anything: link it to the
+			// leader span that did.
+			sp.SetAttr("served_from", "coalesced")
+			sp.LinkCoalesced(trace.SpanFromContext(leaderCtx))
 		}
 	}
 	// Copy before returning: the raw slice is shared with the cache and

@@ -56,7 +56,7 @@ func Handler(replicas map[string]*Replica, name string) http.Handler {
 			w.WriteHeader(http.StatusNotModified)
 			return
 		}
-		signed, etag, err := rep.FetchIndexTagged()
+		signed, etag, err := rep.FetchIndexTaggedCtx(r.Context())
 		if err != nil {
 			httpError(w, statusFor(err), err)
 			return
@@ -78,7 +78,7 @@ func Handler(replicas map[string]*Replica, name string) http.Handler {
 			httpError(w, http.StatusBadRequest, errors.New("missing since=<etag> query parameter"))
 			return
 		}
-		d, err := rep.FetchIndexDelta(since)
+		d, err := rep.FetchIndexDeltaCtx(r.Context(), since)
 		if errors.Is(err, index.ErrDeltaUnchanged) {
 			w.Header().Set("ETag", since)
 			w.Header().Set("Cache-Control", "no-cache")
@@ -122,7 +122,10 @@ func Handler(replicas map[string]*Replica, name string) http.Handler {
 			w.WriteHeader(http.StatusNotModified)
 			return
 		}
-		raw, err := rep.fetchEntry(pkg, entry)
+		// The obs server span (when tracing is on) is the request's span;
+		// fetchEntry hangs the pull-through round trip and the
+		// served_from attribute off whatever span the context carries.
+		raw, err := rep.fetchEntry(r.Context(), pkg, entry)
 		if err != nil {
 			httpError(w, statusFor(err), err)
 			return
@@ -147,7 +150,7 @@ func Handler(replicas map[string]*Replica, name string) http.Handler {
 		// replica is offline, or its upstream edge has not synced yet
 		// (chained edges), is a 503 availability condition — not an
 		// upstream protocol error.
-		if err := rep.Sync(); err != nil {
+		if err := rep.SyncCtx(r.Context()); err != nil {
 			httpError(w, statusFor(err), err)
 			return
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -345,6 +346,13 @@ func EdgeFanoutByzantine(cfg Config) (*EdgeByzantineResult, error) {
 // advanceWorld publishes one new package and refreshes the tenant,
 // producing a new origin index generation.
 func advanceWorld(w *World, name, version string) error {
+	return advanceWorldCtx(context.Background(), w, name, version)
+}
+
+// advanceWorldCtx is advanceWorld under a caller context, so a traced
+// ctx yields an origin.refresh span tree per published generation (the
+// fleet soak reports the per-stage breakdown from these).
+func advanceWorldCtx(ctx context.Context, w *World, name, version string) error {
 	p := &apk.Package{
 		Name: name, Version: version,
 		Files: []apk.File{{Path: "/usr/bin/" + name, Mode: 0o755, Content: []byte(name + version)}},
@@ -358,7 +366,7 @@ func advanceWorld(w *World, name, version string) error {
 	for _, m := range w.Mirrors {
 		m.Sync(w.Repo)
 	}
-	_, err := w.Tenant.Refresh()
+	_, err := w.Tenant.RefreshCtx(ctx)
 	return err
 }
 

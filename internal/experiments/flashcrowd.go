@@ -19,6 +19,7 @@ import (
 	"tsr/internal/obs"
 	"tsr/internal/stats"
 	"tsr/internal/store"
+	"tsr/internal/trace"
 	"tsr/internal/tsr"
 )
 
@@ -306,7 +307,10 @@ func measureAdmission(rep *edge.Replica, repoID, probe string, res *FlashCrowdRe
 		time.Sleep(flashServiceFloor)
 		inner.ServeHTTP(w, r)
 	})
-	o := obs.New(obs.Options{MaxInflight: flashMaxInflight})
+	// Tracing on at production defaults (head-sampled): the flash-crowd
+	// latency tails are measured with the span layer in the path, so a
+	// tracing regression shows up here before it ships.
+	o := obs.New(obs.Options{MaxInflight: flashMaxInflight, Tracer: trace.NewTracer(trace.Config{Tier: "edge"})})
 	handler := o.Wrap(slowed)
 	path := "/repos/" + repoID + "/packages/" + probe
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,6 +10,8 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,6 +27,7 @@ import (
 	"tsr/internal/obs"
 	"tsr/internal/store"
 	"tsr/internal/tpm"
+	"tsr/internal/trace"
 	"tsr/internal/tsr"
 )
 
@@ -148,6 +152,14 @@ type FleetSoakResult struct {
 	CrowdServed  int64        `json:"crowd_served"`
 	CrowdShed    int64        `json:"crowd_shed"`
 	ShedRate     float64      `json:"shed_rate"`
+
+	// Trace observability. FrontTraces counts the front edge's kept
+	// span trees (every flash-crowd 200 also had its X-Tsr-Trace-Id
+	// checked by InvTraceHeader); RefreshStages is the origin's
+	// per-stage refresh latency breakdown aggregated over every
+	// generation published during the soak.
+	FrontTraces   trace.StoreStats          `json:"front_traces"`
+	RefreshStages map[string]trace.StageAgg `json:"refresh_stages,omitempty"`
 
 	// Coalescing across live replicas at the end of the run (killed
 	// replicas take their counters with them).
@@ -325,7 +337,11 @@ func FleetSoakRun(cfg Config) (*FleetSoakResult, error) {
 		time.Sleep(flashServiceFloor)
 		inner.ServeHTTP(rw, r)
 	})
-	o := obs.New(obs.Options{MaxInflight: soakMaxInflight})
+	// Every flash-crowd response gets a span tree (HeadEvery 1): the
+	// TraceHeader invariant quotes the echoed ID against this store.
+	frontTracer := trace.NewTracer(trace.Config{Tier: "edge", HeadEvery: 1, Capacity: 4096})
+	originTracer := trace.NewTracer(trace.Config{Tier: "origin", HeadEvery: 1, Capacity: 4096})
+	o := obs.New(obs.Options{MaxInflight: soakMaxInflight, Tracer: frontTracer})
 	handler := o.Wrap(slowed)
 
 	// --- instruments --------------------------------------------------
@@ -343,7 +359,7 @@ func FleetSoakRun(cfg Config) (*FleetSoakResult, error) {
 		}
 		name := fmt.Sprintf("soak-gen-%03d", tick)
 		published = append(published, name)
-		if err := advanceWorld(cur, name, "1.0-r0"); err != nil {
+		if err := advanceWorldCtx(trace.NewContext(context.Background(), originTracer), cur, name, "1.0-r0"); err != nil {
 			// A refresh failing during a mirror outage is availability;
 			// the previous snapshot keeps serving.
 			res.RefreshesFailed++
@@ -466,6 +482,7 @@ func FleetSoakRun(cfg Config) (*FleetSoakResult, error) {
 				}
 				checker.HTTPResponse("soak-front", rec.Code,
 					rec.Header().Get("ETag"), rec.Header().Get("Retry-After"), rec.Body.Bytes())
+				checker.TraceHeader("soak-front", rec.Code, rec.Header().Get(trace.HeaderTraceID))
 			}
 			return nil
 		})
@@ -657,10 +674,41 @@ func FleetSoakRun(cfg Config) (*FleetSoakResult, error) {
 	if res.CrowdOffered > 0 {
 		res.ShedRate = float64(res.CrowdShed) / float64(res.CrowdOffered)
 	}
+	res.FrontTraces = frontTracer.Store().Stats()
+	res.RefreshStages = originTracer.Store().Stages()
 	res.Violations = checker.Violations()
 	res.InvariantChecks = checker.Checks()
 	res.InvariantViolations = len(res.Violations)
 	return res, nil
+}
+
+// refreshStageRow renders the refresh.* stage aggregates as one
+// deterministic table cell, slowest mean first.
+func refreshStageRow(stages map[string]trace.StageAgg) string {
+	type row struct {
+		name string
+		agg  trace.StageAgg
+	}
+	var rows []row
+	for name, agg := range stages {
+		if strings.HasPrefix(name, "refresh.") {
+			rows = append(rows, row{name, agg})
+		}
+	}
+	if len(rows) == 0 {
+		return "none recorded"
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].agg.MeanMs != rows[j].agg.MeanMs {
+			return rows[i].agg.MeanMs > rows[j].agg.MeanMs
+		}
+		return rows[i].name < rows[j].name
+	})
+	parts := make([]string, len(rows))
+	for i, r := range rows {
+		parts[i] = fmt.Sprintf("%s %.2f ms", strings.TrimPrefix(r.name, "refresh."), r.agg.MeanMs)
+	}
+	return strings.Join(parts, ", ")
 }
 
 // WriteBench writes the BENCH_fleet_soak.json document and returns its
@@ -726,6 +774,9 @@ func FleetSoak(cfg Config) (*Table, error) {
 			{"coalesced pulls / syncs", fmt.Sprintf("%d / %d", res.CoalescedPulls, res.CoalescedSyncs)},
 			{"origin warm restart under load", fmt.Sprintf("%v (%.1f ms)", res.OriginWarmRestart, res.WarmRestartMs)},
 			{"clients lagging at quiesce", fmt.Sprint(res.LaggingAtQuiesce)},
+			{"front-edge traces kept", fmt.Sprintf("%d (merged %d, evicted %d)",
+				res.FrontTraces.Kept, res.FrontTraces.Merged, res.FrontTraces.Evicted)},
+			{"refresh stage means", refreshStageRow(res.RefreshStages)},
 			{"invariant checks / violations", fmt.Sprintf("%d / %d", res.InvariantChecks, res.InvariantViolations)},
 		},
 		Notes: append([]string{

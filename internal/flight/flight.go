@@ -17,6 +17,7 @@
 package flight
 
 import (
+	"context"
 	"errors"
 	"sync"
 )
@@ -30,8 +31,14 @@ var ErrLeaderPanicked = errors.New("flight: leader panicked during coalesced cal
 // call is one in-flight execution of fn for a key.
 type call[V any] struct {
 	done chan struct{} // closed when val/err are final
-	val  V
-	err  error
+	// ctx is the leader's context, recorded under the group lock at
+	// registration so followers can read it race-free — the tracing
+	// layer uses it to link a follower's span to the leader's span
+	// (coalesced=true) instead of inventing an upstream call that
+	// never happened.
+	ctx context.Context
+	val V
+	err error
 }
 
 // Group coalesces concurrent calls by key. The zero value is ready to
@@ -53,6 +60,19 @@ type Group[V any] struct {
 // lockstep). The key is forgotten as soon as the call completes; a
 // caller arriving after that starts a fresh flight.
 func (g *Group[V]) Do(key string, fn func() (V, error)) (v V, leader bool, err error) {
+	v, _, leader, err = g.DoCtx(context.Background(), key, func(context.Context) (V, error) { return fn() })
+	return v, leader, err
+}
+
+// DoCtx is Do with context plumbing for tracing: fn receives the
+// leader's ctx, and every caller gets leaderCtx — the context the
+// leader registered with. The leader's own leaderCtx is just its ctx;
+// a follower uses leaderCtx to link its span to the leader's span
+// rather than pretending it made the upstream call itself. The
+// coalescing contract is unchanged from Do; cancellation of a
+// follower's ctx does NOT detach it from the flight (results are
+// shared verbatim, exactly as in Do).
+func (g *Group[V]) DoCtx(ctx context.Context, key string, fn func(context.Context) (V, error)) (v V, leaderCtx context.Context, leader bool, err error) {
 	g.mu.Lock()
 	if g.calls == nil {
 		g.calls = make(map[string]*call[V])
@@ -60,9 +80,9 @@ func (g *Group[V]) Do(key string, fn func() (V, error)) (v V, leader bool, err e
 	if c, ok := g.calls[key]; ok {
 		g.mu.Unlock()
 		<-c.done
-		return c.val, false, c.err
+		return c.val, c.ctx, false, c.err
 	}
-	c := &call[V]{done: make(chan struct{})}
+	c := &call[V]{done: make(chan struct{}), ctx: ctx}
 	g.calls[key] = c
 	g.mu.Unlock()
 
@@ -85,9 +105,9 @@ func (g *Group[V]) Do(key string, fn func() (V, error)) (v V, leader bool, err e
 		g.mu.Unlock()
 		close(c.done)
 	}()
-	c.val, c.err = fn()
+	c.val, c.err = fn(ctx)
 	completed = true
-	return c.val, true, c.err
+	return c.val, ctx, true, c.err
 }
 
 // Inflight reports the number of keys currently being executed, for

@@ -1,6 +1,7 @@
 package flight
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -160,5 +161,64 @@ func TestDoSharesError(t *testing.T) {
 	}
 	if calls != 2 {
 		t.Fatalf("fn ran %d times, want 2 (no stale cached flight)", calls)
+	}
+}
+
+// TestDoCtxExposesLeaderContext pins the tracing hook: fn runs with
+// the leader's context, and every follower receives that same context
+// back, so it can find the leader's span.
+func TestDoCtxExposesLeaderContext(t *testing.T) {
+	type ctxKey struct{}
+	var g Group[int]
+	gate := make(chan struct{})
+	leaderIn := make(chan struct{})
+
+	lctx := context.WithValue(context.Background(), ctxKey{}, "leader")
+	var fnCtx atomic.Value
+	go func() {
+		_, gotCtx, leader, err := g.DoCtx(lctx, "key", func(ctx context.Context) (int, error) {
+			fnCtx.Store(ctx)
+			close(leaderIn)
+			<-gate
+			return 1, nil
+		})
+		if err != nil || !leader {
+			t.Errorf("leader: leader=%v err=%v", leader, err)
+		}
+		if gotCtx != lctx {
+			t.Error("leader did not get its own ctx back")
+		}
+	}()
+	<-leaderIn
+
+	fctx := context.WithValue(context.Background(), ctxKey{}, "follower")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, gotCtx, leader, err := g.DoCtx(fctx, "key", func(context.Context) (int, error) {
+			t.Error("follower executed fn")
+			return 0, nil
+		})
+		if err != nil || leader || v != 1 {
+			t.Errorf("follower: v=%d leader=%v err=%v", v, leader, err)
+		}
+		if gotCtx == nil || gotCtx.Value(ctxKey{}) != "leader" {
+			t.Errorf("follower leaderCtx value = %v, want leader's", gotCtx)
+		}
+	}()
+	// The follower may not have joined yet; poll until it blocks on the
+	// flight, then release the leader.
+	for i := 0; i < 200; i++ {
+		if g.Inflight() == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(gate)
+	<-done
+
+	if got := fnCtx.Load(); got != lctx {
+		t.Error("fn did not run with the leader's ctx")
 	}
 }

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+
+	"tsr/internal/trace"
+)
+
+// NewLogger builds a daemon's structured logger. format is "text"
+// (human-readable logfmt, the default) or "json" (one JSON object per
+// line, the -log-format=json contract: every operational event is
+// grep-able by key). Records emitted with a traced context carry
+// trace_id/span_id, so log lines and /debug/traces join on one ID.
+func NewLogger(w io.Writer, format, component string) (*slog.Logger, error) {
+	var h slog.Handler
+	switch format {
+	case "", "text":
+		h = slog.NewTextHandler(w, nil)
+	case "json":
+		h = slog.NewJSONHandler(w, nil)
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+	}
+	return slog.New(traceLogHandler{h}).With("component", component), nil
+}
+
+// traceLogHandler decorates records with the trace identity carried by
+// the logging call's context.
+type traceLogHandler struct{ slog.Handler }
+
+func (h traceLogHandler) Handle(ctx context.Context, r slog.Record) error {
+	if sp := trace.SpanFromContext(ctx); sp != nil {
+		r.AddAttrs(slog.String("trace_id", sp.TraceID()), slog.String("span_id", sp.SpanID()))
+	}
+	return h.Handler.Handle(ctx, r)
+}
+
+func (h traceLogHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return traceLogHandler{h.Handler.WithAttrs(attrs)}
+}
+
+func (h traceLogHandler) WithGroup(name string) slog.Handler {
+	return traceLogHandler{h.Handler.WithGroup(name)}
+}

@@ -6,6 +6,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"tsr/internal/trace"
 )
 
 // Options configures one daemon's observability wrapper.
@@ -17,6 +19,12 @@ type Options struct {
 	// RetryAfter is the Retry-After hint on shed responses (default 1s,
 	// rounded up to whole seconds as the header requires).
 	RetryAfter time.Duration
+	// Tracer enables request tracing: Wrap opens a tier-labeled server
+	// span per request, joins an upstream trace from the X-Tsr-Trace-Id
+	// / X-Tsr-Span-Id headers, echoes the identity on the response, and
+	// serves the trace store at GET /debug/traces. nil disables tracing
+	// (requests cost two context lookups and nothing else).
+	Tracer *trace.Tracer
 }
 
 // Obs wraps an http.Handler with the metrics subsystem and admission
@@ -25,21 +33,37 @@ type Obs struct {
 	metrics    *Metrics
 	max        int64
 	retryAfter string
+	tracer     *trace.Tracer
 }
 
-// New builds an Obs with a fresh Metrics registry.
+// New builds an Obs with a fresh Metrics registry. When a Tracer is
+// supplied its "slow" always-keep rule is wired to this registry's
+// per-route p99, so the traces kept are exactly the ones the latency
+// histograms flag as outliers.
 func New(opts Options) *Obs {
 	retry := opts.RetryAfter
 	if retry <= 0 {
 		retry = time.Second
 	}
 	secs := int64((retry + time.Second - 1) / time.Second)
-	return &Obs{
+	o := &Obs{
 		metrics:    NewMetrics(),
 		max:        opts.MaxInflight,
 		retryAfter: strconv.FormatInt(secs, 10),
+		tracer:     opts.Tracer,
 	}
+	if o.tracer != nil {
+		m := o.metrics
+		o.tracer.SetSlow(func(root string, d time.Duration) bool {
+			th := m.SlowThreshold(root)
+			return th > 0 && d > th
+		})
+	}
+	return o
 }
+
+// Tracer returns the wired tracer (nil when tracing is disabled).
+func (o *Obs) Tracer() *trace.Tracer { return o.tracer }
 
 // Metrics exposes the registry (for tests and in-process reporting).
 func (o *Obs) Metrics() *Metrics { return o.metrics }
@@ -62,17 +86,39 @@ func (o *Obs) Snapshot() Snapshot {
 //     measured.
 //  3. Everything else passes the in-flight gate: a CAS increment up to
 //     MaxInflight, or 429 + Retry-After and a shed count.
-//  4. Served requests record latency and status class per route.
+//  4. Served requests record latency and status class per route, and
+//     — with a Tracer — run under a server span carrying the route key,
+//     joined to the caller's trace when the request headers name one.
 func (o *Obs) Wrap(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path == "/metrics" && (r.Method == http.MethodGet || r.Method == http.MethodHead) {
-			w.Header().Set("Content-Type", "application/json")
-			enc := json.NewEncoder(w)
-			enc.SetIndent("", "  ")
-			_ = enc.Encode(o.Snapshot())
+			o.serveMetrics(w, r)
+			return
+		}
+		if o.tracer != nil && (r.Method == http.MethodGet || r.Method == http.MethodHead) &&
+			(r.URL.Path == "/debug/traces" || strings.HasPrefix(r.URL.Path, "/debug/traces/")) {
+			o.serveTraces(w, r)
 			return
 		}
 		key := routeKey(r.Method, r.URL.Path)
+		ctx := r.Context()
+		if o.tracer != nil {
+			ctx = trace.NewContext(ctx, o.tracer)
+			if tid, sid, ok := trace.Extract(r.Header); ok {
+				ctx = trace.WithRemote(ctx, tid, sid)
+			}
+		}
+		ctx, sp := trace.Start(ctx, key)
+		defer sp.End()
+		if sp != nil {
+			sp.SetAttr("path", r.URL.Path)
+			// Echo the identity before anything can write the response:
+			// the client learns its trace ID even when the request is
+			// shed, and can quote it against /debug/traces/{id}.
+			w.Header().Set(trace.HeaderTraceID, sp.TraceID())
+			w.Header().Set(trace.HeaderSpanID, sp.SpanID())
+			r = r.WithContext(ctx)
+		}
 		// gauged: whether this request occupies an in-flight slot. When
 		// admission is on, exempt paths (/healthz) bypass the gate AND
 		// the gauge — a health probe must neither consume admission
@@ -85,6 +131,8 @@ func (o *Obs) Wrap(next http.Handler) http.Handler {
 		case o.max > 0 && r.URL.Path != "/healthz":
 			if !o.acquire() {
 				o.metrics.ObserveShed(key)
+				sp.MarkShed()
+				sp.SetHTTPStatus(http.StatusTooManyRequests)
 				w.Header().Set("Retry-After", o.retryAfter)
 				w.Header().Set("Content-Type", "application/json")
 				w.WriteHeader(http.StatusTooManyRequests)
@@ -106,9 +154,57 @@ func (o *Obs) Wrap(next http.Handler) http.Handler {
 				o.metrics.RequestDone()
 			}
 			o.metrics.ObserveRequest(key, sw.status, d)
+			// Runs before the deferred sp.End() (LIFO), so the status
+			// lands on the span before the root flush samples the trace.
+			sp.SetHTTPStatus(sw.status)
 		}()
 		next.ServeHTTP(sw, r)
 	})
+}
+
+// serveMetrics answers GET /metrics, content-negotiated: JSON by
+// default, Prometheus text format 0.0.4 when the Accept header asks
+// for it. Never shed — the one endpoint that must work during an
+// overload is the one that shows the overload.
+func (o *Obs) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", promContentType)
+		WritePrometheus(w, o.Snapshot())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(o.Snapshot())
+}
+
+// serveTraces answers GET /debug/traces (store stats, per-stage
+// latency breakdown, and trace summaries) and GET /debug/traces/{id}
+// (one stored trace as a span tree). Like /metrics it bypasses
+// admission control: diagnosing an overload requires it.
+func (o *Obs) serveTraces(w http.ResponseWriter, r *http.Request) {
+	st := o.tracer.Store()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if r.URL.Path == "/debug/traces" {
+		_ = enc.Encode(struct {
+			Stats  trace.StoreStats          `json:"stats"`
+			Stages map[string]trace.StageAgg `json:"stages,omitempty"`
+			Traces []trace.Summary           `json:"traces"`
+		}{st.Stats(), st.Stages(), st.List()})
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/debug/traces/")
+	td, ok := st.Get(id)
+	if !ok {
+		w.WriteHeader(http.StatusNotFound)
+		_ = enc.Encode(map[string]string{
+			"error": "no such trace (it may have been head-sampled out or evicted)",
+		})
+		return
+	}
+	_ = enc.Encode(td)
 }
 
 // acquire tries to reserve one in-flight slot; false means shed. The

@@ -149,6 +149,11 @@ type Endpoint struct {
 	// status counts responses by class: index 1→1xx … 5→5xx.
 	status [6]atomic.Int64
 	shed   atomic.Int64
+	// p99CacheNs/p99CachedAtNs memoize the latency p99 for the trace
+	// sampler's slow-keep rule, so the per-request check is two atomic
+	// loads instead of a 40-bucket scan.
+	p99CacheNs    atomic.Int64
+	p99CachedAtNs atomic.Int64
 }
 
 // EndpointSnapshot is the JSON form of one endpoint's metrics.
@@ -257,6 +262,61 @@ func (m *Metrics) notePeak(cur int64) {
 }
 
 func (m *Metrics) RequestDone() { m.inflight.Add(-1) }
+
+// slowMinSamples is the per-route sample floor below which there is no
+// meaningful p99 to compare a request against.
+const slowMinSamples = 64
+
+// slowCacheTTL bounds how stale the memoized per-route p99 may get.
+const slowCacheTTL = int64(time.Second)
+
+// SlowThreshold returns the route's latency p99 — the trace sampler's
+// "slow" bar — or 0 when the route is unknown or too thinly sampled.
+// The value is recomputed at most once per second per route; between
+// refreshes the check costs two atomic loads, keeping the sampler off
+// the serving path's critical section.
+func (m *Metrics) SlowThreshold(key string) time.Duration {
+	ep, ok := (*m.endpoints.Load())[key]
+	if !ok {
+		return 0
+	}
+	now := time.Now().UnixNano()
+	if at := ep.p99CachedAtNs.Load(); now-at < slowCacheTTL {
+		return time.Duration(ep.p99CacheNs.Load())
+	}
+	p99 := ep.latency.p99(slowMinSamples)
+	// Racing refreshes may interleave the two stores; both computed the
+	// same ~current p99, so the mismatch window is harmless telemetry.
+	ep.p99CacheNs.Store(int64(p99))
+	ep.p99CachedAtNs.Store(now)
+	return p99
+}
+
+// p99 returns the histogram's p99 (as a bucket upper bound), or 0 with
+// fewer than min samples.
+func (h *Histogram) p99(min int64) time.Duration {
+	var counts [histBuckets]int64
+	var total int64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total < min {
+		return 0
+	}
+	target := int64(0.99*float64(total)) + 1
+	if target > total {
+		target = total
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += counts[i]
+		if cum >= target {
+			return time.Duration(bucketUpperUs(i)) * time.Microsecond
+		}
+	}
+	return time.Duration(bucketUpperUs(histBuckets-1)) * time.Microsecond
+}
 
 // Snapshot is the full JSON document served at GET /metrics.
 type Snapshot struct {

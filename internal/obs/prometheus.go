@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// wantsPrometheus decides the /metrics representation from the Accept
+// header. JSON stays the default (including Accept: */*); Prometheus
+// text format is chosen only when the client names it — text/plain
+// (what Prometheus servers send) or application/openmetrics-text.
+func wantsPrometheus(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mediaType, _, _ := strings.Cut(strings.TrimSpace(part), ";")
+		mediaType = strings.ToLower(strings.TrimSpace(mediaType))
+		if mediaType == "text/plain" || mediaType == "application/openmetrics-text" {
+			return true
+		}
+	}
+	return false
+}
+
+// promContentType is the Prometheus text exposition content type.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format 0.0.4: the same registry /metrics serves as JSON, re-shaped
+// into counters, gauges, and cumulative le-bucketed histograms (in
+// seconds) so a stock Prometheus scrape ingests it unmodified. Output
+// is sorted for scrape-to-scrape diffability.
+func WritePrometheus(w io.Writer, s Snapshot) {
+	writeHeader := func(name, help, typ string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+	writeHeader("tsr_uptime_seconds", "Seconds since the metrics registry was created.", "gauge")
+	fmt.Fprintf(w, "tsr_uptime_seconds %g\n", float64(s.UptimeMs)/1e3)
+	writeHeader("tsr_inflight", "Requests currently being served.", "gauge")
+	fmt.Fprintf(w, "tsr_inflight %d\n", s.Inflight)
+	writeHeader("tsr_inflight_peak", "High-water mark of concurrently served requests.", "gauge")
+	fmt.Fprintf(w, "tsr_inflight_peak %d\n", s.PeakInflight)
+	writeHeader("tsr_inflight_max", "Admission-control bound on in-flight requests (0 = unlimited).", "gauge")
+	fmt.Fprintf(w, "tsr_inflight_max %d\n", s.MaxInflight)
+	writeHeader("tsr_shed_total", "Requests refused by admission control.", "counter")
+	fmt.Fprintf(w, "tsr_shed_total %d\n", s.ShedTotal)
+
+	routes := make([]string, 0, len(s.Endpoints))
+	for key := range s.Endpoints {
+		routes = append(routes, key)
+	}
+	sort.Strings(routes)
+
+	writeHeader("tsr_requests_total", "Served requests by route and status class.", "counter")
+	for _, route := range routes {
+		ep := s.Endpoints[route]
+		classes := make([]string, 0, len(ep.Status))
+		for class := range ep.Status {
+			classes = append(classes, class)
+		}
+		sort.Strings(classes)
+		for _, class := range classes {
+			fmt.Fprintf(w, "tsr_requests_total{route=%q,class=%q} %d\n",
+				route, class, ep.Status[class])
+		}
+	}
+
+	writeHeader("tsr_route_shed_total", "Requests refused by admission control, by route.", "counter")
+	for _, route := range routes {
+		if shed := s.Endpoints[route].Shed; shed > 0 {
+			fmt.Fprintf(w, "tsr_route_shed_total{route=%q} %d\n", route, shed)
+		}
+	}
+
+	writeHeader("tsr_request_duration_seconds", "Served request latency by route.", "histogram")
+	// Label values are rendered with %q: Go string quoting escapes
+	// backslashes, quotes, and newlines exactly as the exposition
+	// format requires, and route keys are plain ASCII.
+	for _, route := range routes {
+		lat := s.Endpoints[route].Latency
+		esc := route
+		var cum int64
+		for _, b := range lat.Buckets {
+			cum += b.Count
+			fmt.Fprintf(w, "tsr_request_duration_seconds_bucket{route=%q,le=%q} %d\n",
+				esc, formatLe(b.LeUs/1e6), cum)
+		}
+		fmt.Fprintf(w, "tsr_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", esc, lat.Count)
+		fmt.Fprintf(w, "tsr_request_duration_seconds_sum{route=%q} %g\n", esc, lat.MeanMs*float64(lat.Count)/1e3)
+		fmt.Fprintf(w, "tsr_request_duration_seconds_count{route=%q} %d\n", esc, lat.Count)
+	}
+}
+
+// formatLe renders a bucket bound in seconds without trailing noise.
+func formatLe(secs float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.6f", secs), "0"), ".")
+}

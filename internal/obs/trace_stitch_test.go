@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"tsr/internal/trace"
+	"tsr/internal/tsr"
+)
+
+// TestWrapEchoesTraceIdentity pins the response-header half of the
+// propagation contract: every traced response names the trace that
+// served it, so a client (or the chaos checker) can quote the ID
+// against /debug/traces/{id} — including responses that were shed.
+func TestWrapEchoesTraceIdentity(t *testing.T) {
+	tr := trace.NewTracer(trace.Config{Tier: "origin", HeadEvery: 1})
+	o := New(Options{Tracer: tr, MaxInflight: 1})
+	h := o.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/repos/r/index", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("HTTP %d", rec.Code)
+	}
+	tid := rec.Header().Get(trace.HeaderTraceID)
+	if !trace.ValidTraceID(tid) {
+		t.Fatalf("response %s = %q, not a well-formed trace ID", trace.HeaderTraceID, tid)
+	}
+	if sid := rec.Header().Get(trace.HeaderSpanID); !trace.ValidSpanID(sid) {
+		t.Fatalf("response %s = %q, not a well-formed span ID", trace.HeaderSpanID, sid)
+	}
+	if _, ok := tr.Store().Get(tid); !ok {
+		t.Fatalf("trace %s echoed on the response but absent from the store", tid)
+	}
+}
+
+// TestWrapStitchesClientTraceOverHTTP proves the wire half: a
+// tsr.Client call under a traced context injects X-Tsr-Trace-Id /
+// X-Tsr-Span-Id, and the obs-wrapped server joins that trace — same
+// trace ID, server root span parented on the client's HTTP span.
+func TestWrapStitchesClientTraceOverHTTP(t *testing.T) {
+	serverTr := trace.NewTracer(trace.Config{Tier: "origin", HeadEvery: 1})
+	o := New(Options{Tracer: serverTr})
+	srv := httptest.NewServer(o.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("not an index"))
+	})))
+	defer srv.Close()
+
+	clientTr := trace.NewTracer(trace.Config{Tier: "client", HeadEvery: 1})
+	ctx := trace.NewContext(context.Background(), clientTr)
+	ctx, root := trace.Start(ctx, "test.client")
+	c := &tsr.Client{BaseURL: srv.URL, RepoID: "r"}
+	// The fetch fails (the stub serves garbage, not a signed index);
+	// only the request's trace headers are under test here.
+	_, _, _ = c.FetchIndexTaggedCtx(ctx)
+	root.End()
+
+	// The server must have kept exactly one trace, under the CLIENT's
+	// trace ID.
+	st := serverTr.Store()
+	if got := st.Stats().Kept; got != 1 {
+		t.Fatalf("server kept %d traces, want 1", got)
+	}
+	td, ok := st.Get(root.TraceID())
+	if !ok {
+		t.Fatalf("server has no trace %s (the client's trace ID); it did not join the remote trace", root.TraceID())
+	}
+	serverRoot := td.Spans[0]
+	if serverRoot.ParentID == "" || serverRoot.ParentID == root.SpanID() {
+		// The direct parent must be the client's http.index span (a
+		// child of root), not root itself and not empty.
+		t.Fatalf("server root span parent = %q, want the client's http.index span ID", serverRoot.ParentID)
+	}
+	// Cross-check against the client's copy of the trace: its http.index
+	// span ID is the server root's parent.
+	ctd, ok := clientTr.Store().Get(root.TraceID())
+	if !ok {
+		t.Fatal("client tracer did not keep its trace")
+	}
+	var httpSpanID string
+	for _, s := range ctd.Spans {
+		if s.Name == "http.index" {
+			httpSpanID = s.SpanID
+		}
+	}
+	if httpSpanID == "" {
+		t.Fatalf("client trace has no http.index span: %+v", ctd.Spans)
+	}
+	if serverRoot.ParentID != httpSpanID {
+		t.Fatalf("server root parent = %s, want the client http.index span %s", serverRoot.ParentID, httpSpanID)
+	}
+}

@@ -1,0 +1,222 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Attr is one key/value span attribute.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Link points at another span; Coalesced links mark flight followers
+// whose result was produced under the leader's span.
+type Link struct {
+	TraceID   string `json:"trace_id"`
+	SpanID    string `json:"span_id"`
+	Coalesced bool   `json:"coalesced"`
+}
+
+// SpanData is the immutable stored form of a finished span.
+type SpanData struct {
+	TraceID    string    `json:"trace_id"`
+	SpanID     string    `json:"span_id"`
+	ParentID   string    `json:"parent_id,omitempty"`
+	Name       string    `json:"name"`
+	Tier       string    `json:"tier,omitempty"`
+	Start      time.Time `json:"start"`
+	DurationMs float64   `json:"duration_ms"`
+	Attrs      []Attr    `json:"attrs,omitempty"`
+	Error      string    `json:"error,omitempty"`
+	Shed       bool      `json:"shed,omitempty"`
+	Link       *Link     `json:"link,omitempty"`
+	Unfinished bool      `json:"unfinished,omitempty"`
+}
+
+// TraceData is one stored trace: the spans of a trace ID, plus the
+// keep decision that admitted it.
+type TraceData struct {
+	TraceID    string     `json:"trace_id"`
+	Root       string     `json:"root"`
+	Reason     string     `json:"reason"`
+	Start      time.Time  `json:"start"`
+	DurationMs float64    `json:"duration_ms"`
+	Dropped    int        `json:"dropped_spans,omitempty"`
+	Spans      []SpanData `json:"spans"`
+}
+
+// Summary is the per-trace line of GET /debug/traces.
+type Summary struct {
+	TraceID    string    `json:"trace_id"`
+	Root       string    `json:"root"`
+	Reason     string    `json:"reason"`
+	Start      time.Time `json:"start"`
+	DurationMs float64   `json:"duration_ms"`
+	Spans      int       `json:"spans"`
+}
+
+// StoreStats counts the sampler's and store's decisions.
+type StoreStats struct {
+	// Kept counts traces admitted by the sampler (by keep reason in
+	// ByReason); SampledOut counts clean traces head-sampling dropped.
+	Kept       int64            `json:"kept"`
+	SampledOut int64            `json:"sampled_out"`
+	ByReason   map[string]int64 `json:"by_reason,omitempty"`
+	// Merged counts flushes that joined an already-stored trace ID
+	// (multi-tier traces sharing one store); Evicted counts FIFO
+	// evictions past capacity; Stored is the current resident count.
+	Merged  int64 `json:"merged"`
+	Evicted int64 `json:"evicted"`
+	Stored  int   `json:"stored"`
+}
+
+// StageAgg aggregates the duration of one span name across every kept
+// trace — the per-stage latency breakdown.
+type StageAgg struct {
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+type stageAgg struct {
+	count   int64
+	totalMs float64
+	maxMs   float64
+}
+
+// Store is the bounded in-memory trace store. Only kept traces touch
+// its lock — the request hot path never does.
+type Store struct {
+	mu         sync.Mutex
+	cap        int
+	byID       map[string]*TraceData
+	order      []string // FIFO of resident trace IDs
+	kept       int64
+	sampledOut int64
+	merged     int64
+	evicted    int64
+	byReason   map[string]int64
+	stages     map[string]*stageAgg
+}
+
+func newStore(cap int) *Store {
+	return &Store{
+		cap:      cap,
+		byID:     make(map[string]*TraceData),
+		byReason: make(map[string]int64),
+		stages:   make(map[string]*stageAgg),
+	}
+}
+
+func (s *Store) noteSampledOut() {
+	s.mu.Lock()
+	s.sampledOut++
+	s.mu.Unlock()
+}
+
+// offer admits a kept trace. A trace ID already resident is merged
+// (spans appended), which is how the tiers of an in-process chain —
+// each flushing its own root — stitch into one stored trace.
+func (s *Store) offer(td *TraceData) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.kept++
+	s.byReason[td.Reason]++
+	for _, sp := range td.Spans {
+		agg := s.stages[sp.Name]
+		if agg == nil {
+			agg = &stageAgg{}
+			s.stages[sp.Name] = agg
+		}
+		agg.count++
+		agg.totalMs += sp.DurationMs
+		if sp.DurationMs > agg.maxMs {
+			agg.maxMs = sp.DurationMs
+		}
+	}
+	if cur, ok := s.byID[td.TraceID]; ok {
+		s.merged++
+		cur.Spans = append(cur.Spans, td.Spans...)
+		cur.Dropped += td.Dropped
+		if td.DurationMs > cur.DurationMs {
+			cur.DurationMs = td.DurationMs
+		}
+		return
+	}
+	s.byID[td.TraceID] = td
+	s.order = append(s.order, td.TraceID)
+	for len(s.order) > s.cap {
+		victim := s.order[0]
+		s.order = s.order[1:]
+		delete(s.byID, victim)
+		s.evicted++
+	}
+}
+
+// List returns resident trace summaries, oldest first.
+func (s *Store) List() []Summary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Summary, 0, len(s.order))
+	for _, id := range s.order {
+		td := s.byID[id]
+		out = append(out, Summary{
+			TraceID:    td.TraceID,
+			Root:       td.Root,
+			Reason:     td.Reason,
+			Start:      td.Start,
+			DurationMs: td.DurationMs,
+			Spans:      len(td.Spans),
+		})
+	}
+	return out
+}
+
+// Get returns a copy of the stored trace for id.
+func (s *Store) Get(id string) (TraceData, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	td, ok := s.byID[id]
+	if !ok {
+		return TraceData{}, false
+	}
+	out := *td
+	out.Spans = append([]SpanData(nil), td.Spans...)
+	return out, true
+}
+
+// Stats returns the sampler/store counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	byReason := make(map[string]int64, len(s.byReason))
+	for k, v := range s.byReason {
+		byReason[k] = v
+	}
+	return StoreStats{
+		Kept:       s.kept,
+		SampledOut: s.sampledOut,
+		ByReason:   byReason,
+		Merged:     s.merged,
+		Evicted:    s.evicted,
+		Stored:     len(s.byID),
+	}
+}
+
+// Stages returns the per-span-name latency breakdown over every kept
+// trace (not just the resident ones).
+func (s *Store) Stages() map[string]StageAgg {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]StageAgg, len(s.stages))
+	for name, agg := range s.stages {
+		out[name] = StageAgg{
+			Count:  agg.count,
+			MeanMs: agg.totalMs / float64(agg.count),
+			MaxMs:  agg.maxMs,
+		}
+	}
+	return out
+}

@@ -1,0 +1,333 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// keepAll builds a tracer that head-samples nothing out, so structure
+// tests see every trace.
+func keepAll(tier string) *Tracer {
+	return NewTracer(Config{Tier: tier, HeadEvery: 1})
+}
+
+func TestIDWellFormedness(t *testing.T) {
+	for i := 0; i < 64; i++ {
+		if id := newTraceID(); !ValidTraceID(id) {
+			t.Fatalf("newTraceID() = %q, not a valid trace ID", id)
+		}
+		if id := newSpanID(); !ValidSpanID(id) {
+			t.Fatalf("newSpanID() = %q, not a valid span ID", id)
+		}
+	}
+	for _, bad := range []string{"", "xyz", "ABCDEF0123456789ABCDEF0123456789", "0123456789abcdef0123456789abcde", "0123456789abcdef0123456789abcdeg"} {
+		if ValidTraceID(bad) {
+			t.Errorf("ValidTraceID(%q) = true, want false", bad)
+		}
+	}
+	if ValidSpanID("0123456789abcdef0") || ValidSpanID("0123456789ABCDEF") {
+		t.Error("ValidSpanID accepted a malformed ID")
+	}
+}
+
+func TestUntracedContextIsNoop(t *testing.T) {
+	ctx, sp := Start(context.Background(), "op")
+	if sp != nil {
+		t.Fatalf("Start without tracer returned a span: %+v", sp)
+	}
+	// Every method must be nil-safe.
+	sp.SetAttr("k", "v")
+	sp.SetAttrInt("n", 1)
+	sp.SetError(errors.New("boom"))
+	sp.MarkShed()
+	sp.SetTier("edge")
+	sp.SetHTTPStatus(500)
+	sp.LinkCoalesced(nil)
+	sp.End()
+	if got := sp.TraceID(); got != "" {
+		t.Errorf("nil span TraceID = %q, want empty", got)
+	}
+	h := make(http.Header)
+	Inject(ctx, h)
+	if len(h) != 0 {
+		t.Errorf("Inject on untraced ctx wrote headers: %v", h)
+	}
+}
+
+func TestParentingAndFlush(t *testing.T) {
+	tr := keepAll("origin")
+	ctx := NewContext(context.Background(), tr)
+	ctx, root := Start(ctx, "server")
+	cctx, child := Start(ctx, "stage")
+	if child.TraceID() != root.TraceID() {
+		t.Fatalf("child trace %q != root trace %q", child.TraceID(), root.TraceID())
+	}
+	_, grand := Start(cctx, "substage")
+	grand.SetAttr("k", "v")
+	grand.End()
+	child.End()
+	root.End()
+
+	td, ok := tr.Store().Get(root.TraceID())
+	if !ok {
+		t.Fatalf("trace %q not stored", root.TraceID())
+	}
+	if len(td.Spans) != 3 {
+		t.Fatalf("stored %d spans, want 3: %+v", len(td.Spans), td.Spans)
+	}
+	byName := map[string]SpanData{}
+	for _, sp := range td.Spans {
+		byName[sp.Name] = sp
+	}
+	if byName["server"].ParentID != "" {
+		t.Errorf("root parent = %q, want empty", byName["server"].ParentID)
+	}
+	if byName["stage"].ParentID != byName["server"].SpanID {
+		t.Errorf("stage parent = %q, want %q", byName["stage"].ParentID, byName["server"].SpanID)
+	}
+	if byName["substage"].ParentID != byName["stage"].SpanID {
+		t.Errorf("substage parent = %q, want %q", byName["substage"].ParentID, byName["stage"].SpanID)
+	}
+	if byName["server"].Tier != "origin" {
+		t.Errorf("tier = %q, want origin", byName["server"].Tier)
+	}
+	if td.Reason != KeepHead {
+		t.Errorf("reason = %q, want %q", td.Reason, KeepHead)
+	}
+}
+
+func TestHeaderRoundTripAndRemoteJoin(t *testing.T) {
+	client := keepAll("client")
+	ctx := NewContext(context.Background(), client)
+	ctx, cs := Start(ctx, "client.call")
+	h := make(http.Header)
+	Inject(ctx, h)
+	tid, sid, ok := Extract(h)
+	if !ok || tid != cs.TraceID() || sid != cs.SpanID() {
+		t.Fatalf("Extract = (%q, %q, %v), want (%q, %q, true)", tid, sid, ok, cs.TraceID(), cs.SpanID())
+	}
+
+	// The server tier joins the extracted identity.
+	server := keepAll("edge")
+	sctx := NewContext(context.Background(), server)
+	sctx = WithRemote(sctx, tid, sid)
+	_, ss := Start(sctx, "server.handle")
+	if ss.TraceID() != cs.TraceID() {
+		t.Fatalf("server trace %q did not join client trace %q", ss.TraceID(), cs.TraceID())
+	}
+	ss.End()
+	cs.End()
+
+	td, ok := server.Store().Get(cs.TraceID())
+	if !ok {
+		t.Fatal("server store missing the joined trace")
+	}
+	if td.Spans[0].ParentID != cs.SpanID() {
+		t.Errorf("server root parent = %q, want remote span %q", td.Spans[0].ParentID, cs.SpanID())
+	}
+
+	// Malformed headers must not propagate.
+	bad := make(http.Header)
+	bad.Set(HeaderTraceID, "not-hex")
+	bad.Set(HeaderSpanID, "0123456789abcdef")
+	if _, _, ok := Extract(bad); ok {
+		t.Error("Extract accepted a malformed trace ID")
+	}
+	if got := WithRemote(context.Background(), "zz", "yy"); got != context.Background() {
+		t.Error("WithRemote stored an invalid identity")
+	}
+}
+
+func TestAlwaysKeepReasons(t *testing.T) {
+	cases := []struct {
+		name   string
+		mark   func(sp *Span)
+		reason string
+	}{
+		{"error", func(sp *Span) { sp.SetError(errors.New("boom")) }, KeepError},
+		{"shed", func(sp *Span) { sp.MarkShed() }, KeepShed},
+		{"http5xx", func(sp *Span) { sp.SetHTTPStatus(503) }, KeepError},
+	}
+	for _, tc := range cases {
+		// HeadEvery is huge so only the always-keep rule can admit it.
+		tr := NewTracer(Config{Tier: "t", HeadEvery: 1 << 30})
+		ctx := NewContext(context.Background(), tr)
+		_, sp := Start(ctx, "op")
+		tc.mark(sp)
+		sp.End()
+		td, ok := tr.Store().Get(sp.TraceID())
+		if !ok {
+			t.Errorf("%s: trace not kept", tc.name)
+			continue
+		}
+		if td.Reason != tc.reason {
+			t.Errorf("%s: reason = %q, want %q", tc.name, td.Reason, tc.reason)
+		}
+	}
+}
+
+func TestSlowKeepUsesPredicate(t *testing.T) {
+	tr := NewTracer(Config{Tier: "t", HeadEvery: 1 << 30})
+	var gotRoot string
+	tr.SetSlow(func(root string, d time.Duration) bool {
+		gotRoot = root
+		return true
+	})
+	ctx := NewContext(context.Background(), tr)
+	_, sp := Start(ctx, "GET /route")
+	sp.End()
+	td, ok := tr.Store().Get(sp.TraceID())
+	if !ok || td.Reason != KeepSlow {
+		t.Fatalf("slow trace not kept (ok=%v, reason=%q)", ok, td.Reason)
+	}
+	if gotRoot != "GET /route" {
+		t.Errorf("slow predicate saw root %q, want GET /route", gotRoot)
+	}
+}
+
+func TestHeadSamplingIsDeterministicPerTraceID(t *testing.T) {
+	id := newTraceID()
+	first := headKeep(id, 8)
+	for i := 0; i < 10; i++ {
+		if headKeep(id, 8) != first {
+			t.Fatal("headKeep flip-flopped for one trace ID")
+		}
+	}
+	if !headKeep(id, 1) {
+		t.Error("headKeep(every=1) must keep everything")
+	}
+	// Over many IDs both outcomes occur.
+	kept, dropped := 0, 0
+	for i := 0; i < 256; i++ {
+		if headKeep(newTraceID(), 4) {
+			kept++
+		} else {
+			dropped++
+		}
+	}
+	if kept == 0 || dropped == 0 {
+		t.Errorf("head sampling degenerate: kept=%d dropped=%d of 256", kept, dropped)
+	}
+}
+
+func TestStoreBoundsAndMerge(t *testing.T) {
+	tr := NewTracer(Config{Tier: "t", Capacity: 4, HeadEvery: 1})
+	var ids []string
+	for i := 0; i < 6; i++ {
+		ctx := NewContext(context.Background(), tr)
+		_, sp := Start(ctx, "op")
+		ids = append(ids, sp.TraceID())
+		sp.End()
+	}
+	st := tr.Store().Stats()
+	if st.Stored != 4 || st.Evicted != 2 {
+		t.Fatalf("stats = %+v, want Stored=4 Evicted=2", st)
+	}
+	if _, ok := tr.Store().Get(ids[0]); ok {
+		t.Error("oldest trace survived past capacity")
+	}
+	if _, ok := tr.Store().Get(ids[5]); !ok {
+		t.Error("newest trace missing")
+	}
+
+	// A second flush with the same trace ID merges rather than evicts.
+	ctx := NewContext(context.Background(), tr)
+	ctx = WithRemote(ctx, ids[5], "0123456789abcdef")
+	_, sp := Start(ctx, "tier2")
+	sp.End()
+	td, ok := tr.Store().Get(ids[5])
+	if !ok || len(td.Spans) != 2 {
+		t.Fatalf("merged trace has %d spans (ok=%v), want 2", len(td.Spans), ok)
+	}
+	if tr.Store().Stats().Merged != 1 {
+		t.Errorf("Merged = %d, want 1", tr.Store().Stats().Merged)
+	}
+}
+
+func TestSpanCapDropsChildren(t *testing.T) {
+	tr := keepAll("t")
+	ctx := NewContext(context.Background(), tr)
+	ctx, root := Start(ctx, "root")
+	for i := 0; i < maxSpansPerTrace+10; i++ {
+		_, sp := Start(ctx, "child")
+		sp.End() // nil-safe once the cap bites
+	}
+	root.End()
+	td, ok := tr.Store().Get(root.TraceID())
+	if !ok {
+		t.Fatal("capped trace not stored")
+	}
+	if len(td.Spans) != maxSpansPerTrace {
+		t.Errorf("stored %d spans, want cap %d", len(td.Spans), maxSpansPerTrace)
+	}
+	if td.Dropped != 11 {
+		t.Errorf("Dropped = %d, want 11", td.Dropped)
+	}
+}
+
+func TestCoalescedLink(t *testing.T) {
+	tr := keepAll("edge")
+	lctx := NewContext(context.Background(), tr)
+	_, leader := Start(lctx, "edge.package")
+	fctx := NewContext(context.Background(), tr)
+	_, follower := Start(fctx, "edge.package")
+	follower.LinkCoalesced(leader)
+	follower.End()
+	leader.End()
+
+	td, ok := tr.Store().Get(follower.TraceID())
+	if !ok {
+		t.Fatal("follower trace not stored")
+	}
+	link := td.Spans[0].Link
+	if link == nil || !link.Coalesced {
+		t.Fatalf("follower span link = %+v, want coalesced", link)
+	}
+	if link.TraceID != leader.TraceID() || link.SpanID != leader.SpanID() {
+		t.Errorf("link points at (%q,%q), want leader (%q,%q)",
+			link.TraceID, link.SpanID, leader.TraceID(), leader.SpanID())
+	}
+}
+
+func TestStagesAggregate(t *testing.T) {
+	tr := keepAll("origin")
+	for i := 0; i < 3; i++ {
+		ctx := NewContext(context.Background(), tr)
+		ctx, root := Start(ctx, "refresh")
+		_, st := Start(ctx, "refresh.sanitize")
+		st.End()
+		root.End()
+	}
+	stages := tr.Store().Stages()
+	if stages["refresh"].Count != 3 || stages["refresh.sanitize"].Count != 3 {
+		t.Fatalf("stage counts = %+v, want 3 each", stages)
+	}
+}
+
+func TestConcurrentTracesRaceClean(t *testing.T) {
+	tr := NewTracer(Config{Tier: "t", Capacity: 32, HeadEvery: 2})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ctx := NewContext(context.Background(), tr)
+				ctx, root := Start(ctx, "op")
+				_, child := Start(ctx, "child")
+				child.SetAttrInt("i", int64(i))
+				child.End()
+				root.End()
+			}
+		}()
+	}
+	wg.Wait()
+	st := tr.Store().Stats()
+	if st.Kept+st.SampledOut != 400 {
+		t.Fatalf("kept %d + sampled-out %d != 400", st.Kept, st.SampledOut)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"tsr/internal/index"
+	"tsr/internal/trace"
 )
 
 // HTTP wire headers for the signed index.
@@ -76,7 +77,7 @@ func Handler(s *Service) http.Handler {
 			httpError(w, http.StatusNotFound, err)
 			return
 		}
-		stats, err := repo.Refresh()
+		stats, err := repo.RefreshCtx(r.Context())
 		if err != nil {
 			// 502 is reserved for upstream mirror/quorum failures;
 			// local validation/seal/plan errors map to 500 and a
@@ -127,7 +128,7 @@ func Handler(s *Service) http.Handler {
 			w.WriteHeader(http.StatusNotModified)
 			return
 		}
-		signed, etag, err := repo.FetchIndexTagged()
+		signed, etag, err := repo.FetchIndexTaggedCtx(r.Context())
 		if err != nil {
 			httpError(w, statusFor(err), err)
 			return
@@ -149,7 +150,7 @@ func Handler(s *Service) http.Handler {
 			httpError(w, http.StatusBadRequest, errors.New("missing since=<etag> query parameter"))
 			return
 		}
-		d, err := repo.FetchIndexDelta(since)
+		d, err := repo.FetchIndexDeltaCtx(r.Context(), since)
 		if errors.Is(err, index.ErrDeltaUnchanged) {
 			// The base generation IS the current one: nothing to send.
 			w.Header().Set("ETag", since)
@@ -186,7 +187,7 @@ func Handler(s *Service) http.Handler {
 			w.WriteHeader(http.StatusNotModified)
 			return
 		}
-		raw, res, err := repo.FetchPackageTraced(pkg)
+		raw, res, err := repo.FetchPackageTracedCtx(r.Context(), pkg)
 		if err != nil {
 			httpError(w, statusFor(err), err)
 			return
@@ -357,9 +358,15 @@ func (c *Client) client() *http.Client {
 	return defaultHTTPClient
 }
 
-// newRequest builds a GET bound to the client's context.
-func (c *Client) newRequest(url string) (*http.Request, error) {
-	ctx := c.Context
+// newRequest builds a GET bound to ctx — or, when the caller passed
+// no per-call context (nil), to the client's configured Context. The
+// request carries the caller's trace identity in the X-Tsr-Trace-Id /
+// X-Tsr-Span-Id headers, so the server tier joins this trace instead
+// of rooting its own.
+func (c *Client) newRequest(ctx context.Context, url string) (*http.Request, error) {
+	if ctx == nil {
+		ctx = c.Context
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -367,6 +374,7 @@ func (c *Client) newRequest(url string) (*http.Request, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tsr client: %w", err)
 	}
+	trace.Inject(ctx, req.Header)
 	return req, nil
 }
 
@@ -380,7 +388,16 @@ func (c *Client) FetchIndex() (*index.Signed, error) {
 // ETag — the handle an edge replica needs to delta-sync later. A 304
 // revalidation returns the cached copy and its (unchanged) tag.
 func (c *Client) FetchIndexTagged() (*index.Signed, string, error) {
-	req, err := c.newRequest(c.BaseURL + "/repos/" + c.RepoID + "/index")
+	return c.FetchIndexTaggedCtx(nil)
+}
+
+// FetchIndexTaggedCtx is FetchIndexTagged under a caller context: the
+// HTTP round trip runs as a child span and the request headers carry
+// the trace identity downstream.
+func (c *Client) FetchIndexTaggedCtx(ctx context.Context) (_ *index.Signed, _ string, err error) {
+	ctx, sp := trace.Start(ctx, "http.index")
+	defer func() { sp.SetError(err); sp.End() }()
+	req, err := c.newRequest(ctx, c.BaseURL+"/repos/"+c.RepoID+"/index")
 	if err != nil {
 		return nil, "", err
 	}
@@ -447,8 +464,23 @@ func (c *Client) FetchIndexTagged() (*index.Signed, string, error) {
 // index.ErrNoDelta when the server cannot produce a delta — the caller
 // falls back to FetchIndexTagged.
 func (c *Client) FetchIndexDelta(sinceETag string) (*index.Delta, error) {
+	return c.FetchIndexDeltaCtx(nil, sinceETag)
+}
+
+// FetchIndexDeltaCtx is FetchIndexDelta under a caller context (see
+// FetchIndexTaggedCtx).
+func (c *Client) FetchIndexDeltaCtx(ctx context.Context, sinceETag string) (_ *index.Delta, err error) {
+	ctx, sp := trace.Start(ctx, "http.index_delta")
+	defer func() {
+		// 304/404 are negotiation outcomes, not failures worth always
+		// keeping a trace for.
+		if err != nil && !errors.Is(err, index.ErrDeltaUnchanged) && !errors.Is(err, index.ErrNoDelta) {
+			sp.SetError(err)
+		}
+		sp.End()
+	}()
 	u := c.BaseURL + "/repos/" + c.RepoID + "/index/delta?since=" + url.QueryEscape(sinceETag)
-	req, err := c.newRequest(u)
+	req, err := c.newRequest(ctx, u)
 	if err != nil {
 		return nil, err
 	}
@@ -489,15 +521,21 @@ func (c *Client) FetchIndexDelta(sinceETag string) (*index.Delta, error) {
 // the index is revalidated once and the download retried against the
 // fresh entry before the failure is final.
 func (c *Client) FetchPackage(name string) ([]byte, error) {
-	entry, err := c.entryFor(name)
+	return c.FetchPackageCtx(nil, name)
+}
+
+// FetchPackageCtx is FetchPackage under a caller context (see
+// FetchIndexTaggedCtx).
+func (c *Client) FetchPackageCtx(ctx context.Context, name string) ([]byte, error) {
+	entry, err := c.entryFor(ctx, name)
 	if err != nil {
 		return nil, err
 	}
-	raw, err := c.fetchPackageVerified(name, entry)
+	raw, err := c.fetchPackageVerified(ctx, name, entry)
 	if err == nil {
 		return raw, nil
 	}
-	ix, ferr := c.currentIndex(true)
+	ix, ferr := c.currentIndex(ctx, true)
 	if ferr != nil {
 		return nil, err
 	}
@@ -507,13 +545,16 @@ func (c *Client) FetchPackage(name string) ([]byte, error) {
 		// verification failure stands.
 		return nil, err
 	}
-	return c.fetchPackageVerified(name, fresh)
+	return c.fetchPackageVerified(ctx, name, fresh)
 }
 
 // fetchPackageVerified downloads one package and verifies it against
 // the given index entry.
-func (c *Client) fetchPackageVerified(name string, entry index.Entry) ([]byte, error) {
-	req, err := c.newRequest(c.BaseURL + "/repos/" + c.RepoID + "/packages/" + name)
+func (c *Client) fetchPackageVerified(ctx context.Context, name string, entry index.Entry) (_ []byte, err error) {
+	ctx, sp := trace.Start(ctx, "http.package")
+	defer func() { sp.SetError(err); sp.End() }()
+	sp.SetAttr("package", name)
+	req, err := c.newRequest(ctx, c.BaseURL+"/repos/"+c.RepoID+"/packages/"+name)
 	if err != nil {
 		return nil, err
 	}
@@ -540,15 +581,15 @@ func (c *Client) fetchPackageVerified(name string, entry index.Entry) ([]byte, e
 // entryFor returns the index entry for a package, fetching the index
 // first when none is cached and revalidating once when the name is
 // unknown (the cached index may predate the package).
-func (c *Client) entryFor(name string) (index.Entry, error) {
-	ix, err := c.currentIndex(false)
+func (c *Client) entryFor(ctx context.Context, name string) (index.Entry, error) {
+	ix, err := c.currentIndex(ctx, false)
 	if err != nil {
 		return index.Entry{}, err
 	}
 	if e, err := ix.Lookup(name); err == nil {
 		return e, nil
 	}
-	if ix, err = c.currentIndex(true); err != nil {
+	if ix, err = c.currentIndex(ctx, true); err != nil {
 		return index.Entry{}, err
 	}
 	e, err := ix.Lookup(name)
@@ -561,7 +602,7 @@ func (c *Client) entryFor(name string) (index.Entry, error) {
 // currentIndex returns the decoded form of the cached signed index,
 // fetching (with revalidation) first when nothing is cached or when the
 // caller forces a round trip.
-func (c *Client) currentIndex(force bool) (*index.Index, error) {
+func (c *Client) currentIndex(ctx context.Context, force bool) (*index.Index, error) {
 	c.mu.Lock()
 	if !force && c.cachedIx != nil {
 		ix := c.cachedIx
@@ -569,7 +610,7 @@ func (c *Client) currentIndex(force bool) (*index.Index, error) {
 		return ix, nil
 	}
 	c.mu.Unlock()
-	signed, etag, err := c.FetchIndexTagged()
+	signed, etag, err := c.FetchIndexTaggedCtx(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package tsr
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -22,6 +23,7 @@ import (
 	"tsr/internal/sanitize"
 	"tsr/internal/script"
 	"tsr/internal/store"
+	"tsr/internal/trace"
 )
 
 // Cache behaviour errors.
@@ -336,6 +338,28 @@ func (r *Repo) sanitizedKey(name string, hash [32]byte) string {
 	return r.ID + "/san/" + name + "@" + hex.EncodeToString(hash[:16])
 }
 
+// stages sequences a refresh cycle's child spans without nesting the
+// cycle's body in closures: next ends the stage span in flight and
+// opens the named one, and close ends the last stage, attributing the
+// cycle's error to it. Every stage span is a direct child of the
+// caller's context span, so the refresh renders as one flat tree.
+type stages struct {
+	ctx context.Context
+	sp  *trace.Span
+}
+
+func newStages(ctx context.Context) *stages { return &stages{ctx: ctx} }
+
+func (t *stages) next(name string) {
+	t.sp.End()
+	_, t.sp = trace.Start(t.ctx, name) //lint:allow spanend every stage span is ended by the following next or by the deferred close
+}
+
+func (t *stages) close(err error) {
+	t.sp.SetError(err)
+	t.sp.End()
+}
+
 // Refresh performs the §5.4 cycle: quorum-read the upstream metadata
 // index, download packages that changed since the previous refresh,
 // (re)build the sanitization plan, sanitize, cache, and publish a new
@@ -356,12 +380,41 @@ func (r *Repo) sanitizedKey(name string, hash [32]byte) string {
 // publishLocked, and any early error return keeps the old snapshot
 // serving.
 func (r *Repo) Refresh() (*RefreshStats, error) {
+	return r.RefreshCtx(context.Background())
+}
+
+// RefreshCtx is Refresh under a caller-supplied context: when the
+// context carries a tracer the cycle is recorded as one
+// "origin.refresh" span with a child span per stage (quorum, fetch,
+// plan, sanitize, sign, publish, seal), so a refresh shows up as a
+// single inspectable tree under /debug/traces.
+func (r *Repo) RefreshCtx(ctx context.Context) (stats *RefreshStats, err error) {
+	ctx, sp := trace.Start(ctx, "origin.refresh")
+	defer func() {
+		if stats != nil {
+			sp.SetAttrInt("sanitized", int64(stats.Sanitized))
+			sp.SetAttrInt("cache_hits", int64(stats.CacheHits))
+			sp.SetAttrInt("rejected", int64(stats.Rejected))
+			sp.SetAttrInt("failed", int64(len(stats.Errors)))
+		}
+		sp.SetError(err)
+		sp.End()
+	}()
+	sp.SetTier("origin")
+
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	workers := r.workers
 	mode := r.mode
-	stats := &RefreshStats{Workers: workers}
+	stats = &RefreshStats{Workers: workers}
+	// Stage spans: each st.next ends the previous stage's span and
+	// opens the named one; the deferred close ends whichever stage is
+	// in flight when the cycle returns — including early error
+	// unwinds — and attributes the cycle's error to it.
+	st := newStages(ctx)
+	defer func() { st.close(err) }()
 
+	st.next("refresh.quorum")
 	qres, err := r.reader.Read()
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrUpstream, err)
@@ -414,6 +467,7 @@ func (r *Repo) Refresh() (*RefreshStats, error) {
 	}
 	stats.Unchanged = len(newUpstream.Entries) - len(work)
 
+	st.next("refresh.fetch")
 	// Stage 1: fetch originals of added/changed packages in worker
 	// batches and decode their scripts for the plan scan. Each batch of
 	// concurrent transfers costs one round trip plus its aggregate
@@ -479,6 +533,7 @@ func (r *Repo) Refresh() (*RefreshStats, error) {
 		}
 	}
 
+	st.next("refresh.plan")
 	// (Re)build the sanitization plan from ALL package scripts (the
 	// repository-wide scan of §4.2). When the upstream index is
 	// byte-identical to the last one planned against — and no package
@@ -502,6 +557,7 @@ func (r *Repo) Refresh() (*RefreshStats, error) {
 		EPC:       r.svc.cfg.EPC,
 	}
 
+	st.next("refresh.sanitize")
 	// Stage 2 targets: every policy-allowed package in the upstream
 	// index. The content-addressed cache — keyed by (original digest,
 	// plan hash) — decides which actually get sanitized, so unchanged
@@ -639,6 +695,7 @@ func (r *Repo) Refresh() (*RefreshStats, error) {
 		}
 	}
 
+	st.next("refresh.sign")
 	// Rebuild the local index from cache hits plus fresh results.
 	newLocal := &index.Index{Origin: "tsr-" + r.ID, Sequence: r.seq + 1}
 	for i := range souts {
@@ -702,6 +759,7 @@ func (r *Repo) Refresh() (*RefreshStats, error) {
 		return nil, err
 	}
 
+	st.next("refresh.publish")
 	// Evict state for packages that left the upstream: script cache and
 	// rejection bookkeeping would otherwise grow forever under churn.
 	for name := range r.scripts {
@@ -825,6 +883,7 @@ func (r *Repo) Refresh() (*RefreshStats, error) {
 	// in-memory service keeps serving; durability is degraded until a
 	// checkpoint succeeds).
 	if r.svc.cfg.AutoPersist {
+		st.next("refresh.seal")
 		if err := r.checkpointLocked(); err != nil {
 			return stats, fmt.Errorf("tsr: refresh published but checkpoint failed: %w", err)
 		}

@@ -1,6 +1,7 @@
 package tsr
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -9,6 +10,7 @@ import (
 
 	"tsr/internal/index"
 	"tsr/internal/sanitize"
+	"tsr/internal/trace"
 )
 
 // snapshot is the immutable published read state of a repository: the
@@ -81,6 +83,23 @@ func (r *Repo) publishLocked() {
 // generation, and index.ErrNoDelta when the base generation is no
 // longer retained (the caller falls back to a full fetch).
 func (r *Repo) FetchIndexDelta(sinceETag string) (*index.Delta, error) {
+	return r.FetchIndexDeltaCtx(context.Background(), sinceETag)
+}
+
+// FetchIndexDeltaCtx is FetchIndexDelta under a caller context: when
+// the context is traced, the read runs as an origin-tier span.
+func (r *Repo) FetchIndexDeltaCtx(ctx context.Context, sinceETag string) (*index.Delta, error) {
+	_, sp := trace.Start(ctx, "origin.index_delta")
+	defer sp.End()
+	sp.SetTier("origin")
+	d, err := r.fetchIndexDelta(sinceETag)
+	if err != nil && !errors.Is(err, index.ErrDeltaUnchanged) && !errors.Is(err, index.ErrNoDelta) {
+		sp.SetError(err)
+	}
+	return d, err
+}
+
+func (r *Repo) fetchIndexDelta(sinceETag string) (*index.Delta, error) {
 	snap := r.served.Load()
 	if snap == nil {
 		return nil, ErrNotInitialized
@@ -118,6 +137,17 @@ func (r *Repo) FetchIndexTagged() (*index.Signed, string, error) {
 	}
 	r.totals.indexReads.Add(1)
 	return snap.localSig.Clone(), snap.etag, nil
+}
+
+// FetchIndexTaggedCtx is FetchIndexTagged under a caller context: when
+// the context is traced, the read runs as an origin-tier span.
+func (r *Repo) FetchIndexTaggedCtx(ctx context.Context) (*index.Signed, string, error) {
+	_, sp := trace.Start(ctx, "origin.index")
+	defer sp.End()
+	sp.SetTier("origin")
+	signed, etag, err := r.FetchIndexTagged()
+	sp.SetError(err)
+	return signed, etag, err
 }
 
 // IndexETag returns the current index ETag without cloning the index —
@@ -177,6 +207,12 @@ func (r *Repo) FetchPackage(name string) ([]byte, error) {
 	return raw, err
 }
 
+// FetchPackageCtx is FetchPackage under a caller context.
+func (r *Repo) FetchPackageCtx(ctx context.Context, name string) ([]byte, error) {
+	raw, _, err := r.FetchPackageTracedCtx(ctx, name)
+	return raw, err
+}
+
 // FetchPackageTraced serves a sanitized package and reports how. It
 // reads the published snapshot — never Repo.mu — so requests proceed at
 // full speed while a refresh runs. Before returning cached bytes it
@@ -189,17 +225,38 @@ func (r *Repo) FetchPackage(name string) ([]byte, error) {
 // publish instant, whose generation the refresh just evicted — is
 // resolved by retrying once against the freshly published snapshot.
 func (r *Repo) FetchPackageTraced(name string) ([]byte, *FetchResult, error) {
+	return r.FetchPackageTracedCtx(context.Background(), name)
+}
+
+// FetchPackageTracedCtx is FetchPackageTraced under a caller context:
+// when the context is traced, the whole serve — including a coalesced
+// fill, where a follower links to the leader's span instead of
+// claiming the upstream work — runs as an origin-tier span.
+func (r *Repo) FetchPackageTracedCtx(ctx context.Context, name string) ([]byte, *FetchResult, error) {
+	ctx, sp := trace.Start(ctx, "origin.package")
+	defer sp.End()
+	sp.SetTier("origin")
+	sp.SetAttr("package", name)
+	raw, res, err := r.fetchPackageTraced(ctx, name)
+	sp.SetError(err)
+	if res != nil {
+		sp.SetAttr("served_from", res.From.String())
+	}
+	return raw, res, err
+}
+
+func (r *Repo) fetchPackageTraced(ctx context.Context, name string) ([]byte, *FetchResult, error) {
 	snap := r.served.Load()
 	if snap == nil {
 		return nil, nil, ErrNotInitialized
 	}
 	r.totals.packageReads.Add(1)
-	raw, res, err := r.fetchFromSnapshot(snap, name)
+	raw, res, err := r.fetchFromSnapshot(ctx, snap, name)
 	if err == nil {
 		return raw, res, nil
 	}
 	if cur := r.served.Load(); cur != snap {
-		return r.fetchFromSnapshot(cur, name)
+		return r.fetchFromSnapshot(ctx, cur, name)
 	}
 	if retryableServeError(err) {
 		// The snapshot hasn't changed, so the failure may be an
@@ -215,7 +272,7 @@ func (r *Repo) FetchPackageTraced(name string) ([]byte, *FetchResult, error) {
 		cur := r.served.Load()
 		r.mu.Unlock()
 		if cur != snap {
-			return r.fetchFromSnapshot(cur, name)
+			return r.fetchFromSnapshot(ctx, cur, name)
 		}
 	}
 	return nil, nil, err
@@ -240,7 +297,7 @@ func retryableServeError(err error) bool {
 
 // fetchFromSnapshot answers one package request from the given
 // snapshot.
-func (r *Repo) fetchFromSnapshot(snap *snapshot, name string) ([]byte, *FetchResult, error) {
+func (r *Repo) fetchFromSnapshot(ctx context.Context, snap *snapshot, name string) ([]byte, *FetchResult, error) {
 	start := time.Now()
 	entry, err := snap.local.Lookup(name)
 	if err != nil {
@@ -255,13 +312,13 @@ func (r *Repo) fetchFromSnapshot(snap *snapshot, name string) ([]byte, *FetchRes
 				return raw, &FetchResult{From: ServedSanitizedCache, Latency: time.Since(start), ETag: entry.ETag()}, nil
 			}
 			// Cache tampered or rolled back. Re-sanitize from original.
-			if raw, res, err := r.fillCoalesced(snap, name, entry, start); err == nil {
+			if raw, res, err := r.fillCoalesced(ctx, snap, name, entry, start); err == nil {
 				return raw, res, nil
 			}
 			return nil, nil, fmt.Errorf("%w: %s", ErrCacheTampered, name)
 		}
 	}
-	return r.fillCoalesced(snap, name, entry, start)
+	return r.fillCoalesced(ctx, snap, name, entry, start)
 }
 
 // fillResult is the shared output of one coalesced cache fill.
@@ -280,8 +337,8 @@ type fillResult struct {
 // content coalesces even across snapshot generations and package
 // names; the result is verified against that same hash inside
 // resanitize, so followers share only index-proven bytes.
-func (r *Repo) fillCoalesced(snap *snapshot, name string, entry index.Entry, start time.Time) ([]byte, *FetchResult, error) {
-	v, leader, err := r.fills.Do(hex.EncodeToString(entry.Hash[:]), func() (fillResult, error) {
+func (r *Repo) fillCoalesced(ctx context.Context, snap *snapshot, name string, entry index.Entry, start time.Time) ([]byte, *FetchResult, error) {
+	v, leaderCtx, leader, err := r.fills.DoCtx(ctx, hex.EncodeToString(entry.Hash[:]), func(context.Context) (fillResult, error) {
 		raw, res, err := r.resanitize(snap, name, entry, start)
 		if err != nil {
 			return fillResult{}, err
@@ -302,6 +359,9 @@ func (r *Repo) fillCoalesced(snap *snapshot, name string, entry index.Entry, sta
 		return raw, v.res, nil
 	}
 	r.totals.coalescedFills.Add(1)
+	// The follower's span did not perform the fill: link it to the
+	// leader's span rather than recording a fake upstream call.
+	trace.SpanFromContext(ctx).LinkCoalesced(trace.SpanFromContext(leaderCtx))
 	// Followers get their own result: same provenance and ETag, their
 	// own wall-clock wait (which is ≤ the leader's full fill time).
 	return raw, &FetchResult{From: v.res.From, Latency: time.Since(start), ETag: v.res.ETag}, nil
