@@ -12,6 +12,7 @@ package tsrbench
 import (
 	"context"
 	"fmt"
+	"os"
 	"testing"
 	"time"
 
@@ -183,6 +184,43 @@ func BenchmarkFleetSoak(b *testing.B) {
 		b.ReportMetric(res.ShedRate*100, "%shed")
 		b.ReportMetric(float64(res.ComposedFailures), "failures")
 		b.ReportMetric(res.WarmRestartMs, "warm-restart-ms")
+	}
+}
+
+// BenchmarkWireSync measures the wire-efficiency work over real HTTP:
+// gzip-negotiated index transfer (must be <= 0.5x the identity bytes,
+// with the signature headers byte-identical) and chunked differential
+// package sync (a one-file version bump must move >= 5x fewer bytes
+// than a full refetch). Reported metrics: the gzip ratio, the diff
+// reduction factor, and the absolute bytes each path moved. Set
+// BENCH_DIR to also emit BENCH_wire_sync.json.
+func BenchmarkWireSync(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Scale = 0.004
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.WireSyncRun(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.IndexGzipRatio > 0.5 {
+			b.Fatalf("gzip index is %.2fx the identity bytes, want <= 0.5x", res.IndexGzipRatio)
+		}
+		if !res.IndexHeadersIdentical {
+			b.Fatal("gzip transfer changed the index signature headers")
+		}
+		if res.DiffReductionX < 5 {
+			b.Fatalf("version-bump sync moved %d of %d bytes (%.1fx), want >= 5x reduction",
+				res.BumpDiffBytes, res.FullRefetchBytes, res.DiffReductionX)
+		}
+		if dir := os.Getenv("BENCH_DIR"); dir != "" {
+			if _, err := res.WriteBench(dir); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(res.IndexGzipRatio, "gzip-ratio")
+		b.ReportMetric(res.DiffReductionX, "diff-reduction-x")
+		b.ReportMetric(float64(res.BumpDiffBytes), "diff-bytes")
+		b.ReportMetric(float64(res.FullRefetchBytes), "full-bytes")
 	}
 }
 

@@ -1,8 +1,13 @@
 package main
 
 import (
+	"bytes"
+	"compress/gzip"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
@@ -207,6 +212,157 @@ func TestRunShutsDownGracefully(t *testing.T) {
 		}
 	case <-time.After(120 * time.Second):
 		t.Fatal("run did not return after context cancellation")
+	}
+}
+
+// TestWireServingSmoke covers the wire-efficiency surface through the
+// exact handler run() serves: gzip-negotiated index transfer that
+// changes neither the canonical signed bytes nor the signature
+// headers, the chunk-manifest endpoint rooted in the signed entry, and
+// verified Range serving under the full representation's strong ETag
+// (with If-None-Match taking precedence over Range).
+func TestWireServingSmoke(t *testing.T) {
+	deps, err := openHost("", false, "", testLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, examplePolicy, err := buildService(0.003, 9, 4, deps, testLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(tsr.Handler(svc))
+	defer srv.Close()
+	// DisableCompression: assert on the raw wire form, not the
+	// transport's transparently decoded one.
+	raw := &http.Client{Transport: &http.Transport{DisableCompression: true}}
+
+	resp, err := raw.Post(srv.URL+"/policies", "application/yaml", strings.NewReader(examplePolicy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deployed struct {
+		RepositoryID string `json:"repository_id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&deployed); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp, err = raw.Post(srv.URL+"/repos/"+deployed.RepositoryID+"/refresh", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("refresh status = %d", resp.StatusCode)
+	}
+
+	get := func(path string, hdr map[string]string) (*http.Response, []byte) {
+		req, err := http.NewRequest(http.MethodGet, srv.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		resp, err := raw.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, body
+	}
+
+	// Gzip-negotiated index: same ETag and signature headers, smaller
+	// wire body that decompresses to the identity (canonical) bytes.
+	idResp, identity := get("/repos/"+deployed.RepositoryID+"/index", nil)
+	gzResp, zipped := get("/repos/"+deployed.RepositoryID+"/index", map[string]string{"Accept-Encoding": "gzip"})
+	if gzResp.Header.Get("Content-Encoding") != "gzip" {
+		t.Fatalf("Content-Encoding = %q, want gzip", gzResp.Header.Get("Content-Encoding"))
+	}
+	if len(zipped) >= len(identity) {
+		t.Fatalf("gzip index %d B >= identity %d B", len(zipped), len(identity))
+	}
+	for _, h := range []string{"ETag", "X-Tsr-Key-Name", "X-Tsr-Signature"} {
+		if idResp.Header.Get(h) != gzResp.Header.Get(h) {
+			t.Fatalf("%s differs between identity and gzip transfer", h)
+		}
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(zipped))
+	if err != nil {
+		t.Fatal(err)
+	}
+	unzipped, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(unzipped, identity) {
+		t.Fatal("gzip index does not decompress to the canonical signed bytes")
+	}
+
+	ix, err := index.Decode(identity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ix.Entries) == 0 {
+		t.Fatal("empty index")
+	}
+	entry := ix.Entries[0]
+	pkgPath := "/repos/" + deployed.RepositoryID + "/packages/" + entry.Name
+
+	// Full representation: strong ETag == sha256 of the body.
+	fullResp, full := get(pkgPath, nil)
+	if fullResp.StatusCode != http.StatusOK {
+		t.Fatalf("package status = %d", fullResp.StatusCode)
+	}
+	sum := sha256.Sum256(full)
+	etag := fullResp.Header.Get("ETag")
+	if want := `"` + hex.EncodeToString(sum[:]) + `"`; etag != want {
+		t.Fatalf("ETag = %s, body hashes to %s", etag, want)
+	}
+
+	// Chunk manifest: rooted in the signed entry.
+	mResp, mBody := get(pkgPath+"/chunks", nil)
+	if mResp.StatusCode != http.StatusOK {
+		t.Fatalf("chunks status = %d", mResp.StatusCode)
+	}
+	if mResp.Header.Get("ETag") != etag {
+		t.Fatalf("manifest ETag %s != package ETag %s", mResp.Header.Get("ETag"), etag)
+	}
+	name, m, err := tsr.DecodeChunkManifest(mBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != entry.Name || m.PackageHash != entry.Hash || m.TotalSize != entry.Size || len(m.Chunks) == 0 {
+		t.Fatalf("manifest not rooted in signed entry: name=%q chunks=%d", name, len(m.Chunks))
+	}
+
+	// Range over verified bytes: 206 carries the FULL representation's
+	// ETag and exactly the requested slice.
+	end := int64(len(full))/2 + 1
+	rResp, part := get(pkgPath, map[string]string{
+		"Range":    fmt.Sprintf("bytes=2-%d", end),
+		"If-Range": etag,
+	})
+	if rResp.StatusCode != http.StatusPartialContent {
+		t.Fatalf("range status = %d, want 206", rResp.StatusCode)
+	}
+	if rResp.Header.Get("ETag") != etag {
+		t.Fatalf("206 ETag = %s, want full representation's %s", rResp.Header.Get("ETag"), etag)
+	}
+	if want := fmt.Sprintf("bytes 2-%d/%d", end, len(full)); rResp.Header.Get("Content-Range") != want {
+		t.Fatalf("Content-Range = %q, want %q", rResp.Header.Get("Content-Range"), want)
+	}
+	if !bytes.Equal(part, full[2:end+1]) {
+		t.Fatal("206 body is not the requested slice of the full representation")
+	}
+
+	// If-None-Match takes precedence over Range: revalidation wins.
+	nmResp, _ := get(pkgPath, map[string]string{"Range": "bytes=0-9", "If-None-Match": etag})
+	if nmResp.StatusCode != http.StatusNotModified {
+		t.Fatalf("If-None-Match + Range status = %d, want 304", nmResp.StatusCode)
 	}
 }
 

@@ -82,6 +82,52 @@ func TestReplicateOverHTTP(t *testing.T) {
 	if _, err := client.FetchPackage("zzz-edge"); err != nil {
 		t.Fatal(err)
 	}
+
+	// Wire-efficiency parity with tsrd on the same daemon stack: the
+	// index negotiates gzip without touching the signature headers, the
+	// chunk manifest is served under the package's strong ETag, and a
+	// Range read comes back 206 with the FULL representation's ETag.
+	raw := &http.Client{Transport: &http.Transport{DisableCompression: true}}
+	get := func(path string, hdr map[string]string) *http.Response {
+		req, err := http.NewRequest(http.MethodGet, edgeSrv.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		resp, err := raw.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	idResp := get("/repos/"+w.Tenant.ID+"/index", nil)
+	gzResp := get("/repos/"+w.Tenant.ID+"/index", map[string]string{"Accept-Encoding": "gzip"})
+	if gzResp.Header.Get("Content-Encoding") != "gzip" {
+		t.Fatalf("edge index Content-Encoding = %q, want gzip", gzResp.Header.Get("Content-Encoding"))
+	}
+	for _, h := range []string{"ETag", "X-Tsr-Key-Name", "X-Tsr-Signature"} {
+		if idResp.Header.Get(h) != gzResp.Header.Get(h) {
+			t.Fatalf("%s differs between identity and gzip transfer", h)
+		}
+	}
+	pkgPath := "/repos/" + w.Tenant.ID + "/packages/zzz-edge"
+	full := get(pkgPath, nil)
+	if full.StatusCode != http.StatusOK || full.Header.Get("ETag") == "" {
+		t.Fatalf("package status = %d etag = %q", full.StatusCode, full.Header.Get("ETag"))
+	}
+	if mResp := get(pkgPath+"/chunks", nil); mResp.StatusCode != http.StatusOK ||
+		mResp.Header.Get("ETag") != full.Header.Get("ETag") {
+		t.Fatalf("chunks status = %d etag = %q, want 200 under the package ETag",
+			mResp.StatusCode, mResp.Header.Get("ETag"))
+	}
+	rResp := get(pkgPath, map[string]string{"Range": "bytes=0-9", "If-Range": full.Header.Get("ETag")})
+	if rResp.StatusCode != http.StatusPartialContent || rResp.Header.Get("ETag") != full.Header.Get("ETag") {
+		t.Fatalf("range status = %d etag = %q, want 206 under the full representation's ETag",
+			rResp.StatusCode, rResp.Header.Get("ETag"))
+	}
 }
 
 // TestEdgeETagBodyUnderConcurrentSync hammers the exact serving stack

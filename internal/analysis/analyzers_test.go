@@ -48,10 +48,14 @@ func TestSpanend(t *testing.T) {
 	analysistest.Run(t, analysis.Spanend, "testdata/src/spanend", "tsr/internal/edge")
 }
 
+func TestStreamserve(t *testing.T) {
+	analysistest.Run(t, analysis.Streamserve, "testdata/src/streamserve", "tsr/internal/tsr")
+}
+
 func TestRegistryByName(t *testing.T) {
 	all, ok := analysis.ByName(nil)
-	if !ok || len(all) != 7 {
-		t.Fatalf("ByName(nil) = %d analyzers, ok=%v; want all 7", len(all), ok)
+	if !ok || len(all) != 8 {
+		t.Fatalf("ByName(nil) = %d analyzers, ok=%v; want all 8", len(all), ok)
 	}
 	subset, ok := analysis.ByName([]string{"detrand", "noresign"})
 	if !ok || len(subset) != 2 || subset[0].Name != "detrand" || subset[1].Name != "noresign" {

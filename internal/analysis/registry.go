@@ -11,6 +11,7 @@ func All() []*Analyzer {
 		Detrand,
 		Ctxhttp,
 		Spanend,
+		Streamserve,
 	}
 }
 

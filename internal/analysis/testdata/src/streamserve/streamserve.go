@@ -1,0 +1,36 @@
+// Package streamserve exercises the streamserve analyzer. The harness
+// loads it under tsr/internal/tsr; io.ReadAll in non-test code is
+// flagged unless a //lint:allow streamserve annotation documents the
+// bound.
+package streamserve
+
+import (
+	"io"
+	"net/http"
+	"strings"
+)
+
+// servePackage buffers the whole upstream body before writing it out —
+// exactly the pattern the wire-efficiency work removed.
+func servePackage(w http.ResponseWriter, resp *http.Response) error {
+	raw, err := io.ReadAll(resp.Body) // want `io\.ReadAll buffers a whole body on the serving tier`
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(raw)
+	return err
+}
+
+// readErr is a legitimately bounded read: the limit is explicit and
+// small, and the annotation records it.
+func readErr(resp *http.Response) string {
+	//lint:allow streamserve bounded 4 KiB error snippet, not a package body
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	return strings.TrimSpace(resp.Status + " " + string(body))
+}
+
+// streamPackage is the wanted shape: copy, never buffer.
+func streamPackage(w http.ResponseWriter, resp *http.Response) error {
+	_, err := io.Copy(w, resp.Body)
+	return err
+}

@@ -14,6 +14,7 @@
 package chaos
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -45,6 +46,11 @@ const (
 	// InvAdmissionBound: the in-flight peak never exceeds the
 	// -max-inflight bound the admission gate advertises.
 	InvAdmissionBound = "admission-bound"
+	// InvRangeConsistent: every HTTP 206 slice is exactly the requested
+	// bytes of the full representation, carries the FULL
+	// representation's strong ETag (never a hash of the slice), and
+	// declares the full length in Content-Range.
+	InvRangeConsistent = "range-consistent"
 	// InvTraceHeader: every HTTP 200 from an obs-wrapped tier names the
 	// trace that served it via a well-formed X-Tsr-Trace-Id header, so
 	// any response can be quoted against /debug/traces/{id}.
@@ -76,14 +82,22 @@ type Checker struct {
 
 	mu sync.Mutex
 	// lastSeq tracks the highest index sequence accepted per actor.
-	lastSeq    map[string]uint64
+	lastSeq map[string]uint64
+	// entrySizes records, per package name, the body size of every
+	// (hash, size) entry seen across accepted index generations — the
+	// ground truth for PackageAcceptedAnyGen.
+	entrySizes map[string]map[[sha256.Size]byte]int64
 	violations []Violation
 	checks     int64
 }
 
 // NewChecker builds a checker that verifies indexes against ring.
 func NewChecker(ring *keys.Ring) *Checker {
-	return &Checker{Trust: ring, lastSeq: make(map[string]uint64)}
+	return &Checker{
+		Trust:      ring,
+		lastSeq:    make(map[string]uint64),
+		entrySizes: make(map[string]map[[sha256.Size]byte]int64),
+	}
 }
 
 func (c *Checker) violate(invariant, actor, format string, args ...any) {
@@ -122,6 +136,14 @@ func (c *Checker) IndexAccepted(actor string, signed *index.Signed) *index.Index
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	for _, e := range ix.Entries {
+		m := c.entrySizes[e.Name]
+		if m == nil {
+			m = make(map[[sha256.Size]byte]int64)
+			c.entrySizes[e.Name] = m
+		}
+		m[e.Hash] = e.Size
+	}
 	if prev, ok := c.lastSeq[actor]; ok && ix.Sequence < prev {
 		c.violations = append(c.violations, Violation{
 			Invariant: InvMonotoneSequence,
@@ -144,6 +166,35 @@ func (c *Checker) PackageAccepted(actor string, entry index.Entry, body []byte) 
 	}
 }
 
+// PackageMatchesAnyGen reports whether body matches the (hash, size)
+// of name's entry in any accepted index generation. It is the lookup
+// half of PackageAcceptedAnyGen, split out so a caller that misses can
+// first feed the client's refreshed index through IndexAccepted (a
+// republish may have landed between the index read and the package
+// read) and then assert.
+func (c *Checker) PackageMatchesAnyGen(name string, body []byte) bool {
+	sum := sha256.Sum256(body)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	size, ok := c.entrySizes[name][sum]
+	return ok && size == int64(len(body))
+}
+
+// PackageAcceptedAnyGen checks package bytes for a name whose content
+// legitimately changes across generations (a version-bumped package):
+// the bytes must match the entry of SOME accepted index generation.
+// The strict PackageAccepted pairing with one entry would race with a
+// concurrent republish; freshness is separately enforced by the
+// clients (RejectedStale) and by InvBoundedStaleness at quiesce.
+func (c *Checker) PackageAcceptedAnyGen(actor, name string, body []byte) {
+	c.note(1)
+	if c.PackageMatchesAnyGen(name, body) {
+		return
+	}
+	c.violate(InvVerifiedBytes, actor,
+		"%s: accepted %d bytes matching no entry of any accepted index generation", name, len(body))
+}
+
 // HTTPResponse checks one response from an obs-wrapped HTTP package
 // endpoint: a 200 must pair its strong ETag with the body it carries,
 // a 429 must carry the Retry-After backoff hint. Other statuses
@@ -160,6 +211,40 @@ func (c *Checker) HTTPResponse(actor string, status int, etag, retryAfter string
 		if retryAfter == "" {
 			c.violate(InvShedContract, actor, "429 without Retry-After")
 		}
+	}
+}
+
+// RangeResponse checks one Range response against a full 200
+// representation fetched from the same handler under the same ETag
+// (the caller pins the pairing with If-Range): a 206 must carry the
+// full representation's strong ETag, a Content-Range declaring the
+// full length, and body bytes that are exactly that slice of the full
+// body. A non-206 (full 200 after a republish, 429, churn-window 5xx)
+// is availability, not a violation.
+func (c *Checker) RangeResponse(actor string, status int, etag, contentRange string, part, full []byte) {
+	c.note(1)
+	if status != 206 {
+		return
+	}
+	sum := sha256.Sum256(full)
+	if want := `"` + hex.EncodeToString(sum[:]) + `"`; etag != want {
+		c.violate(InvRangeConsistent, actor,
+			"206 with ETag %s, want the full representation's %s", etag, want)
+		return
+	}
+	var first, last, total int64
+	if n, err := fmt.Sscanf(contentRange, "bytes %d-%d/%d", &first, &last, &total); n != 3 || err != nil {
+		c.violate(InvRangeConsistent, actor, "206 with malformed Content-Range %q", contentRange)
+		return
+	}
+	if total != int64(len(full)) || first < 0 || last < first || last >= total {
+		c.violate(InvRangeConsistent, actor,
+			"206 Content-Range %q inconsistent with the %d-byte representation", contentRange, len(full))
+		return
+	}
+	if !bytes.Equal(part, full[first:last+1]) {
+		c.violate(InvRangeConsistent, actor,
+			"206 body is not bytes %d-%d of the representation it names", first, last)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"tsr/internal/keys"
 	"tsr/internal/netsim"
 	"tsr/internal/quorum"
+	"tsr/internal/store"
 	"tsr/internal/trace"
 )
 
@@ -87,11 +88,18 @@ type FailoverClient struct {
 	// through quorum agreement instead of trusting the first verifiable
 	// answer. Use an odd K ≥ 3 to tolerate (K-1)/2 byzantine edges.
 	QuorumK int
+	// PkgCache, when set, retains verified package bytes
+	// (content-addressed, untrusted — re-verified on every read) and
+	// enables chunk-aware differential fetch against endpoints that
+	// expose chunk manifests: a version bump transfers only the changed
+	// chunks. nil keeps the classic full-download behavior.
+	PkgCache store.Store
 
 	mu       sync.Mutex
-	minSeq   uint64       // freshness floor: highest verified sequence accepted
-	cachedIx *index.Index // decoded verified index (package hash lookups)
-	failures []int        // consecutive failures per endpoint
+	minSeq   uint64                       // freshness floor: highest verified sequence accepted
+	cachedIx *index.Index                 // decoded verified index (package hash lookups)
+	failures []int                        // consecutive failures per endpoint
+	lastHash map[string][sha256.Size]byte // package name -> hash of the last verified fetch (diff base)
 	stats    FailoverStats
 }
 
@@ -106,6 +114,12 @@ type FailoverStats struct {
 	RejectedSignature int64 `json:"rejected_signature"`
 	RejectedStale     int64 `json:"rejected_stale"`
 	RejectedBytes     int64 `json:"rejected_bytes"`
+	// Wire efficiency (only with PkgCache set): packages served from the
+	// verified local cache, fetched differentially (changed chunks
+	// only), and differential attempts that degraded to a full fetch.
+	CacheHits     int64 `json:"cache_hits"`
+	DiffFetches   int64 `json:"diff_fetches"`
+	DiffFallbacks int64 `json:"diff_fallbacks"`
 	// PerEndpoint counts requests successfully served by each endpoint.
 	PerEndpoint map[string]int64 `json:"per_endpoint"`
 }
@@ -405,18 +419,28 @@ func (c *FailoverClient) FetchPackageCtx(ctx context.Context, name string) (_ []
 }
 
 // fetchPackageVerified tries endpoints in latency order until one
-// serves bytes matching the given index entry.
+// serves bytes matching the given index entry. With a PkgCache, exact
+// cached bytes short-circuit the network entirely, and each endpoint
+// is first tried differentially against the cached previous version —
+// any differential failure degrades to a full fetch from the same
+// endpoint, so the failover semantics are unchanged.
 func (c *FailoverClient) fetchPackageVerified(ctx context.Context, name string, entry index.Entry) ([]byte, error) {
+	if raw := c.cachedPackage(entry); raw != nil {
+		c.mu.Lock()
+		c.stats.CacheHits++
+		c.mu.Unlock()
+		return raw, nil
+	}
 	var errs []error
 	for attempt, i := range c.rank() {
 		ep := c.Endpoints[i]
-		raw, err := originFetchPackage(ctx, ep.Fetcher, name)
+		raw, wireBytes, err := c.fetchFromEndpoint(ctx, ep, name, entry)
 		if err != nil {
 			c.noteFailure(i)
 			errs = append(errs, fmt.Errorf("%s: %w", ep.Name, err))
 			continue
 		}
-		c.charge(ep, entry.Size)
+		c.charge(ep, wireBytes)
 		if int64(len(raw)) != entry.Size || sha256.Sum256(raw) != entry.Hash {
 			c.mu.Lock()
 			c.stats.RejectedBytes++
@@ -426,9 +450,78 @@ func (c *FailoverClient) fetchPackageVerified(ctx context.Context, name string, 
 			continue
 		}
 		c.noteServed(i, attempt)
+		c.rememberPackage(name, entry, raw)
 		return raw, nil
 	}
 	return nil, fmt.Errorf("%w: package %s: %w", ErrAllEndpointsFailed, name, errors.Join(errs...))
+}
+
+// fetchFromEndpoint pulls one package from one endpoint, differentially
+// when possible, and reports the modeled wire bytes the transfer cost.
+func (c *FailoverClient) fetchFromEndpoint(ctx context.Context, ep Endpoint, name string, entry index.Entry) ([]byte, int64, error) {
+	if c.PkgCache != nil {
+		if old := c.previousPackage(name, entry); old != nil {
+			out, st, err := diffFetch(ctx, ep.Fetcher, name, entry, old)
+			if err == nil {
+				c.mu.Lock()
+				c.stats.DiffFetches++
+				c.mu.Unlock()
+				return out, st.BytesFetched, nil
+			}
+			if !errors.Is(err, errDiffUnsupported) {
+				c.mu.Lock()
+				c.stats.DiffFallbacks++
+				c.mu.Unlock()
+			}
+		}
+	}
+	raw, err := originFetchPackage(ctx, ep.Fetcher, name)
+	return raw, entry.Size, err
+}
+
+// cachedPackage returns the exact requested bytes from PkgCache when
+// present and verifying (the cache is untrusted), or nil.
+func (c *FailoverClient) cachedPackage(entry index.Entry) []byte {
+	if c.PkgCache == nil {
+		return nil
+	}
+	raw, err := c.PkgCache.Get(cacheKey(entry.Hash))
+	if err != nil || int64(len(raw)) != entry.Size || sha256.Sum256(raw) != entry.Hash {
+		return nil
+	}
+	return raw
+}
+
+// rememberPackage caches verified bytes and records the name→hash
+// association the next differential fetch diffs against.
+func (c *FailoverClient) rememberPackage(name string, entry index.Entry, raw []byte) {
+	if c.PkgCache == nil {
+		return
+	}
+	_ = c.PkgCache.Put(cacheKey(entry.Hash), raw)
+	c.mu.Lock()
+	if c.lastHash == nil {
+		c.lastHash = make(map[string][sha256.Size]byte)
+	}
+	c.lastHash[name] = entry.Hash
+	c.mu.Unlock()
+}
+
+// previousPackage returns the verified bytes of the version of name
+// this client last fetched, when still cached and different from the
+// wanted entry.
+func (c *FailoverClient) previousPackage(name string, entry index.Entry) []byte {
+	c.mu.Lock()
+	prev, ok := c.lastHash[name]
+	c.mu.Unlock()
+	if !ok || prev == entry.Hash {
+		return nil
+	}
+	raw, err := c.PkgCache.Get(cacheKey(prev))
+	if err != nil || sha256.Sum256(raw) != prev {
+		return nil
+	}
+	return raw
 }
 
 // entryFor looks the package up in the verified index, fetching the

@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -301,6 +302,74 @@ func TestPackageETagMatchesBodyAcrossSyncPublish(t *testing.T) {
 	}
 	if !bytes.Equal(body, app1) {
 		t.Fatalf("served bytes are not the gen-1 package the origin returned")
+	}
+}
+
+// TestPackageRangeETagMatchesBodyAcrossSyncPublish extends the race
+// pin above to Range serving: a 206 produced while a sync publishes a
+// new generation must still pair the slice, the Content-Range, and the
+// strong ETag from ONE resolution — the ETag is the hash of the full
+// representation the slice was cut from, never the new generation's.
+func TestPackageRangeETagMatchesBodyAcrossSyncPublish(t *testing.T) {
+	w := newEdgeWorld(t)
+
+	signed1, etag1, err := w.tenant.FetchIndexTagged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	app1, err := w.tenant.FetchPackage("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.update(t, "app", "2.0-r0")
+	signed2, etag2, err := w.tenant.FetchIndexTagged()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	origin := &scriptedOrigin{
+		pkgs: map[string][]byte{"app": app1},
+		gate: make(chan struct{}),
+		hit:  make(chan struct{}),
+	}
+	origin.setIndex(signed1, etag1)
+	rep := &Replica{RepoID: "r", Origin: origin, TrustRing: w.trust()}
+	if err := rep.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	handler := Handler(map[string]*Replica{"r": rep}, "race-edge")
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodGet, "/repos/r/packages/app", nil)
+	req.Header.Set("Range", "bytes=2-9")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		handler.ServeHTTP(rec, req)
+	}()
+
+	<-origin.hit
+	origin.setIndex(signed2, etag2)
+	if err := rep.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	close(origin.gate)
+	<-done
+
+	if rec.Code != http.StatusPartialContent {
+		t.Fatalf("HTTP %d: %s", rec.Code, rec.Body.String())
+	}
+	sum := sha256.Sum256(app1)
+	wantETag := `"` + hex.EncodeToString(sum[:]) + `"`
+	if got := rec.Header().Get("ETag"); got != wantETag {
+		t.Fatalf("206 ETag %s is not the full gen-1 representation's %s: headers and slice come from different generations", got, wantETag)
+	}
+	wantCR := fmt.Sprintf("bytes 2-9/%d", len(app1))
+	if got := rec.Header().Get("Content-Range"); got != wantCR {
+		t.Fatalf("Content-Range = %q, want %q", got, wantCR)
+	}
+	if !bytes.Equal(rec.Body.Bytes(), app1[2:10]) {
+		t.Fatal("206 body is not the requested slice of the gen-1 bytes")
 	}
 }
 

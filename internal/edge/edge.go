@@ -182,6 +182,11 @@ type Replica struct {
 	served   atomic.Pointer[replicaState]
 	behavior atomic.Int32
 	stats    replicaCounters
+
+	// manifests memoizes chunk manifests per content hash (see
+	// chunkManifest in wire.go).
+	manifestMu sync.Mutex
+	manifests  map[[32]byte]*store.ChunkManifest
 }
 
 // replicaState is the immutable published state of a replica.
@@ -203,6 +208,11 @@ type replicaCounters struct {
 	indexReads, packageReads, packageHits                  atomic.Int64
 	originPackages, notModified                            atomic.Int64
 	coalescedPulls, coalescedSyncs, deltaReads             atomic.Int64
+	// Wire efficiency: differential pull-throughs, their byte ledger,
+	// and packages served streaming off the cache.
+	diffPulls, diffFallbacks          atomic.Int64
+	diffBytesReused, diffBytesFetched atomic.Int64
+	streamedServes                    atomic.Int64
 }
 
 // Stats is a point-in-time snapshot of a replica's counters.
@@ -227,6 +237,16 @@ type Stats struct {
 	// DeltaReads counts index-delta requests this replica answered for
 	// downstream replicas/clients.
 	DeltaReads int64 `json:"delta_reads"`
+	// Wire-efficiency tier: pull-through misses satisfied differentially
+	// (only changed chunks fetched from the origin), failed differential
+	// attempts that degraded to a full fetch, the byte ledger of the
+	// differential path, and packages served streaming off the cache
+	// instead of buffered whole.
+	DiffPulls        int64 `json:"diff_pulls"`
+	DiffFallbacks    int64 `json:"diff_fallbacks"`
+	DiffBytesReused  int64 `json:"diff_bytes_reused"`
+	DiffBytesFetched int64 `json:"diff_bytes_fetched"`
+	StreamedServes   int64 `json:"streamed_serves"`
 	// Cache occupancy.
 	CacheBytes   int64 `json:"cache_bytes"`
 	CacheEntries int   `json:"cache_entries"`
@@ -258,6 +278,12 @@ func (rep *Replica) Stats() Stats {
 		CoalescedPulls: rep.stats.coalescedPulls.Load(),
 		CoalescedSyncs: rep.stats.coalescedSyncs.Load(),
 		DeltaReads:     rep.stats.deltaReads.Load(),
+
+		DiffPulls:        rep.stats.diffPulls.Load(),
+		DiffFallbacks:    rep.stats.diffFallbacks.Load(),
+		DiffBytesReused:  rep.stats.diffBytesReused.Load(),
+		DiffBytesFetched: rep.stats.diffBytesFetched.Load(),
+		StreamedServes:   rep.stats.streamedServes.Load(),
 	}
 	if mon, ok := rep.store().(store.Monitored); ok {
 		cs := mon.Stats()
@@ -396,9 +422,17 @@ func (rep *Replica) publish(signed *index.Signed, ix *index.Index) {
 	rep.served.Store(&replicaState{signed: signed, etag: etag, ix: ix, history: hist})
 	st := rep.store()
 	if it, ok := st.(store.Iterable); ok {
+		// The keep-set spans every retained generation, not just the new
+		// index: bytes of a just-superseded version are the diff bases a
+		// differential pull-through reassembles the new version from
+		// (previousCached), so pruning them on publish would forfeit
+		// exactly the transfer the chunked sync saves. They age out when
+		// their generation leaves the delta window (or by LRU budget).
 		keep := make(map[string]struct{}, len(ix.Entries))
-		for _, e := range ix.Entries {
-			keep[cacheKey(e.Hash)] = struct{}{}
+		for _, gen := range hist {
+			for _, e := range gen.Index.Entries {
+				keep[cacheKey(e.Hash)] = struct{}{}
+			}
 		}
 		var stale []string
 		_ = it.Iterate(func(info store.Info) bool {
@@ -664,13 +698,12 @@ func (rep *Replica) fetchEntry(ctx context.Context, name string, entry index.Ent
 				int64(len(cached)) == entry.Size && sha256.Sum256(cached) == entry.Hash {
 				return cached, nil
 			}
-			pulled, err := originFetchPackage(ctx, rep.Origin, name)
+			// pullPackage tries a differential fetch against a cached
+			// previous generation first, then a full verified fetch;
+			// either way the bytes match the entry before they land.
+			pulled, err := rep.pullPackage(ctx, name, entry)
 			if err != nil {
-				return nil, fmt.Errorf("edge: pull-through %s: %w", name, err)
-			}
-			rep.stats.originPackages.Add(1)
-			if int64(len(pulled)) != entry.Size || sha256.Sum256(pulled) != entry.Hash {
-				return nil, fmt.Errorf("edge: origin served wrong bytes for %s (not cached)", name)
+				return nil, err
 			}
 			_ = cache.Put(key, pulled)
 			return pulled, nil

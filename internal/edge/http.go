@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 
 	"tsr/internal/index"
 	"tsr/internal/tsr"
@@ -65,7 +67,10 @@ func Handler(replicas map[string]*Replica, name string) http.Handler {
 		w.Header().Set(headerKeyName, signed.KeyName)
 		w.Header().Set(headerSignature, base64.StdEncoding.EncodeToString(signed.Sig))
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write(signed.Raw)
+		// Same discipline as the origin: the canonical signed text stays
+		// what the ETag and signature cover; gzip is negotiated transfer
+		// encoding on top of it.
+		tsr.WriteNegotiated(w, r, signed.Raw)
 	})
 	mux.HandleFunc("GET /repos/{id}/index/delta", func(w http.ResponseWriter, r *http.Request) {
 		rep := lookup(w, r)
@@ -94,7 +99,7 @@ func Handler(replicas map[string]*Replica, name string) http.Handler {
 		w.Header().Set("ETag", d.ToETag)
 		w.Header().Set("Cache-Control", "no-cache")
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write(d.Encode())
+		tsr.WriteNegotiated(w, r, d.Encode())
 	})
 	mux.HandleFunc("GET /repos/{id}/packages/{pkg}", func(w http.ResponseWriter, r *http.Request) {
 		rep := lookup(w, r)
@@ -116,10 +121,43 @@ func Handler(replicas map[string]*Replica, name string) http.Handler {
 			return
 		}
 		etag := entry.ETag()
+		// If-None-Match precedence over Range (RFC 9110): a revalidating
+		// client gets its 304 even when it also sent a Range.
 		if tsr.ETagMatch(r.Header.Get("If-None-Match"), etag) {
 			rep.notePackageNotModified()
 			w.Header().Set("ETag", etag)
 			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Header().Set("ETag", etag)
+		w.Header().Set("Accept-Ranges", "bytes")
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if r.Header.Get("Range") != "" {
+			// Range requests slice buffered already-verified bytes; the
+			// 206 carries the FULL representation's strong ETag (the
+			// content hash from the resolved entry, same as the body on
+			// this single resolution even across a concurrent sync).
+			raw, err := rep.fetchEntry(r.Context(), pkg, entry)
+			if err != nil {
+				httpError(w, statusFor(err), err)
+				return
+			}
+			if tsr.ServeRange(w, r, etag, raw) {
+				return
+			}
+			w.Write(raw)
+			return
+		}
+		// Full-body requests stream off the cache when possible
+		// (hash-as-you-copy, see openStream): a tampered cache entry
+		// aborts the response before the final block instead of
+		// delivering a complete-but-wrong body.
+		if rc, ok := rep.openStream(entry); ok {
+			defer rc.Close()
+			w.Header().Set("Content-Length", strconv.FormatInt(entry.Size, 10))
+			if _, err := io.Copy(w, rc); err != nil {
+				panic(http.ErrAbortHandler)
+			}
 			return
 		}
 		// The obs server span (when tracing is on) is the request's span;
@@ -130,9 +168,29 @@ func Handler(replicas map[string]*Replica, name string) http.Handler {
 			httpError(w, statusFor(err), err)
 			return
 		}
-		w.Header().Set("ETag", etag)
-		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Write(raw)
+	})
+	mux.HandleFunc("GET /repos/{id}/packages/{pkg}/chunks", func(w http.ResponseWriter, r *http.Request) {
+		rep := lookup(w, r)
+		if rep == nil {
+			return
+		}
+		pkg := r.PathValue("pkg")
+		w.Header().Set(headerEdge, name)
+		m, entry, err := rep.chunkManifest(r.Context(), pkg)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		etag := entry.ETag()
+		w.Header().Set("ETag", etag)
+		w.Header().Set("Cache-Control", "no-cache")
+		if tsr.ETagMatch(r.Header.Get("If-None-Match"), etag) {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		tsr.WriteNegotiated(w, r, tsr.EncodeChunkManifest(pkg, m))
 	})
 	mux.HandleFunc("GET /repos/{id}/stats", func(w http.ResponseWriter, r *http.Request) {
 		rep := lookup(w, r)

@@ -1,0 +1,429 @@
+package edge
+
+import (
+	"bytes"
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"tsr/internal/apk"
+	"tsr/internal/index"
+	"tsr/internal/netsim"
+	"tsr/internal/store"
+	"tsr/internal/tsr"
+)
+
+// bigEdgePkg builds a package large enough to span many chunks, with
+// incompressible (seeded-random) content. Only the last-sorted file's
+// content depends on the version, so a version bump changes a suffix of
+// the apk data stream and chunking can reuse the shared prefix.
+func bigEdgePkg(name, version string, nFiles, fileSize int) *apk.Package {
+	p := &apk.Package{Name: name, Version: version}
+	for i := 0; i < nFiles; i++ {
+		seed := int64(i + 1)
+		path := fmt.Sprintf("/usr/share/%s/%03d.bin", name, i)
+		if i == nFiles-1 {
+			path = "/usr/share/" + name + "/zz-last.bin"
+			for _, c := range version {
+				seed = seed*131 + int64(c)
+			}
+		}
+		content := make([]byte, fileSize)
+		rand.New(rand.NewSource(seed)).Read(content)
+		p.Files = append(p.Files, apk.File{Path: path, Mode: 0o644, Content: content})
+	}
+	return p
+}
+
+func entryOf(t *testing.T, rep *Replica, name string) index.Entry {
+	t.Helper()
+	signed, _, err := rep.FetchIndexTagged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := index.Decode(signed.Raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := ix.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestReplicaDifferentialPull is the tentpole acceptance at the edge
+// tier: after a version bump, the replica's pull-through fetch moves
+// only the changed chunks from the origin, reusing the cached previous
+// generation as the diff base — and the reassembled bytes still verify
+// against the signed index entry.
+func TestReplicaDifferentialPull(t *testing.T) {
+	w := newEdgeWorld(t)
+	w.publish(t, bigEdgePkg("bigapp", "1.0-r0", 16, 32<<10))
+	if _, err := w.tenant.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	rep := &Replica{RepoID: w.tenant.ID, Origin: w.tenant, TrustRing: w.trust()}
+	if err := rep.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold pull: a full origin fetch, no diff base yet.
+	cold, err := rep.FetchPackage("bigapp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := rep.Stats(); s.OriginPackages != 1 || s.DiffPulls != 0 {
+		t.Fatalf("after cold pull: %+v", s)
+	}
+
+	// Version bump, delta sync, warm pull: differential.
+	w.publish(t, bigEdgePkg("bigapp", "2.0-r0", 16, 32<<10))
+	if _, err := w.tenant.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	entry := entryOf(t, rep, "bigapp")
+	warm, err := rep.FetchPackage("bigapp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(warm)) != entry.Size || sha256.Sum256(warm) != entry.Hash {
+		t.Fatal("differentially pulled bytes do not match the signed entry")
+	}
+	if bytes.Equal(warm, cold) {
+		t.Fatal("version bump did not change the package bytes")
+	}
+	s := rep.Stats()
+	if s.DiffPulls != 1 {
+		t.Fatalf("DiffPulls = %d, want 1 (stats %+v)", s.DiffPulls, s)
+	}
+	if s.DiffBytesReused == 0 {
+		t.Fatal("differential pull reused no chunks")
+	}
+	if s.DiffBytesFetched >= entry.Size/2 {
+		t.Fatalf("differential pull moved %d of %d bytes; want < half", s.DiffBytesFetched, entry.Size)
+	}
+}
+
+// TestChainedEdgeDifferentialPull: an edge behind an edge diffs the
+// same way — the mid replica exposes the manifest/range surface, so the
+// leaf's version-bump pull transfers only changed chunks through the
+// whole chain.
+func TestChainedEdgeDifferentialPull(t *testing.T) {
+	w := newEdgeWorld(t)
+	w.publish(t, bigEdgePkg("bigapp", "1.0-r0", 16, 32<<10))
+	if _, err := w.tenant.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	mid := &Replica{RepoID: w.tenant.ID, Origin: w.tenant, TrustRing: w.trust()}
+	leaf := &Replica{RepoID: w.tenant.ID, Origin: mid, TrustRing: w.trust()}
+	for _, rep := range []*Replica{mid, leaf} {
+		if err := rep.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := leaf.FetchPackage("bigapp"); err != nil {
+		t.Fatal(err)
+	}
+
+	w.publish(t, bigEdgePkg("bigapp", "2.0-r0", 16, 32<<10))
+	if _, err := w.tenant.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range []*Replica{mid, leaf} {
+		if err := rep.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entry := entryOf(t, leaf, "bigapp")
+	raw, err := leaf.FetchPackage("bigapp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sha256.Sum256(raw) != entry.Hash {
+		t.Fatal("leaf served bytes that do not match the signed entry")
+	}
+	if s := leaf.Stats(); s.DiffPulls != 1 || s.DiffBytesReused == 0 {
+		t.Fatalf("leaf did not pull differentially through the chain: %+v", s)
+	}
+	if s := mid.Stats(); s.DiffPulls != 1 {
+		t.Fatalf("mid did not pull differentially from the origin: %+v", s)
+	}
+}
+
+// TestFailoverClientDifferentialFetch: with a PkgCache, the failover
+// client short-circuits repeat fetches from the verified cache and
+// pulls version bumps differentially from whichever endpoint serves it.
+func TestFailoverClientDifferentialFetch(t *testing.T) {
+	w := newEdgeWorld(t)
+	w.publish(t, bigEdgePkg("bigapp", "1.0-r0", 16, 32<<10))
+	if _, err := w.tenant.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	rep := &Replica{RepoID: w.tenant.ID, Origin: w.tenant, Continent: netsim.Europe, TrustRing: w.trust()}
+	if err := rep.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	c := newClient(w, Endpoint{Name: "edge-eu", Continent: netsim.Europe, Fetcher: rep})
+	c.PkgCache = store.NewMem()
+
+	cold, err := c.FetchPackage("bigapp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repeat fetch: served from the verified local cache, zero network.
+	again, err := c.FetchPackage("bigapp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, cold) {
+		t.Fatal("cache hit returned different bytes")
+	}
+	if s := c.Stats(); s.CacheHits != 1 || s.DiffFetches != 0 {
+		t.Fatalf("after cache hit: %+v", s)
+	}
+
+	w.publish(t, bigEdgePkg("bigapp", "2.0-r0", 16, 32<<10))
+	if _, err := w.tenant.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FetchIndex(); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := c.FetchPackage("bigapp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := entryOf(t, rep, "bigapp")
+	if int64(len(warm)) != entry.Size || sha256.Sum256(warm) != entry.Hash {
+		t.Fatal("differential fetch returned bytes that do not match the signed entry")
+	}
+	if s := c.Stats(); s.DiffFetches != 1 || s.DiffFallbacks != 0 {
+		t.Fatalf("version bump did not fetch differentially: %+v", s)
+	}
+}
+
+// --- handler wire parity with the origin -------------------------------
+
+func edgeServer(t *testing.T, rep *Replica) (*httptest.Server, *http.Client) {
+	t.Helper()
+	srv := httptest.NewServer(Handler(map[string]*Replica{"r": rep}, "wire-edge"))
+	t.Cleanup(srv.Close)
+	client := &http.Client{Transport: &http.Transport{DisableCompression: true}}
+	return srv, client
+}
+
+func get(t *testing.T, client *http.Client, url string, hdr map[string]string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func body(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestEdgeIndexGzipIsTransferEncodingOnly: the edge negotiates gzip on
+// the index exactly like the origin — signature headers and ETag are
+// those of the canonical signed text, and the gzip body decompresses to
+// it byte-for-byte.
+func TestEdgeIndexGzipIsTransferEncodingOnly(t *testing.T) {
+	w := newEdgeWorld(t)
+	rep := &Replica{RepoID: w.tenant.ID, Origin: w.tenant, TrustRing: w.trust()}
+	if err := rep.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	signed, _, err := rep.FetchIndexTagged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, client := edgeServer(t, rep)
+
+	plain := get(t, client, srv.URL+"/repos/r/index", nil)
+	zipped := get(t, client, srv.URL+"/repos/r/index", map[string]string{"Accept-Encoding": "gzip"})
+	plainBody := body(t, plain)
+	zippedBody := body(t, zipped)
+
+	for _, h := range []string{"ETag", headerKeyName, headerSignature} {
+		if plain.Header.Get(h) != zipped.Header.Get(h) {
+			t.Fatalf("%s differs between identity and gzip responses", h)
+		}
+	}
+	if !bytes.Equal(plainBody, signed.Raw) {
+		t.Fatal("identity body is not the canonical signed text")
+	}
+	if zipped.Header.Get("Content-Encoding") != "gzip" {
+		t.Fatalf("Content-Encoding = %q, want gzip", zipped.Header.Get("Content-Encoding"))
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(zippedBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	unzipped, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(unzipped, signed.Raw) {
+		t.Fatal("gzip body does not decompress to the canonical signed text")
+	}
+	if len(zippedBody) >= len(plainBody) {
+		t.Fatalf("gzip body (%d) not smaller than identity (%d)", len(zippedBody), len(plainBody))
+	}
+}
+
+// TestEdgeChunksEndpointAndRange exercises the edge's differential
+// serving surface over HTTP: the chunk manifest roots in the signed
+// entry, 304 revalidation works, and Range requests produce 206s that
+// carry the full representation's strong ETag.
+func TestEdgeChunksEndpointAndRange(t *testing.T) {
+	w := newEdgeWorld(t)
+	w.publish(t, bigEdgePkg("bigapp", "1.0-r0", 8, 32<<10))
+	if _, err := w.tenant.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	rep := &Replica{RepoID: w.tenant.ID, Origin: w.tenant, TrustRing: w.trust()}
+	if err := rep.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	entry := entryOf(t, rep, "bigapp")
+	etag := entry.ETag()
+	srv, client := edgeServer(t, rep)
+
+	resp := get(t, client, srv.URL+"/repos/r/packages/bigapp/chunks", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("chunks: HTTP %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("ETag"); got != etag {
+		t.Fatalf("chunks ETag = %s, want the package entry's %s", got, etag)
+	}
+	name, m, err := tsr.DecodeChunkManifest(body(t, resp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "bigapp" {
+		t.Fatalf("manifest names %q", name)
+	}
+	if m.PackageHash != entry.Hash || m.TotalSize != entry.Size {
+		t.Fatal("manifest root does not match the signed entry")
+	}
+
+	// Revalidation.
+	resp = get(t, client, srv.URL+"/repos/r/packages/bigapp/chunks", map[string]string{"If-None-Match": etag})
+	body(t, resp)
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("chunks revalidation: HTTP %d, want 304", resp.StatusCode)
+	}
+
+	// If-None-Match precedence over Range on the package itself.
+	resp = get(t, client, srv.URL+"/repos/r/packages/bigapp", map[string]string{
+		"If-None-Match": etag, "Range": "bytes=0-99",
+	})
+	body(t, resp)
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("If-None-Match + Range: HTTP %d, want 304", resp.StatusCode)
+	}
+
+	// A plain Range request slices verified bytes under the full ETag.
+	full, err := rep.FetchPackage("bigapp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp = get(t, client, srv.URL+"/repos/r/packages/bigapp", map[string]string{"Range": "bytes=100-299"})
+	part := body(t, resp)
+	if resp.StatusCode != http.StatusPartialContent {
+		t.Fatalf("Range: HTTP %d, want 206", resp.StatusCode)
+	}
+	if got, want := resp.Header.Get("Content-Range"), fmt.Sprintf("bytes 100-299/%d", entry.Size); got != want {
+		t.Fatalf("Content-Range = %q, want %q", got, want)
+	}
+	if got := resp.Header.Get("ETag"); got != etag {
+		t.Fatalf("206 ETag = %s, want the full representation's %s", got, etag)
+	}
+	if !bytes.Equal(part, full[100:300]) {
+		t.Fatal("206 body is not the requested slice of the verified bytes")
+	}
+}
+
+// TestEdgeStreamedServe: a warm full-body GET streams off the cache
+// through hash-as-you-copy verification instead of buffering, and the
+// delivered bytes hash to the advertised ETag.
+func TestEdgeStreamedServe(t *testing.T) {
+	w := newEdgeWorld(t)
+	w.publish(t, bigEdgePkg("bigapp", "1.0-r0", 8, 32<<10))
+	if _, err := w.tenant.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	rep := &Replica{RepoID: w.tenant.ID, Origin: w.tenant, TrustRing: w.trust()}
+	if err := rep.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the cache.
+	if _, err := rep.FetchPackage("bigapp"); err != nil {
+		t.Fatal(err)
+	}
+	srv, client := edgeServer(t, rep)
+
+	resp := get(t, client, srv.URL+"/repos/r/packages/bigapp", nil)
+	raw := body(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	sum := sha256.Sum256(raw)
+	if got, want := resp.Header.Get("ETag"), `"`+hex.EncodeToString(sum[:])+`"`; got != want {
+		t.Fatalf("ETag %s does not match the streamed body hash %s", got, want)
+	}
+	if s := rep.Stats(); s.StreamedServes != 1 {
+		t.Fatalf("StreamedServes = %d, want 1 (stats %+v)", s.StreamedServes, s)
+	}
+}
+
+// TestCorruptReplicaRefusesManifest: a misbehaving replica would build
+// its manifest over corrupted bytes; the replica refuses to serve such
+// a manifest (it would only mislead downstreams into useless range
+// fetches), so downstream diff attempts fall back to a full fetch —
+// which end-to-end verification then rejects.
+func TestCorruptReplicaRefusesManifest(t *testing.T) {
+	w := newEdgeWorld(t)
+	rep := &Replica{RepoID: w.tenant.ID, Origin: w.tenant, TrustRing: w.trust()}
+	if err := rep.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	rep.SetBehavior(Corrupt)
+	if _, err := rep.FetchChunkManifest("app"); err == nil {
+		t.Fatal("corrupt replica served a chunk manifest over corrupted bytes")
+	}
+	srv, client := edgeServer(t, rep)
+	resp := get(t, client, srv.URL+"/repos/r/packages/app/chunks", nil)
+	body(t, resp)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("chunks from a corrupt replica: HTTP %d, want 502", resp.StatusCode)
+	}
+}

@@ -13,16 +13,19 @@ import (
 	"tsr/internal/keys"
 	"tsr/internal/netsim"
 	"tsr/internal/stats"
+	"tsr/internal/store"
 )
 
 // countingOrigin wraps the tenant repository and counts every request
 // that actually reaches the origin — the quantity the edge tier exists
 // to reduce.
 type countingOrigin struct {
-	tenant   origin
-	indexes  atomic.Int64
-	deltas   atomic.Int64
-	packages atomic.Int64
+	tenant    origin
+	indexes   atomic.Int64
+	deltas    atomic.Int64
+	packages  atomic.Int64
+	manifests atomic.Int64
+	ranges    atomic.Int64
 }
 
 // origin is the read surface of *tsr.Repo the experiment wraps.
@@ -47,10 +50,37 @@ func (o *countingOrigin) FetchPackage(name string) ([]byte, error) {
 	return o.tenant.FetchPackage(name)
 }
 
+// The differential-sync surface forwards when the wrapped origin has
+// one (*tsr.Repo and originGate both do), counting manifest and range
+// requests the way whole-package pulls are counted.
+func (o *countingOrigin) FetchChunkManifest(name string) (*store.ChunkManifest, error) {
+	t, ok := o.tenant.(interface {
+		FetchChunkManifest(string) (*store.ChunkManifest, error)
+	})
+	if !ok {
+		return nil, fmt.Errorf("experiments: origin %T has no chunk-manifest surface", o.tenant)
+	}
+	o.manifests.Add(1)
+	return t.FetchChunkManifest(name)
+}
+
+func (o *countingOrigin) FetchPackageRange(name string, off, length int64) ([]byte, error) {
+	t, ok := o.tenant.(interface {
+		FetchPackageRange(string, int64, int64) ([]byte, error)
+	})
+	if !ok {
+		return nil, fmt.Errorf("experiments: origin %T has no range surface", o.tenant)
+	}
+	o.ranges.Add(1)
+	return t.FetchPackageRange(name, off, length)
+}
+
 func (o *countingOrigin) reset() {
 	o.indexes.Store(0)
 	o.deltas.Store(0)
 	o.packages.Store(0)
+	o.manifests.Store(0)
+	o.ranges.Store(0)
 }
 
 // edgeContinents is the replica placement rotation: the paper's three

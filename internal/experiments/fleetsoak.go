@@ -81,6 +81,24 @@ func (g *originGate) FetchPackage(name string) ([]byte, error) {
 	return t.FetchPackage(name)
 }
 
+// The differential-sync surface forwards too, so chunked package sync
+// stays in the replicas' pull path throughout the soak.
+func (g *originGate) FetchChunkManifest(name string) (*store.ChunkManifest, error) {
+	t := g.tenant.Load()
+	if t == nil {
+		return nil, errOriginDown
+	}
+	return t.FetchChunkManifest(name)
+}
+
+func (g *originGate) FetchPackageRange(name string, off, length int64) ([]byte, error) {
+	t := g.tenant.Load()
+	if t == nil {
+		return nil, errOriginDown
+	}
+	return t.FetchPackageRange(name, off, length)
+}
+
 // edgeSlot is one edge position in the fleet. The slot — not the
 // replica — is the client-facing Fetcher: EdgeKill swaps the replica
 // pointer to nil and EdgeRestart/EdgeRollback swap in a fresh Replica
@@ -110,6 +128,22 @@ func (s *edgeSlot) FetchPackage(name string) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %s killed", edge.ErrOffline, s.name)
 	}
 	return rep.FetchPackage(name)
+}
+
+func (s *edgeSlot) FetchChunkManifest(name string) (*store.ChunkManifest, error) {
+	rep := s.rep.Load()
+	if rep == nil {
+		return nil, fmt.Errorf("%w: %s killed", edge.ErrOffline, s.name)
+	}
+	return rep.FetchChunkManifest(name)
+}
+
+func (s *edgeSlot) FetchPackageRange(name string, off, length int64) ([]byte, error) {
+	rep := s.rep.Load()
+	if rep == nil {
+		return nil, fmt.Errorf("%w: %s killed", edge.ErrOffline, s.name)
+	}
+	return rep.FetchPackageRange(name, off, length)
 }
 
 // FleetSoakResult is the measured outcome of one soak run; it is also
@@ -166,6 +200,20 @@ type FleetSoakResult struct {
 	CoalescedPulls int64 `json:"coalesced_pulls"`
 	CoalescedSyncs int64 `json:"coalesced_syncs"`
 
+	// Wire efficiency under churn: chunked differential pulls across
+	// live replicas at the end of the run (the soak-wire-probe is
+	// version-bumped with every generation), manifest/range requests
+	// that reached the origin, streamed (hash-as-you-copy) serves, and
+	// verified 206 Range reads through the front handler.
+	DiffPulls        int64 `json:"diff_pulls"`
+	DiffFallbacks    int64 `json:"diff_fallbacks"`
+	DiffBytesReused  int64 `json:"diff_bytes_reused"`
+	DiffBytesFetched int64 `json:"diff_bytes_fetched"`
+	OriginManifests  int64 `json:"origin_manifests"`
+	OriginRanges     int64 `json:"origin_ranges"`
+	StreamedServes   int64 `json:"streamed_serves"`
+	RangeReads       int64 `json:"range_reads_206"`
+
 	// Client defense counters summed over the fleet: byzantine edges
 	// were detected and routed around this many times.
 	Failovers         int64 `json:"failovers"`
@@ -195,6 +243,16 @@ func soakPackage(name string) *apk.Package {
 		Name: name, Version: version,
 		Files: []apk.File{{Path: "/usr/bin/" + name, Mode: 0o755, Content: []byte(name + version)}},
 	}
+}
+
+// soakWireName is the chunking probe: a multi-chunk package whose
+// content is version-bumped with every published generation, so the
+// replicas' chunked differential pull path stays exercised — under
+// the same invariant checker — all soak long.
+const soakWireName = "soak-wire-probe"
+
+func soakWireProbe(version string) *apk.Package {
+	return wireProbePkg(soakWireName, version, 8, 16<<10)
 }
 
 // FleetSoakRun drives the composed-failure soak: soakClients failover
@@ -243,6 +301,26 @@ func FleetSoakRun(cfg Config) (*FleetSoakResult, error) {
 	tenant, err := w.Service.Repo(repoID)
 	if err != nil {
 		return nil, err
+	}
+	// The chunking probe's first generation goes out with the initial
+	// refresh; every Refresh event bumps it. The full version history
+	// is kept because the origin restart must replay every publish —
+	// the upstream index sequence is monotonic, and a regenerated
+	// upstream with fewer publishes would (correctly) trip the tenant's
+	// TPM anti-rollback check.
+	probeVersions := []string{"0.0-r0"}
+	publishProbe := func(w *World, version string) error {
+		p := soakWireProbe(version)
+		if err := apk.Sign(p, w.Distro); err != nil {
+			return err
+		}
+		return w.Repo.Publish(p)
+	}
+	if err := publishProbe(w, probeVersions[0]); err != nil {
+		return nil, err
+	}
+	for _, m := range w.Mirrors {
+		m.Sync(w.Repo)
 	}
 	if _, err := tenant.Refresh(); err != nil {
 		return nil, err
@@ -347,7 +425,7 @@ func FleetSoakRun(cfg Config) (*FleetSoakResult, error) {
 	// --- instruments --------------------------------------------------
 	var idxHist, pkgHist obs.Histogram
 	var indexReads, packageReads, failedReads atomic.Int64
-	var crowdOffered, crowdServed atomic.Int64
+	var crowdOffered, crowdServed, rangeReads atomic.Int64
 
 	// --- event handlers ----------------------------------------------
 	doRefresh := func(tick int) {
@@ -359,6 +437,14 @@ func FleetSoakRun(cfg Config) (*FleetSoakResult, error) {
 		}
 		name := fmt.Sprintf("soak-gen-%03d", tick)
 		published = append(published, name)
+		// Bump the chunking probe into this generation: replicas that
+		// cached the previous version pull the new one differentially.
+		version := fmt.Sprintf("%d.0-r0", tick+1)
+		if err := publishProbe(cur, version); err != nil {
+			ctlFail(fmt.Errorf("fleet-soak: probe publish: %w", err))
+			return
+		}
+		probeVersions = append(probeVersions, version)
 		if err := advanceWorldCtx(trace.NewContext(context.Background(), originTracer), cur, name, "1.0-r0"); err != nil {
 			// A refresh failing during a mirror outage is availability;
 			// the previous snapshot keeps serving.
@@ -408,6 +494,11 @@ func FleetSoakRun(cfg Config) (*FleetSoakResult, error) {
 				return err
 			}
 			if err := w2.Repo.Publish(p); err != nil {
+				return err
+			}
+		}
+		for _, v := range probeVersions {
+			if err := publishProbe(w2, v); err != nil {
 				return err
 			}
 		}
@@ -486,6 +577,25 @@ func FleetSoakRun(cfg Config) (*FleetSoakResult, error) {
 			}
 			return nil
 		})
+		// One Range read per crowd, pinned to a fresh full representation
+		// with If-Range: the 206 must be a verified slice of the full
+		// body under the FULL body's strong ETag (range-consistent). A
+		// republish between the two requests downgrades to a full 200,
+		// which the checker treats as availability.
+		full := httptest.NewRecorder()
+		handler.ServeHTTP(full, httptest.NewRequest(http.MethodGet, path, nil))
+		if full.Code == http.StatusOK {
+			req := httptest.NewRequest(http.MethodGet, path, nil)
+			req.Header.Set("Range", "bytes=0-1023")
+			req.Header.Set("If-Range", full.Header().Get("ETag"))
+			rec := httptest.NewRecorder()
+			handler.ServeHTTP(rec, req)
+			if rec.Code == http.StatusPartialContent {
+				rangeReads.Add(1)
+			}
+			checker.RangeResponse("soak-front", rec.Code, rec.Header().Get("ETag"),
+				rec.Header().Get("Content-Range"), rec.Body.Bytes(), full.Body.Bytes())
+		}
 		checker.AdmissionSnapshot("soak-front", o.Snapshot())
 	}
 
@@ -538,6 +648,35 @@ func FleetSoakRun(cfg Config) (*FleetSoakResult, error) {
 		}
 	}
 
+	readPackage := func(c *soakClient, e index.Entry) {
+		//lint:allow detrand timing block: client-observed package latency feeds the BENCH histogram, measured in real time
+		t1 := time.Now()
+		body, err := c.fc.FetchPackage(e.Name)
+		if err != nil {
+			failedReads.Add(1)
+			return
+		}
+		pkgHist.ObserveSince(t1)
+		packageReads.Add(1)
+		if e.Name != soakWireName {
+			checker.PackageAccepted(c.name, e, body)
+			return
+		}
+		// The probe changes content under a fixed name, so a republish
+		// landing between the index read and the package read makes the
+		// strict single-entry pairing race; the bytes must instead match
+		// SOME accepted generation. On a miss, feed the client's
+		// refreshed index through the checker first — the client may
+		// have re-verified mid-read against a generation the checker has
+		// not recorded yet.
+		if !checker.PackageMatchesAnyGen(e.Name, body) {
+			if signed, err := c.fc.FetchIndex(); err == nil {
+				checker.IndexAccepted(c.name, signed)
+			}
+		}
+		checker.PackageAcceptedAnyGen(c.name, e.Name, body)
+	}
+
 	clientTick := func(c *soakClient, reads int) {
 		//lint:allow detrand timing block: client-observed index latency feeds the BENCH histogram, measured in real time
 		t0 := time.Now()
@@ -553,17 +692,13 @@ func FleetSoakRun(cfg Config) (*FleetSoakResult, error) {
 			return
 		}
 		for j := 0; j < reads; j++ {
-			e := ix.Entries[c.rng.Intn(len(ix.Entries))]
-			//lint:allow detrand timing block: client-observed package latency feeds the BENCH histogram, measured in real time
-			t1 := time.Now()
-			body, err := c.fc.FetchPackage(e.Name)
-			if err != nil {
-				failedReads.Add(1)
-				continue
-			}
-			pkgHist.ObserveSince(t1)
-			packageReads.Add(1)
-			checker.PackageAccepted(c.name, e, body)
+			readPackage(c, ix.Entries[c.rng.Intn(len(ix.Entries))])
+		}
+		// Every tick ends on a probe read, so the replicas' differential
+		// pull path is driven continuously, not only when the RNG lands
+		// on the probe.
+		if e, err := ix.Lookup(soakWireName); err == nil {
+			readPackage(c, e)
 		}
 	}
 
@@ -638,6 +773,11 @@ func FleetSoakRun(cfg Config) (*FleetSoakResult, error) {
 		st := rep.Stats()
 		res.CoalescedPulls += st.CoalescedPulls
 		res.CoalescedSyncs += st.CoalescedSyncs
+		res.DiffPulls += st.DiffPulls
+		res.DiffFallbacks += st.DiffFallbacks
+		res.DiffBytesReused += st.DiffBytesReused
+		res.DiffBytesFetched += st.DiffBytesFetched
+		res.StreamedServes += st.StreamedServes
 	}
 	for _, c := range clients {
 		signed, err := c.fc.FetchIndex()
@@ -670,6 +810,9 @@ func FleetSoakRun(cfg Config) (*FleetSoakResult, error) {
 	res.FrontHTTP = o.Snapshot()
 	res.CrowdOffered = crowdOffered.Load()
 	res.CrowdServed = crowdServed.Load()
+	res.RangeReads = rangeReads.Load()
+	res.OriginManifests = counted.manifests.Load()
+	res.OriginRanges = counted.ranges.Load()
 	res.CrowdShed = res.FrontHTTP.ShedTotal
 	if res.CrowdOffered > 0 {
 		res.ShedRate = float64(res.CrowdShed) / float64(res.CrowdOffered)
@@ -772,6 +915,10 @@ func FleetSoak(cfg Config) (*Table, error) {
 				res.CrowdOffered, res.CrowdServed, res.CrowdShed, res.ShedRate*100,
 				res.FrontHTTP.PeakInflight, res.MaxInflight)},
 			{"coalesced pulls / syncs", fmt.Sprintf("%d / %d", res.CoalescedPulls, res.CoalescedSyncs)},
+			{"chunked differential pulls", fmt.Sprintf("%d (%d B reused / %d B fetched, %d fallbacks; origin saw %d manifests + %d ranges)",
+				res.DiffPulls, res.DiffBytesReused, res.DiffBytesFetched, res.DiffFallbacks,
+				res.OriginManifests, res.OriginRanges)},
+			{"streamed serves / verified 206s", fmt.Sprintf("%d / %d", res.StreamedServes, res.RangeReads)},
 			{"origin warm restart under load", fmt.Sprintf("%v (%.1f ms)", res.OriginWarmRestart, res.WarmRestartMs)},
 			{"clients lagging at quiesce", fmt.Sprint(res.LaggingAtQuiesce)},
 			{"front-edge traces kept", fmt.Sprintf("%d (merged %d, evicted %d)",
@@ -781,7 +928,7 @@ func FleetSoak(cfg Config) (*Table, error) {
 		},
 		Notes: append([]string{
 			"invariants (docs/SOAK.md): verified bytes, index signature, monotone sequence, ETag==sha256(body),",
-			"shed contract, admission bound, bounded staleness after quiesce — one violation fails the run",
+			"range-consistent 206s, shed contract, admission bound, bounded staleness after quiesce — one violation fails the run",
 		}, notes...),
 	}
 	return t, nil

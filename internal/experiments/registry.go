@@ -37,6 +37,7 @@ func All() []Runner {
 		{"crash-restart", "durable store warm restart", CrashRestart},
 		{"flash-crowd", "request coalescing + admission control", FlashCrowd},
 		{"fleet-soak", "ROADMAP item 5: composed-failure soak", FleetSoak},
+		{"wire-sync", "wire efficiency: gzip index + chunked differential sync", WireSync},
 	}
 }
 

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// Per-endpoint wire byte counters: request-body bytes read and
+// response-body bytes written must land on the route's metrics and
+// appear in both /metrics representations.
+func TestByteCountersPerEndpoint(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		w.WriteHeader(http.StatusOK)
+		w.Write(body)
+		w.Write([]byte("pong"))
+	})
+	o := New(Options{})
+	handler := o.Wrap(inner)
+
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest("POST", "/policies", strings.NewReader("ping-body")))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("got %d", rec.Code)
+	}
+
+	s := o.Snapshot()
+	ep, ok := s.Endpoints["POST /policies"]
+	if !ok {
+		t.Fatalf("no endpoint entry; have %v", keysOf(s.Endpoints))
+	}
+	if want := int64(len("ping-body")); ep.BytesIn != want {
+		t.Fatalf("bytes_in = %d, want %d", ep.BytesIn, want)
+	}
+	if want := int64(len("ping-bodypong")); ep.BytesOut != want {
+		t.Fatalf("bytes_out = %d, want %d", ep.BytesOut, want)
+	}
+
+	// JSON representation carries the fields.
+	rec = httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	var doc Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Endpoints["POST /policies"].BytesIn != ep.BytesIn {
+		t.Fatal("JSON /metrics lost bytes_in")
+	}
+
+	// Prometheus representation carries the counters.
+	rec = httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	handler.ServeHTTP(rec, req)
+	text := rec.Body.String()
+	for _, want := range []string{
+		`tsr_bytes_received_total{route="POST /policies"} 9`,
+		`tsr_bytes_sent_total{route="POST /policies"} 13`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRouteKeyChunksEndpoint(t *testing.T) {
+	got := routeKey("GET", "/repos/abc123/packages/openssl/chunks")
+	if want := "GET /repos/{id}/packages/{pkg}/chunks"; got != want {
+		t.Fatalf("routeKey = %q, want %q", got, want)
+	}
+}

@@ -2,9 +2,11 @@ package obs
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"tsr/internal/trace"
@@ -148,12 +150,14 @@ func (o *Obs) Wrap(next http.Handler) http.Handler {
 		}
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		cb := &countingBody{rc: r.Body}
+		r.Body = cb
 		defer func() {
 			d := time.Since(start)
 			if gauged {
 				o.metrics.RequestDone()
 			}
-			o.metrics.ObserveRequest(key, sw.status, d)
+			o.metrics.ObserveRequest(key, sw.status, d, cb.n.Load(), sw.bytes.Load())
 			// Runs before the deferred sp.End() (LIFO), so the status
 			// lands on the span before the root flush samples the trace.
 			sp.SetHTTPStatus(sw.status)
@@ -224,11 +228,15 @@ func (o *Obs) acquire() bool {
 	}
 }
 
-// statusWriter captures the response status for the metrics record.
+// statusWriter captures the response status and body byte count for
+// the metrics record. The byte count is atomic because the streaming
+// serve path can still be writing when a client disconnect unwinds the
+// handler.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
 	wrote  bool
+	bytes  atomic.Int64
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -241,8 +249,24 @@ func (w *statusWriter) WriteHeader(code int) {
 
 func (w *statusWriter) Write(b []byte) (int, error) {
 	w.wrote = true
-	return w.ResponseWriter.Write(b)
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes.Add(int64(n))
+	return n, err
 }
+
+// countingBody counts request-body bytes as the handler reads them.
+type countingBody struct {
+	rc io.ReadCloser
+	n  atomic.Int64
+}
+
+func (b *countingBody) Read(p []byte) (int, error) {
+	n, err := b.rc.Read(p)
+	b.n.Add(int64(n))
+	return n, err
+}
+
+func (b *countingBody) Close() error { return b.rc.Close() }
 
 // routeKey normalizes a request path to its route pattern, so metrics
 // aggregate per endpoint instead of per URL. It mirrors the route

@@ -149,6 +149,11 @@ type Endpoint struct {
 	// status counts responses by class: index 1→1xx … 5→5xx.
 	status [6]atomic.Int64
 	shed   atomic.Int64
+	// bytesIn/bytesOut count request-body bytes read and response-body
+	// bytes written, so wire-efficiency wins (gzip indexes, chunked
+	// differential sync, 206 ranges) are observable in production.
+	bytesIn  atomic.Int64
+	bytesOut atomic.Int64
 	// p99CacheNs/p99CachedAtNs memoize the latency p99 for the trace
 	// sampler's slow-keep rule, so the per-request check is two atomic
 	// loads instead of a 40-bucket scan.
@@ -158,10 +163,12 @@ type Endpoint struct {
 
 // EndpointSnapshot is the JSON form of one endpoint's metrics.
 type EndpointSnapshot struct {
-	Count   int64             `json:"count"`
-	Status  map[string]int64  `json:"status,omitempty"`
-	Shed    int64             `json:"shed,omitempty"`
-	Latency HistogramSnapshot `json:"latency"`
+	Count    int64             `json:"count"`
+	Status   map[string]int64  `json:"status,omitempty"`
+	Shed     int64             `json:"shed,omitempty"`
+	BytesIn  int64             `json:"bytes_in"`
+	BytesOut int64             `json:"bytes_out"`
+	Latency  HistogramSnapshot `json:"latency"`
 }
 
 // Metrics is one daemon's metric registry.
@@ -226,9 +233,10 @@ func (m *Metrics) endpoint(key string) *Endpoint {
 	return ep
 }
 
-// ObserveRequest records one served request: its latency and response
-// status class, under the given route key.
-func (m *Metrics) ObserveRequest(key string, status int, d time.Duration) {
+// ObserveRequest records one served request: its latency, response
+// status class, and wire bytes (request body in, response body out),
+// under the given route key.
+func (m *Metrics) ObserveRequest(key string, status int, d time.Duration, bytesIn, bytesOut int64) {
 	ep := m.endpoint(key)
 	ep.latency.Observe(d)
 	class := status / 100
@@ -236,6 +244,8 @@ func (m *Metrics) ObserveRequest(key string, status int, d time.Duration) {
 		class = 5
 	}
 	ep.status[class].Add(1)
+	ep.bytesIn.Add(bytesIn)
+	ep.bytesOut.Add(bytesOut)
 }
 
 // ObserveShed records one request refused by admission control (not
@@ -339,7 +349,12 @@ func (m *Metrics) Snapshot() Snapshot {
 		Endpoints:    map[string]EndpointSnapshot{},
 	}
 	for key, ep := range *m.endpoints.Load() {
-		es := EndpointSnapshot{Latency: ep.latency.Snapshot(), Shed: ep.shed.Load()}
+		es := EndpointSnapshot{
+			Latency:  ep.latency.Snapshot(),
+			Shed:     ep.shed.Load(),
+			BytesIn:  ep.bytesIn.Load(),
+			BytesOut: ep.bytesOut.Load(),
+		}
 		for class := 1; class <= 5; class++ {
 			if n := ep.status[class].Load(); n > 0 {
 				if es.Status == nil {

@@ -72,6 +72,16 @@ func WritePrometheus(w io.Writer, s Snapshot) {
 		}
 	}
 
+	writeHeader("tsr_bytes_received_total", "Request-body bytes read, by route.", "counter")
+	for _, route := range routes {
+		fmt.Fprintf(w, "tsr_bytes_received_total{route=%q} %d\n", route, s.Endpoints[route].BytesIn)
+	}
+
+	writeHeader("tsr_bytes_sent_total", "Response-body bytes written, by route.", "counter")
+	for _, route := range routes {
+		fmt.Fprintf(w, "tsr_bytes_sent_total{route=%q} %d\n", route, s.Endpoints[route].BytesOut)
+	}
+
 	writeHeader("tsr_request_duration_seconds", "Served request latency by route.", "histogram")
 	// Label values are rendered with %q: Go string quoting escapes
 	// backslashes, quotes, and newlines exactly as the exposition

@@ -2,14 +2,23 @@ package store
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"io"
 )
 
 // Length-prefixed chunk framing (8-byte big-endian length + payload),
 // shared by every persisted composite blob: sealed repository state
 // and metadata (internal/tsr) and the edge replica's index journal
 // (internal/edge). One codec, one set of bounds checks.
+//
+// This file also holds the content-defined chunker (ROADMAP item 4):
+// a Gear rolling hash that cuts package bytes into ~8–64KiB chunks at
+// content-determined boundaries, so a one-file version bump shares
+// every chunk before (and usually after) the edit. Chunk hashes are
+// untrusted transfer metadata — the reassembled bytes must still match
+// the signed index entry hash end-to-end.
 
 // WriteChunk appends one length-prefixed chunk to buf.
 func WriteChunk(buf *bytes.Buffer, data []byte) {
@@ -22,7 +31,9 @@ func WriteChunk(buf *bytes.Buffer, data []byte) {
 // ReadChunk consumes one length-prefixed chunk from buf.
 func ReadChunk(buf *bytes.Reader) ([]byte, error) {
 	var n [8]byte
-	if _, err := buf.Read(n[:]); err != nil {
+	// io.ReadFull, not Read: a truncated frame must surface as
+	// io.ErrUnexpectedEOF instead of a silent short read.
+	if _, err := io.ReadFull(buf, n[:]); err != nil {
 		return nil, fmt.Errorf("store: chunk: %w", err)
 	}
 	size := binary.BigEndian.Uint64(n[:])
@@ -30,8 +41,136 @@ func ReadChunk(buf *bytes.Reader) ([]byte, error) {
 		return nil, fmt.Errorf("store: chunk size %d exceeds remainder", size)
 	}
 	out := make([]byte, size)
-	if _, err := buf.Read(out); err != nil {
+	if _, err := io.ReadFull(buf, out); err != nil {
 		return nil, fmt.Errorf("store: chunk: %w", err)
 	}
 	return out, nil
+}
+
+// Content-defined chunking parameters. MinChunkSize bytes are skipped
+// before the rolling hash is consulted, AvgChunkMask picks an expected
+// ~16KiB gap between boundaries past the minimum, and MaxChunkSize
+// forces a cut so a pathological stream cannot produce unbounded
+// chunks. All three are part of the wire contract: client and server
+// must cut identically for differential sync to find shared chunks.
+const (
+	MinChunkSize = 8 << 10
+	MaxChunkSize = 64 << 10
+	// AvgChunkMask has 14 low bits set: boundary when the rolling
+	// hash masks to zero, i.e. every ~16KiB of content on average.
+	AvgChunkMask = (1 << 14) - 1
+)
+
+// gearTable is the 256-entry random table driving the Gear hash. It is
+// derived deterministically from splitmix64 so every build — and both
+// sides of the wire — agree on chunk boundaries without shipping the
+// table.
+var gearTable = func() [256]uint64 {
+	var t [256]uint64
+	// splitmix64 with a fixed seed; see Steele et al., "Fast
+	// Splittable Pseudorandom Number Generators".
+	state := uint64(0x746573725f636463) // "tsr_cdc"
+	for i := range t {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		t[i] = z ^ (z >> 31)
+	}
+	return t
+}()
+
+// Span is one chunk's position within the whole blob.
+type Span struct {
+	Offset int64 `json:"offset"`
+	Size   int64 `json:"size"`
+}
+
+// CutChunks splits data at content-defined boundaries. Every byte of
+// data is covered exactly once, in order; an empty input yields no
+// spans. The cut points depend only on the bytes, so two blobs sharing
+// a long run of identical bytes share the chunk boundaries inside it.
+func CutChunks(data []byte) []Span {
+	var spans []Span
+	for off := 0; off < len(data); {
+		end := off + MaxChunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		cut := end
+		if end-off > MinChunkSize {
+			var h uint64
+			for i := off + MinChunkSize; i < end; i++ {
+				h = (h << 1) + gearTable[data[i]]
+				if h&AvgChunkMask == 0 {
+					cut = i + 1
+					break
+				}
+			}
+		}
+		spans = append(spans, Span{Offset: int64(off), Size: int64(cut - off)})
+		off = cut
+	}
+	return spans
+}
+
+// ManifestChunk is one chunk entry in a manifest: its span plus the
+// SHA-256 of its bytes.
+type ManifestChunk struct {
+	Span
+	Hash [sha256.Size]byte
+}
+
+// ChunkManifest describes one package blob as content-defined chunks.
+// PackageHash is the SHA-256 of the whole blob — the same value the
+// signed index entry carries — which roots the manifest in the trust
+// chain: a client accepts a manifest only when PackageHash matches the
+// signed entry, and accepts the reassembled bytes only when they hash
+// to it. The per-chunk hashes are pure transfer optimization and are
+// never trusted on their own.
+type ChunkManifest struct {
+	PackageHash [sha256.Size]byte
+	TotalSize   int64
+	Chunks      []ManifestChunk
+}
+
+// BuildManifest chunks data and hashes every chunk plus the whole.
+func BuildManifest(data []byte) *ChunkManifest {
+	spans := CutChunks(data)
+	m := &ChunkManifest{
+		PackageHash: sha256.Sum256(data),
+		TotalSize:   int64(len(data)),
+		Chunks:      make([]ManifestChunk, len(spans)),
+	}
+	for i, s := range spans {
+		m.Chunks[i] = ManifestChunk{
+			Span: s,
+			Hash: sha256.Sum256(data[s.Offset : s.Offset+s.Size]),
+		}
+	}
+	return m
+}
+
+// Valid checks the manifest's internal consistency: chunks must tile
+// [0, TotalSize) contiguously with sizes in (0, MaxChunkSize], and an
+// empty blob must have no chunks. It does NOT vouch for the hashes —
+// only reassembly against the signed entry hash does that.
+func (m *ChunkManifest) Valid() error {
+	if m.TotalSize < 0 {
+		return fmt.Errorf("store: manifest: negative total size %d", m.TotalSize)
+	}
+	var off int64
+	for i, c := range m.Chunks {
+		if c.Offset != off {
+			return fmt.Errorf("store: manifest: chunk %d offset %d, want %d", i, c.Offset, off)
+		}
+		if c.Size <= 0 || c.Size > MaxChunkSize {
+			return fmt.Errorf("store: manifest: chunk %d size %d out of range", i, c.Size)
+		}
+		off += c.Size
+	}
+	if off != m.TotalSize {
+		return fmt.Errorf("store: manifest: chunks cover %d bytes, total %d", off, m.TotalSize)
+	}
+	return nil
 }

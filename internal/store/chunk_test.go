@@ -1,0 +1,233 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+func TestChunkFramingRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	WriteChunk(&buf, []byte("alpha"))
+	WriteChunk(&buf, nil)
+	WriteChunk(&buf, []byte("bravo charlie"))
+	r := bytes.NewReader(buf.Bytes())
+	for i, want := range [][]byte{[]byte("alpha"), nil, []byte("bravo charlie")} {
+		got, err := ReadChunk(r)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("chunk %d: got %q want %q", i, got, want)
+		}
+	}
+	if _, err := ReadChunk(r); err == nil {
+		t.Fatal("read past end: want error")
+	}
+}
+
+// Regression: a frame truncated mid-header or mid-payload must fail
+// loudly. The old bytes.Reader.Read-based decoder could short-read a
+// partial header without error and misparse the remainder.
+func TestReadChunkTruncatedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	WriteChunk(&buf, bytes.Repeat([]byte("x"), 100))
+	whole := buf.Bytes()
+	for _, cut := range []int{0, 1, 7, 8, 9, len(whole) - 1} {
+		r := bytes.NewReader(whole[:cut])
+		got, err := ReadChunk(r)
+		if err == nil {
+			t.Fatalf("cut=%d: want error, got %d bytes", cut, len(got))
+		}
+		if cut > 0 && cut < 8 && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut=%d: want io.ErrUnexpectedEOF in %v", cut, err)
+		}
+	}
+}
+
+func randBytes(t *testing.T, seed int64, n int) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, n)
+	rng.Read(out)
+	return out
+}
+
+func TestCutChunksCoversAndBounds(t *testing.T) {
+	for _, n := range []int{0, 1, MinChunkSize - 1, MinChunkSize, MaxChunkSize, 1 << 20} {
+		data := randBytes(t, int64(n), n)
+		spans := CutChunks(data)
+		if n == 0 {
+			if len(spans) != 0 {
+				t.Fatal("empty input: want no spans")
+			}
+			continue
+		}
+		var off int64
+		for i, s := range spans {
+			if s.Offset != off {
+				t.Fatalf("n=%d span %d: offset %d want %d", n, i, s.Offset, off)
+			}
+			if s.Size <= 0 || s.Size > MaxChunkSize {
+				t.Fatalf("n=%d span %d: size %d out of range", n, i, s.Size)
+			}
+			// Only the final chunk may be under the minimum (tail).
+			if s.Size < MinChunkSize && i != len(spans)-1 {
+				t.Fatalf("n=%d span %d: interior size %d < min", n, i, s.Size)
+			}
+			off += s.Size
+		}
+		if off != int64(n) {
+			t.Fatalf("n=%d: spans cover %d bytes", n, off)
+		}
+	}
+}
+
+func TestCutChunksDeterministic(t *testing.T) {
+	data := randBytes(t, 7, 512<<10)
+	a := CutChunks(data)
+	b := CutChunks(data)
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic chunk count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("span %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if len(a) < 4 {
+		t.Fatalf("512KiB should cut into several chunks, got %d", len(a))
+	}
+}
+
+// The property differential sync depends on: editing bytes near the
+// end leaves the chunks before the edit identical, because boundaries
+// are content-defined rather than offset-defined.
+func TestChunkReuseAfterTailEdit(t *testing.T) {
+	oldData := randBytes(t, 11, 1<<20)
+	newData := append([]byte(nil), oldData...)
+	for i := len(newData) - 4096; i < len(newData); i++ {
+		newData[i] ^= 0x5A
+	}
+	oldM, newM := BuildManifest(oldData), BuildManifest(newData)
+	oldHashes := make(map[[sha256.Size]byte]bool, len(oldM.Chunks))
+	for _, c := range oldM.Chunks {
+		oldHashes[c.Hash] = true
+	}
+	reused := 0
+	for _, c := range newM.Chunks {
+		if oldHashes[c.Hash] {
+			reused++
+		}
+	}
+	if reused < len(newM.Chunks)*3/4 {
+		t.Fatalf("tail edit: only %d/%d chunks reused", reused, len(newM.Chunks))
+	}
+}
+
+func TestBuildManifestAndValid(t *testing.T) {
+	data := randBytes(t, 3, 200<<10)
+	m := BuildManifest(data)
+	if m.PackageHash != sha256.Sum256(data) {
+		t.Fatal("package hash mismatch")
+	}
+	if m.TotalSize != int64(len(data)) {
+		t.Fatal("total size mismatch")
+	}
+	if err := m.Valid(); err != nil {
+		t.Fatalf("valid manifest rejected: %v", err)
+	}
+	for i, c := range m.Chunks {
+		if sha256.Sum256(data[c.Offset:c.Offset+c.Size]) != c.Hash {
+			t.Fatalf("chunk %d hash mismatch", i)
+		}
+	}
+
+	// Tampered shapes must be rejected by Valid.
+	bad := *m
+	bad.Chunks = append([]ManifestChunk(nil), m.Chunks...)
+	bad.Chunks[0].Size++
+	if bad.Valid() == nil {
+		t.Fatal("overlapping chunks accepted")
+	}
+	bad2 := *m
+	bad2.TotalSize++
+	if bad2.Valid() == nil {
+		t.Fatal("short coverage accepted")
+	}
+	bad3 := *m
+	bad3.Chunks = append([]ManifestChunk(nil), m.Chunks...)
+	bad3.Chunks[len(bad3.Chunks)-1].Size += MaxChunkSize + 1
+	if bad3.Valid() == nil {
+		t.Fatal("oversized chunk accepted")
+	}
+}
+
+func TestStreamerOpen(t *testing.T) {
+	dir := t.TempDir()
+	fsStore, err := OpenFS(dir, FSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range []Store{NewMem(), fsStore} {
+		sr, ok := st.(Streamer)
+		if !ok {
+			t.Fatalf("%T does not implement Streamer", st)
+		}
+		data := randBytes(t, 5, 96<<10)
+		if err := st.Put("pkg/a", data); err != nil {
+			t.Fatal(err)
+		}
+		rc, size, err := sr.Open("pkg/a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if size != int64(len(data)) {
+			t.Fatalf("%T: size %d want %d", st, size, len(data))
+		}
+		got, err := io.ReadAll(rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc.Close()
+		if !bytes.Equal(got, data) {
+			t.Fatalf("%T: streamed bytes differ", st)
+		}
+		if _, _, err := sr.Open("absent"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("%T: open absent: %v", st, err)
+		}
+	}
+}
+
+// A stream opened before a Delete (or overwriting Put) must keep
+// serving the original bytes — the serving path depends on this to
+// avoid torn responses during concurrent sync.
+func TestStreamerStableUnderDelete(t *testing.T) {
+	dir := t.TempDir()
+	fsStore, err := OpenFS(dir, FSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randBytes(t, 9, 64<<10)
+	if err := fsStore.Put("pkg/b", data); err != nil {
+		t.Fatal(err)
+	}
+	rc, _, err := fsStore.Open("pkg/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if err := fsStore.Delete("pkg/b"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("stream changed under delete")
+	}
+}

@@ -303,6 +303,52 @@ func (s *FS) Get(key string) ([]byte, error) {
 	return data, nil
 }
 
+// Open implements Streamer: the payload streams straight off disk
+// after the frame header and key echo are validated. The payload CRC
+// is deliberately NOT checked — that would force a full pre-read and
+// defeat the point of streaming — so this path leans entirely on the
+// caller's hash-as-you-copy verification against the signed entry.
+// The returned reader holds an open fd, so a concurrent Put/Delete of
+// the same key cannot corrupt an in-flight stream (rename/unlink leave
+// the old inode readable).
+func (s *FS) Open(key string) (io.ReadCloser, int64, error) {
+	s.mu.RLock()
+	e, ok := s.index[key]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	f, err := os.Open(s.pathFor(key))
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	var hdr [fsHeaderLen]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil || string(hdr[0:4]) != fsMagic {
+		f.Close()
+		_ = s.Delete(key)
+		return nil, 0, fmt.Errorf("%w: %q (invalid on disk)", ErrNotFound, key)
+	}
+	keyLen := binary.BigEndian.Uint32(hdr[4:8])
+	dataLen := binary.BigEndian.Uint64(hdr[8:16])
+	rawKey := make([]byte, keyLen)
+	if _, err := io.ReadFull(f, rawKey); err != nil || string(rawKey) != key {
+		f.Close()
+		_ = s.Delete(key)
+		return nil, 0, fmt.Errorf("%w: %q (invalid on disk)", ErrNotFound, key)
+	}
+	e.atime.Store(s.clock.Add(1))
+	return &fsStream{f: f, r: io.LimitReader(f, int64(dataLen))}, int64(dataLen), nil
+}
+
+// fsStream is an open entry payload: a bounded reader over the fd.
+type fsStream struct {
+	f *os.File
+	r io.Reader
+}
+
+func (st *fsStream) Read(p []byte) (int, error) { return st.r.Read(p) }
+func (st *fsStream) Close() error               { return st.f.Close() }
+
 // Delete implements Store.
 func (s *FS) Delete(key string) error {
 	s.mu.Lock()

@@ -1,8 +1,10 @@
 package store
 
 import (
+	"bytes"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -92,6 +94,17 @@ func (m *Mem) Get(key string) ([]byte, error) {
 	}
 	e.atime.Store(m.clock.Add(1))
 	return append([]byte(nil), e.raw...), nil
+}
+
+// Open implements Streamer. Mem has no payload larger than memory by
+// construction, so the stream is a reader over a private copy — the
+// value is streaming-shaped plumbing, not saved bytes.
+func (m *Mem) Open(key string) (io.ReadCloser, int64, error) {
+	data, err := m.Get(key)
+	if err != nil {
+		return nil, 0, err
+	}
+	return io.NopCloser(bytes.NewReader(data)), int64(len(data)), nil
 }
 
 // Delete implements Store.

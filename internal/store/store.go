@@ -24,7 +24,10 @@
 // a budget nothing is ever evicted.
 package store
 
-import "errors"
+import (
+	"errors"
+	"io"
+)
 
 // ErrNotFound is returned by Get and Stat for absent keys — including
 // keys whose on-disk entry failed the integrity scrub and was dropped.
@@ -54,6 +57,20 @@ type Iterable interface {
 // reading its bytes.
 type Stater interface {
 	Stat(key string) (Info, error)
+}
+
+// Streamer is implemented by stores that can hand back an entry as a
+// stream instead of one buffered slice — what the daemons' streaming
+// serve path (ROADMAP item 4) uses so large packages never sit fully
+// in memory per request. The stream carries the same trust caveat as
+// Get: bytes are NOT verified by the store (FS skips even the frame
+// CRC on this path, to stay single-pass), so callers MUST hash the
+// stream against the signed entry as they copy.
+type Streamer interface {
+	// Open returns the entry's bytes as a reader plus its size.
+	// The reader must be closed; it is independent of later
+	// Put/Delete calls on the same key.
+	Open(key string) (io.ReadCloser, int64, error)
 }
 
 // Stats is a point-in-time occupancy snapshot.

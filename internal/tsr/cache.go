@@ -104,6 +104,10 @@ type counters struct {
 	// another in-flight request's download+re-sanitization instead of
 	// running their own (flash-crowd coalescing).
 	coalescedFills atomic.Int64
+	// Wire-efficiency read tier: chunk-manifest reads, byte-range
+	// reads, and packages served streaming off the store instead of
+	// buffered whole.
+	manifestReads, rangeReads, streamedServes atomic.Int64
 }
 
 // CacheStats are cumulative per-repository counters, exposed over the
@@ -137,6 +141,13 @@ type CacheStats struct {
 	// identical cache fill instead of re-running it (flash-crowd
 	// request coalescing on the serving path).
 	CoalescedFills int64 `json:"coalesced_fills"`
+	// ManifestReads counts chunk-manifest requests (differential sync).
+	ManifestReads int64 `json:"manifest_reads"`
+	// RangeReads counts byte-range package reads (chunk fetches).
+	RangeReads int64 `json:"range_reads"`
+	// StreamedServes counts packages served streaming from the store
+	// (hash-as-you-copy) instead of buffered whole.
+	StreamedServes int64 `json:"streamed_serves"`
 }
 
 // CacheStats returns the cumulative counters. Lock-free: safe to call
@@ -154,5 +165,8 @@ func (r *Repo) CacheStats() CacheStats {
 		NotModified:    r.totals.notModified.Load(),
 		DeltaReads:     r.totals.deltaReads.Load(),
 		CoalescedFills: r.totals.coalescedFills.Load(),
+		ManifestReads:  r.totals.manifestReads.Load(),
+		RangeReads:     r.totals.rangeReads.Load(),
+		StreamedServes: r.totals.streamedServes.Load(),
 	}
 }

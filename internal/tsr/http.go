@@ -11,11 +11,13 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"tsr/internal/index"
+	"tsr/internal/store"
 	"tsr/internal/trace"
 )
 
@@ -46,6 +48,7 @@ func Handler(s *Service) http.Handler {
 		// MaxBytesReader (unlike a silent LimitReader) fails the read
 		// when the body exceeds the cap, instead of truncating the
 		// policy and parsing the prefix as if it were complete.
+		//lint:allow streamserve policy upload, bounded by maxPolicyBytes; not a package body
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxPolicyBytes))
 		if err != nil {
 			var tooBig *http.MaxBytesError
@@ -137,7 +140,9 @@ func Handler(s *Service) http.Handler {
 		w.Header().Set(headerKeyName, signed.KeyName)
 		w.Header().Set(headerSignature, base64.StdEncoding.EncodeToString(signed.Sig))
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write(signed.Raw)
+		// The canonical signed text stays what the ETag and signature
+		// cover; gzip is negotiated transfer encoding on top of it.
+		WriteNegotiated(w, r, signed.Raw)
 	})
 	mux.HandleFunc("GET /repos/{id}/index/delta", func(w http.ResponseWriter, r *http.Request) {
 		repo, err := s.Repo(r.PathValue("id"))
@@ -167,7 +172,7 @@ func Handler(s *Service) http.Handler {
 		w.Header().Set("ETag", d.ToETag)
 		w.Header().Set("Cache-Control", "no-cache")
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write(d.Encode())
+		WriteNegotiated(w, r, d.Encode())
 	})
 	mux.HandleFunc("GET /repos/{id}/packages/{pkg}", func(w http.ResponseWriter, r *http.Request) {
 		repo, err := s.Repo(r.PathValue("id"))
@@ -178,7 +183,9 @@ func Handler(s *Service) http.Handler {
 		pkg := r.PathValue("pkg")
 		// Conditional fast path: the package ETag is its content hash
 		// from the signed index, so a match skips the cache read (and
-		// any re-sanitization) entirely.
+		// any re-sanitization) entirely. Checked BEFORE Range — RFC 9110
+		// gives If-None-Match precedence, so a revalidating client gets
+		// its 304 even when it also sent a Range.
 		if etag, err := repo.PackageETag(pkg); err == nil &&
 			ETagMatch(r.Header.Get("If-None-Match"), etag) {
 			repo.notePackageNotModified()
@@ -187,16 +194,72 @@ func Handler(s *Service) http.Handler {
 			w.WriteHeader(http.StatusNotModified)
 			return
 		}
-		raw, res, err := repo.FetchPackageTracedCtx(r.Context(), pkg)
+		if r.Header.Get("Range") != "" {
+			// Range requests serve slices of buffered already-verified
+			// bytes: a 206 must never splice unverified data.
+			raw, res, err := repo.FetchPackageTracedCtx(r.Context(), pkg)
+			if err != nil {
+				httpError(w, statusFor(err), err)
+				return
+			}
+			w.Header().Set("ETag", res.ETag)
+			w.Header().Set("Cache-Control", "no-cache")
+			w.Header().Set("Accept-Ranges", "bytes")
+			w.Header().Set("X-Tsr-Served-From", res.From.String())
+			w.Header().Set("Content-Type", "application/octet-stream")
+			if ServeRange(w, r, res.ETag, raw) {
+				return
+			}
+			w.Write(raw)
+			return
+		}
+		// Full-body requests stream: hash-as-you-copy off the store when
+		// it can stream, buffered verified bytes otherwise (see
+		// OpenPackageCtx). A mid-stream verification failure aborts the
+		// response before the final block, so the client never receives a
+		// complete body that does not match the signed entry.
+		stream, err := repo.OpenPackageCtx(r.Context(), pkg)
 		if err != nil {
 			httpError(w, statusFor(err), err)
 			return
 		}
-		w.Header().Set("ETag", res.ETag)
+		defer stream.Close()
+		w.Header().Set("ETag", stream.Res.ETag)
 		w.Header().Set("Cache-Control", "no-cache")
-		w.Header().Set("X-Tsr-Served-From", res.From.String())
+		w.Header().Set("Accept-Ranges", "bytes")
+		w.Header().Set("X-Tsr-Served-From", stream.Res.From.String())
 		w.Header().Set("Content-Type", "application/octet-stream")
-		w.Write(raw)
+		w.Header().Set("Content-Length", strconv.FormatInt(stream.Size, 10))
+		if _, err := io.Copy(w, stream); err != nil {
+			// Headers (and some bytes) are out: the only honest move is
+			// to kill the connection so the client sees a truncated
+			// transfer, not a complete-looking wrong body.
+			panic(http.ErrAbortHandler)
+		}
+	})
+	mux.HandleFunc("GET /repos/{id}/packages/{pkg}/chunks", func(w http.ResponseWriter, r *http.Request) {
+		repo, err := s.Repo(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		pkg := r.PathValue("pkg")
+		m, entry, err := repo.chunkManifest(r.Context(), pkg)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		// The manifest is immutable per content hash, so it shares the
+		// package's strong ETag and revalidates the same way.
+		etag := entry.ETag()
+		w.Header().Set("ETag", etag)
+		w.Header().Set("Cache-Control", "no-cache")
+		if ETagMatch(r.Header.Get("If-None-Match"), etag) {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		WriteNegotiated(w, r, EncodeChunkManifest(pkg, m))
 	})
 	mux.HandleFunc("GET /repos/{id}/scripts/{pkg}", func(w http.ResponseWriter, r *http.Request) {
 		repo, err := s.Repo(r.PathValue("id"))
@@ -339,11 +402,20 @@ type Client struct {
 	// Daemons set it to their shutdown context so in-flight syncs are
 	// aborted instead of drained. Defaults to context.Background().
 	Context context.Context
+	// PkgCache, when set, retains verified package bytes
+	// (content-addressed, untrusted — re-verified on every read) and
+	// enables chunk-aware differential fetch: a version bump downloads
+	// only the changed chunks and reuses the rest from the cached
+	// previous version. nil keeps the classic full-download behavior.
+	PkgCache store.Store
 
 	mu        sync.Mutex
-	cached    *index.Signed // last 200 index response (body + signature)
-	cachedTag string        // its ETag, sent as If-None-Match
-	cachedIx  *index.Index  // decoded form of cached (lazy; for package verification)
+	cached    *index.Signed                // last 200 index response (body + signature)
+	cachedTag string                       // its ETag, sent as If-None-Match
+	cachedIx  *index.Index                 // decoded form of cached (lazy; for package verification)
+	lastHash  map[string][sha256.Size]byte // package name -> hash of the last verified fetch (diff base)
+
+	wire wireCounters
 }
 
 // defaultHTTPClient bounds every request of clients that did not bring
@@ -401,6 +473,11 @@ func (c *Client) FetchIndexTaggedCtx(ctx context.Context) (_ *index.Signed, _ st
 	if err != nil {
 		return nil, "", err
 	}
+	// Negotiate gzip explicitly (disabling the transport's transparent
+	// mode) so the client controls decompression: the wire counters see
+	// the compressed size and verification runs on the decoded
+	// canonical text.
+	req.Header.Set("Accept-Encoding", "gzip")
 	c.mu.Lock()
 	prevTag := c.cachedTag
 	c.mu.Unlock()
@@ -424,7 +501,7 @@ func (c *Client) FetchIndexTaggedCtx(ctx context.Context) (_ *index.Signed, _ st
 	if resp.StatusCode != http.StatusOK {
 		return nil, "", fmt.Errorf("tsr client: index: %s", readErr(resp))
 	}
-	raw, err := io.ReadAll(resp.Body)
+	raw, err := readBodyCounted(resp, maxIndexWireBytes, &c.wire.indexBytes)
 	if err != nil {
 		return nil, "", fmt.Errorf("tsr client: %w", err)
 	}
@@ -484,6 +561,7 @@ func (c *Client) FetchIndexDeltaCtx(ctx context.Context, sinceETag string) (_ *i
 	if err != nil {
 		return nil, err
 	}
+	req.Header.Set("Accept-Encoding", "gzip")
 	resp, err := c.client().Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("tsr client: %w", err)
@@ -500,7 +578,7 @@ func (c *Client) FetchIndexDeltaCtx(ctx context.Context, sinceETag string) (_ *i
 	default:
 		return nil, fmt.Errorf("tsr client: index delta: %s", readErr(resp))
 	}
-	raw, err := io.ReadAll(resp.Body)
+	raw, err := readBodyCounted(resp, maxIndexWireBytes, &c.wire.indexBytes)
 	if err != nil {
 		return nil, fmt.Errorf("tsr client: %w", err)
 	}
@@ -531,7 +609,7 @@ func (c *Client) FetchPackageCtx(ctx context.Context, name string) ([]byte, erro
 	if err != nil {
 		return nil, err
 	}
-	raw, err := c.fetchPackageVerified(ctx, name, entry)
+	raw, err := c.fetchPackageAny(ctx, name, entry)
 	if err == nil {
 		return raw, nil
 	}
@@ -545,7 +623,7 @@ func (c *Client) FetchPackageCtx(ctx context.Context, name string) ([]byte, erro
 		// verification failure stands.
 		return nil, err
 	}
-	return c.fetchPackageVerified(ctx, name, fresh)
+	return c.fetchPackageAny(ctx, name, fresh)
 }
 
 // fetchPackageVerified downloads one package and verifies it against
@@ -568,13 +646,15 @@ func (c *Client) fetchPackageVerified(ctx context.Context, name string, entry in
 	}
 	// The index entry bounds the read: a server streaming endless data
 	// is cut off at the declared size (+1 byte to detect overrun).
-	raw, err := io.ReadAll(io.LimitReader(resp.Body, entry.Size+1))
+	//lint:allow streamserve client-side verification requires the whole body; bounded by the signed entry size
+	raw, err := io.ReadAll(io.LimitReader(&countReader{r: resp.Body, n: &c.wire.packageBytes}, entry.Size+1))
 	if err != nil {
 		return nil, fmt.Errorf("tsr client: %w", err)
 	}
 	if int64(len(raw)) != entry.Size || sha256.Sum256(raw) != entry.Hash {
 		return nil, fmt.Errorf("tsr client: package %s: served bytes do not match the signed index entry (corrupt mirror or edge)", name)
 	}
+	c.wire.fullFetches.Add(1)
 	return raw, nil
 }
 
@@ -629,6 +709,7 @@ func (c *Client) currentIndex(ctx context.Context, force bool) (*index.Index, er
 }
 
 func readErr(resp *http.Response) string {
+	//lint:allow streamserve bounded 4 KiB error snippet, not a package body
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	return strings.TrimSpace(resp.Status + " " + string(body))
 }

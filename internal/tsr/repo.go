@@ -170,6 +170,12 @@ type Repo struct {
 	// at most one refresh interval of extra storage, never a leak.
 	servedWritesMu sync.Mutex
 	servedWrites   map[string]struct{}
+
+	// manifests memoizes chunk manifests by content hash for the
+	// differential-sync endpoint; see stream.go. Bounded by
+	// maxManifestMemo, cleared wholesale when full.
+	manifestMu sync.Mutex
+	manifests  map[[32]byte]*store.ChunkManifest
 }
 
 // newRepo builds the tenant repository and its quorum reader.

@@ -1,0 +1,367 @@
+package tsr
+
+import (
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"tsr/internal/store"
+)
+
+// Wire-efficiency helpers (ROADMAP item 4) shared by the origin and
+// edge HTTP tiers: negotiated gzip for the (canonically signed) index
+// text, single-range 206 serving over verified bytes, the chunk
+// manifest wire codec, and the hash-as-you-copy reader the streaming
+// serve path uses. Nothing here changes what is signed: gzip wraps the
+// canonical text after signing, ranges slice verified bytes, and chunk
+// manifests are untrusted metadata rooted in the signed entry hash.
+
+// AcceptsGzip reports whether the request's Accept-Encoding admits
+// gzip. Quality values are honored only as far as rejecting an
+// explicit q=0; any other listing of gzip (or identity-free *) is a
+// yes.
+func AcceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		coding, params, _ := strings.Cut(strings.TrimSpace(part), ";")
+		coding = strings.ToLower(strings.TrimSpace(coding))
+		if coding != "gzip" && coding != "*" {
+			continue
+		}
+		q := strings.TrimSpace(params)
+		if strings.HasPrefix(q, "q=") && strings.TrimPrefix(q, "q=") == "0" {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// gzipPool recycles gzip writers across requests; compression level is
+// fixed, so pooled writers are interchangeable after Reset.
+var gzipPool = sync.Pool{New: func() any {
+	zw, _ := gzip.NewWriterLevel(io.Discard, gzip.DefaultCompression)
+	return zw
+}}
+
+// WriteNegotiated writes body either identity or gzip-compressed
+// according to the request's Accept-Encoding, with correct
+// Content-Length and Vary headers. The body bytes passed in stay the
+// canonical representation (ETags and signatures are computed over
+// them); gzip is pure transfer encoding-after-the-fact.
+func WriteNegotiated(w http.ResponseWriter, r *http.Request, body []byte) {
+	w.Header().Add("Vary", "Accept-Encoding")
+	if AcceptsGzip(r) {
+		var buf strings.Builder
+		zw := gzipPool.Get().(*gzip.Writer)
+		zw.Reset(&buf)
+		_, werr := zw.Write(body)
+		cerr := zw.Close()
+		gzipPool.Put(zw)
+		if werr == nil && cerr == nil && buf.Len() < len(body) {
+			w.Header().Set("Content-Encoding", "gzip")
+			w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+			io.WriteString(w, buf.String())
+			return
+		}
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.Write(body)
+}
+
+// ParseRange parses a single-range `bytes=` Range header against a
+// representation of the given size. ok=false means the header should
+// be ignored (absent, non-bytes unit, multi-range, or syntactically
+// invalid — RFC 9110 lets a server serve 200 for all of these). A
+// syntactically valid but unsatisfiable range returns ErrUnsatisfiable
+// and the caller answers 416.
+func ParseRange(header string, size int64) (off, length int64, ok bool, err error) {
+	spec, found := strings.CutPrefix(strings.TrimSpace(header), "bytes=")
+	if !found || strings.Contains(spec, ",") {
+		return 0, 0, false, nil
+	}
+	first, last, found := strings.Cut(strings.TrimSpace(spec), "-")
+	if !found {
+		return 0, 0, false, nil
+	}
+	if first == "" {
+		// suffix-length form: bytes=-N, the final N bytes.
+		n, perr := strconv.ParseInt(last, 10, 64)
+		if perr != nil || n < 0 {
+			return 0, 0, false, nil
+		}
+		if n == 0 || size == 0 {
+			return 0, 0, false, ErrUnsatisfiable
+		}
+		if n > size {
+			n = size
+		}
+		return size - n, n, true, nil
+	}
+	start, perr := strconv.ParseInt(first, 10, 64)
+	if perr != nil || start < 0 {
+		return 0, 0, false, nil
+	}
+	end := size - 1
+	if last != "" {
+		end, perr = strconv.ParseInt(last, 10, 64)
+		if perr != nil || end < start {
+			return 0, 0, false, nil
+		}
+	}
+	if start >= size {
+		return 0, 0, false, ErrUnsatisfiable
+	}
+	if end > size-1 {
+		end = size - 1
+	}
+	return start, end - start + 1, true, nil
+}
+
+// ErrUnsatisfiable marks a syntactically valid Range that selects no
+// bytes of the representation (416 Range Not Satisfiable).
+var ErrUnsatisfiable = fmt.Errorf("tsr: range not satisfiable")
+
+// ServeRange answers a Range request over already-verified bytes:
+// 206 with Content-Range for a satisfiable single range, 416 for an
+// unsatisfiable one, and false (caller serves the full body) when the
+// header is absent/ignorable or an If-Range condition fails. The ETag
+// on a 206 is the FULL representation's strong tag — the content hash
+// from the signed index — exactly as RFC 9110 requires; a client
+// reassembling ranges still verifies against the signed entry.
+func ServeRange(w http.ResponseWriter, r *http.Request, etag string, raw []byte) bool {
+	rng := r.Header.Get("Range")
+	if rng == "" {
+		return false
+	}
+	// If-Range: serve the full current body when the validator no
+	// longer matches, instead of splicing ranges across generations.
+	if ir := strings.TrimSpace(r.Header.Get("If-Range")); ir != "" && ir != etag {
+		return false
+	}
+	off, length, ok, err := ParseRange(rng, int64(len(raw)))
+	if err != nil {
+		w.Header().Set("Content-Range", "bytes */"+strconv.Itoa(len(raw)))
+		// RFC 9110 §14.2: an unsatisfiable range is answered with a bare
+		// 416 carrying the Content-Range above — there is no error value
+		// to route through statusFor, and a JSON error body would hide
+		// the required header semantics.
+		//lint:allow statusroute protocol-mandated 416 with Content-Range, not a routed error
+		w.WriteHeader(http.StatusRequestedRangeNotSatisfiable)
+		return true
+	}
+	if !ok {
+		return false
+	}
+	w.Header().Set("Content-Range",
+		fmt.Sprintf("bytes %d-%d/%d", off, off+length-1, len(raw)))
+	w.Header().Set("Content-Length", strconv.FormatInt(length, 10))
+	w.WriteHeader(http.StatusPartialContent)
+	w.Write(raw[off : off+length])
+	return true
+}
+
+// NewVerifiedReader wraps a stream in hash-as-you-copy verification
+// against the signed entry hash: bytes are released to the consumer
+// with one block held back, and the final block is released only after
+// the complete stream hashed to want. A mismatch surfaces as
+// ErrCacheTampered BEFORE the consumer has received the full body, so
+// an HTTP handler copying from this reader aborts the response (the
+// client sees a truncated transfer, never a complete-but-wrong one).
+// onFail, if non-nil, runs once on mismatch — the serving tier uses it
+// to drop the tampered cache entry so the next request heals.
+func NewVerifiedReader(src io.ReadCloser, want [sha256.Size]byte, onFail func()) io.ReadCloser {
+	return &verifiedReader{src: src, want: want, onFail: onFail, h: sha256.New()}
+}
+
+type verifiedReader struct {
+	src     io.ReadCloser
+	want    [sha256.Size]byte
+	onFail  func()
+	h       hash.Hash
+	ready   []byte // verified-for-release bytes
+	pending []byte // read and hashed, held until the next block or EOF verdict
+	fin     bool
+	err     error
+}
+
+func (v *verifiedReader) Read(p []byte) (int, error) {
+	for len(v.ready) == 0 {
+		if v.err != nil {
+			return 0, v.err
+		}
+		if v.fin {
+			return 0, io.EOF
+		}
+		v.advance()
+	}
+	n := copy(p, v.ready)
+	v.ready = v.ready[n:]
+	return n, nil
+}
+
+// advance reads one block, releasing the previously pending block —
+// or, at EOF, verifies the whole-stream hash before releasing the last
+// one.
+func (v *verifiedReader) advance() {
+	block := make([]byte, 32<<10)
+	n, err := v.src.Read(block)
+	if n > 0 {
+		v.h.Write(block[:n])
+		v.ready = v.pending
+		v.pending = block[:n]
+		return
+	}
+	switch err {
+	case nil:
+		// Zero-byte read without error: try again on the next loop.
+	case io.EOF:
+		var sum [sha256.Size]byte
+		v.h.Sum(sum[:0])
+		if sum != v.want {
+			v.pending = nil
+			v.err = fmt.Errorf("%w: streamed bytes do not match the signed index entry", ErrCacheTampered)
+			if v.onFail != nil {
+				v.onFail()
+				v.onFail = nil
+			}
+			return
+		}
+		v.ready = v.pending
+		v.pending = nil
+		v.fin = true
+	default:
+		v.pending = nil
+		v.err = err
+	}
+}
+
+func (v *verifiedReader) Close() error { return v.src.Close() }
+
+// wireManifest is the JSON wire form of a chunk manifest.
+type wireManifest struct {
+	Package string      `json:"package"`
+	Hash    string      `json:"hash"`
+	Size    int64       `json:"size"`
+	Chunks  []wireChunk `json:"chunks"`
+}
+
+type wireChunk struct {
+	Offset int64  `json:"offset"`
+	Size   int64  `json:"size"`
+	Hash   string `json:"hash"`
+}
+
+// EncodeChunkManifest renders a manifest for the wire.
+func EncodeChunkManifest(name string, m *store.ChunkManifest) []byte {
+	doc := wireManifest{
+		Package: name,
+		Hash:    hex.EncodeToString(m.PackageHash[:]),
+		Size:    m.TotalSize,
+		Chunks:  make([]wireChunk, len(m.Chunks)),
+	}
+	for i, c := range m.Chunks {
+		doc.Chunks[i] = wireChunk{Offset: c.Offset, Size: c.Size, Hash: hex.EncodeToString(c.Hash[:])}
+	}
+	out, _ := json.Marshal(doc)
+	return out
+}
+
+// DecodeChunkManifest parses a wire manifest and checks its internal
+// shape (contiguous coverage, bounded chunk sizes). The result is
+// still UNTRUSTED until its PackageHash is compared to the signed
+// entry and the reassembled bytes hash to it.
+func DecodeChunkManifest(raw []byte) (string, *store.ChunkManifest, error) {
+	var doc wireManifest
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return "", nil, fmt.Errorf("tsr: chunk manifest: %w", err)
+	}
+	m := &store.ChunkManifest{TotalSize: doc.Size, Chunks: make([]store.ManifestChunk, len(doc.Chunks))}
+	if err := decodeHash32(doc.Hash, &m.PackageHash); err != nil {
+		return "", nil, err
+	}
+	for i, c := range doc.Chunks {
+		m.Chunks[i] = store.ManifestChunk{Span: store.Span{Offset: c.Offset, Size: c.Size}}
+		if err := decodeHash32(c.Hash, &m.Chunks[i].Hash); err != nil {
+			return "", nil, err
+		}
+	}
+	if err := m.Valid(); err != nil {
+		return "", nil, err
+	}
+	return doc.Package, m, nil
+}
+
+// ReassembleStats reports what a ReassembleChunks call transferred
+// versus reused.
+type ReassembleStats struct {
+	ChunksReused, ChunksFetched int64
+	BytesReused, BytesFetched   int64
+}
+
+// ReassembleChunks rebuilds the package described by manifest m from
+// reusable chunks of old (matched by per-chunk hash) plus byte ranges
+// obtained via fetchRange; runs of consecutive missing chunks are
+// coalesced into single range fetches. The manifest and the old bytes
+// are UNTRUSTED inputs: the caller MUST verify the returned bytes
+// against the signed index entry before serving or caching them.
+func ReassembleChunks(m *store.ChunkManifest, old []byte, fetchRange func(off, length int64) ([]byte, error)) ([]byte, ReassembleStats, error) {
+	oldChunks := make(map[[sha256.Size]byte][]byte)
+	for _, s := range store.CutChunks(old) {
+		b := old[s.Offset : s.Offset+s.Size]
+		oldChunks[sha256.Sum256(b)] = b
+	}
+	reusable := func(ch store.ManifestChunk) ([]byte, bool) {
+		b, ok := oldChunks[ch.Hash]
+		return b, ok && int64(len(b)) == ch.Size
+	}
+	out := make([]byte, m.TotalSize)
+	var st ReassembleStats
+	for i := 0; i < len(m.Chunks); {
+		ch := m.Chunks[i]
+		if b, ok := reusable(ch); ok {
+			copy(out[ch.Offset:], b)
+			st.ChunksReused++
+			st.BytesReused += ch.Size
+			i++
+			continue
+		}
+		j := i
+		for j < len(m.Chunks) {
+			if _, ok := reusable(m.Chunks[j]); ok {
+				break
+			}
+			j++
+		}
+		runOff := ch.Offset
+		runEnd := m.Chunks[j-1].Offset + m.Chunks[j-1].Size
+		raw, err := fetchRange(runOff, runEnd-runOff)
+		if err != nil {
+			return nil, st, err
+		}
+		if int64(len(raw)) != runEnd-runOff {
+			return nil, st, fmt.Errorf("tsr: range fetch returned %d bytes, want %d", len(raw), runEnd-runOff)
+		}
+		copy(out[runOff:], raw)
+		st.ChunksFetched += int64(j - i)
+		st.BytesFetched += runEnd - runOff
+		i = j
+	}
+	return out, st, nil
+}
+
+func decodeHash32(s string, out *[sha256.Size]byte) error {
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != sha256.Size {
+		return fmt.Errorf("tsr: chunk manifest: bad hash %q", s)
+	}
+	copy(out[:], b)
+	return nil
+}

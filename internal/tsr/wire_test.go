@@ -1,0 +1,564 @@
+package tsr
+
+import (
+	"bytes"
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"tsr/internal/apk"
+	"tsr/internal/store"
+)
+
+// bigPackage builds a package large enough to span many content-defined
+// chunks: nFiles incompressible (seeded-random) payloads. Only the
+// LAST-sorted file's content depends on version, so a version bump
+// changes a small suffix of the sanitized wire bytes and the rest of
+// the chunks are reusable by a differential fetch.
+func bigPackage(name, version string, nFiles, fileSize int) *apk.Package {
+	p := &apk.Package{Name: name, Version: version}
+	for i := 0; i < nFiles; i++ {
+		seed := int64(i + 1)
+		path := fmt.Sprintf("/usr/share/%s/%03d.bin", name, i)
+		if i == nFiles-1 {
+			// Sorts after the numbered files; content tied to version.
+			path = "/usr/share/" + name + "/zz-last.bin"
+			for _, c := range version {
+				seed = seed*131 + int64(c)
+			}
+		}
+		content := make([]byte, fileSize)
+		rand.New(rand.NewSource(seed)).Read(content)
+		p.Files = append(p.Files, apk.File{Path: path, Mode: 0o644, Content: content})
+	}
+	return p
+}
+
+// rawRequest performs a GET with explicit headers, bypassing the
+// transport's transparent gzip so tests see the wire form.
+func rawRequest(t *testing.T, client *http.Client, url string, hdr map[string]string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func readAll(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestIndexGzipIsTransferEncodingOnly: the negotiated gzip response
+// must decompress to the exact canonical signed text, under the exact
+// same ETag and signature headers as the identity response — gzip is
+// transfer encoding after signing, not a second representation.
+func TestIndexGzipIsTransferEncodingOnly(t *testing.T) {
+	w, r := refreshedWorld(t)
+	srv := httptest.NewServer(Handler(w.svc))
+	defer srv.Close()
+	signed, _, err := r.FetchIndexTagged()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	url := srv.URL + "/repos/" + r.ID + "/index"
+	idResp := rawRequest(t, srv.Client(), url, map[string]string{"Accept-Encoding": "identity"})
+	idBody := readAll(t, idResp)
+	if idResp.Header.Get("Content-Encoding") != "" {
+		t.Fatalf("identity response Content-Encoding = %q", idResp.Header.Get("Content-Encoding"))
+	}
+	if !bytes.Equal(idBody, signed.Raw) {
+		t.Fatal("identity index body is not the canonical signed text")
+	}
+
+	gzResp := rawRequest(t, srv.Client(), url, map[string]string{"Accept-Encoding": "gzip"})
+	gzBody := readAll(t, gzResp)
+	if ce := gzResp.Header.Get("Content-Encoding"); ce != "gzip" {
+		t.Fatalf("Content-Encoding = %q, want gzip", ce)
+	}
+	if !strings.Contains(gzResp.Header.Get("Vary"), "Accept-Encoding") {
+		t.Fatalf("Vary = %q", gzResp.Header.Get("Vary"))
+	}
+	if len(gzBody) >= len(idBody) {
+		t.Fatalf("gzip body %d bytes, identity %d: no savings", len(gzBody), len(idBody))
+	}
+	// Signatures and ETags are computed over the canonical text: both
+	// responses must carry identical validators.
+	for _, h := range []string{"ETag", headerKeyName, headerSignature} {
+		if idResp.Header.Get(h) != gzResp.Header.Get(h) {
+			t.Fatalf("%s differs between identity (%q) and gzip (%q)", h, idResp.Header.Get(h), gzResp.Header.Get(h))
+		}
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(gzBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, signed.Raw) {
+		t.Fatal("gzip index does not decompress to the exact signed canonical form")
+	}
+}
+
+// TestIndexDeltaGzip: the delta endpoint negotiates gzip the same way.
+func TestIndexDeltaGzip(t *testing.T) {
+	w, r := refreshedWorld(t)
+	_, baseTag, err := r.FetchIndexTagged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	advance(t, w, r, "app", "1.1-r0")
+	d, err := r.FetchIndexDelta(baseTag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Handler(w.svc))
+	defer srv.Close()
+	url := srv.URL + "/repos/" + r.ID + "/index/delta?since=" + strings.ReplaceAll(baseTag, `"`, "%22")
+	resp := rawRequest(t, srv.Client(), url, map[string]string{"Accept-Encoding": "gzip"})
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var plain []byte
+	if resp.Header.Get("Content-Encoding") == "gzip" {
+		zr, err := gzip.NewReader(bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain, err = io.ReadAll(zr); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		// A delta too small to shrink under gzip is served identity.
+		plain = body
+	}
+	if !bytes.Equal(plain, d.Encode()) {
+		t.Fatal("delta body does not match the canonical delta encoding")
+	}
+}
+
+// TestIfNoneMatchPrecedesRange: RFC 9110 — when both If-None-Match and
+// Range are present, the conditional wins: a revalidating client gets
+// its 304, never a 206 of bytes it already holds.
+func TestIfNoneMatchPrecedesRange(t *testing.T) {
+	w, r := refreshedWorld(t)
+	srv := httptest.NewServer(Handler(w.svc))
+	defer srv.Close()
+	etag, err := r.PackageETag("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := rawRequest(t, srv.Client(), srv.URL+"/repos/"+r.ID+"/packages/app", map[string]string{
+		"If-None-Match": etag,
+		"Range":         "bytes=0-9",
+	})
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("status = %d, want 304 (If-None-Match takes precedence over Range)", resp.StatusCode)
+	}
+	if got := resp.Header.Get("ETag"); got != etag {
+		t.Fatalf("304 ETag = %q, want %q", got, etag)
+	}
+}
+
+// TestPackageRangeServing covers the 206 surface: correct slice and
+// Content-Range, the FULL representation's strong ETag on partial
+// responses, suffix ranges, open-ended ranges, 416 for unsatisfiable,
+// and full-200 fallbacks for If-Range mismatch, multi-range, and
+// malformed headers.
+func TestPackageRangeServing(t *testing.T) {
+	w, r := refreshedWorld(t)
+	srv := httptest.NewServer(Handler(w.svc))
+	defer srv.Close()
+	url := srv.URL + "/repos/" + r.ID + "/packages/app"
+
+	full := readAll(t, rawRequest(t, srv.Client(), url, nil))
+	etag, err := r.PackageETag("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := len(full)
+	if fmt.Sprintf("%q", sha256.Sum256(full)) == "" {
+		t.Fatal("unreachable")
+	}
+
+	cases := []struct {
+		name       string
+		hdr        map[string]string
+		status     int
+		wantBody   []byte
+		wantCRange string
+	}{
+		{"closed range", map[string]string{"Range": "bytes=10-49"},
+			206, full[10:50], fmt.Sprintf("bytes 10-49/%d", size)},
+		{"open-ended", map[string]string{"Range": fmt.Sprintf("bytes=%d-", size-20)},
+			206, full[size-20:], fmt.Sprintf("bytes %d-%d/%d", size-20, size-1, size)},
+		{"suffix", map[string]string{"Range": "bytes=-25"},
+			206, full[size-25:], fmt.Sprintf("bytes %d-%d/%d", size-25, size-1, size)},
+		{"end clipped", map[string]string{"Range": fmt.Sprintf("bytes=5-%d", size+1000)},
+			206, full[5:], fmt.Sprintf("bytes 5-%d/%d", size-1, size)},
+		{"unsatisfiable", map[string]string{"Range": fmt.Sprintf("bytes=%d-", size)},
+			416, nil, fmt.Sprintf("bytes */%d", size)},
+		{"if-range match", map[string]string{"Range": "bytes=0-9", "If-Range": etag},
+			206, full[:10], fmt.Sprintf("bytes 0-9/%d", size)},
+		{"if-range mismatch", map[string]string{"Range": "bytes=0-9", "If-Range": `"stale"`},
+			200, full, ""},
+		{"multi-range ignored", map[string]string{"Range": "bytes=0-9,20-29"},
+			200, full, ""},
+		{"malformed ignored", map[string]string{"Range": "bytes=abc-def"},
+			200, full, ""},
+		{"non-bytes unit ignored", map[string]string{"Range": "chunks=0-1"},
+			200, full, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := rawRequest(t, srv.Client(), url, tc.hdr)
+			body := readAll(t, resp)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.status)
+			}
+			if tc.wantCRange != "" {
+				if got := resp.Header.Get("Content-Range"); got != tc.wantCRange {
+					t.Fatalf("Content-Range = %q, want %q", got, tc.wantCRange)
+				}
+			}
+			if tc.status == 206 {
+				// The ETag on a 206 is the full representation's strong
+				// tag — the content hash from the signed index.
+				if got := resp.Header.Get("ETag"); got != etag {
+					t.Fatalf("206 ETag = %q, want full-body tag %q", got, etag)
+				}
+			}
+			if tc.wantBody != nil && !bytes.Equal(body, tc.wantBody) {
+				t.Fatalf("body = %d bytes, want %d (mismatch)", len(body), len(tc.wantBody))
+			}
+		})
+	}
+}
+
+// TestParseRange pins the header parser's edge cases directly.
+func TestParseRange(t *testing.T) {
+	cases := []struct {
+		header      string
+		size        int64
+		off, length int64
+		ok          bool
+		unsat       bool
+	}{
+		{"bytes=0-9", 100, 0, 10, true, false},
+		{"bytes=90-", 100, 90, 10, true, false},
+		{"bytes=-10", 100, 90, 10, true, false},
+		{"bytes=-200", 100, 0, 100, true, false}, // suffix longer than body: whole body
+		{"bytes=0-0", 100, 0, 1, true, false},
+		{"bytes=50-200", 100, 50, 50, true, false}, // end clipped
+		{"bytes=100-", 100, 0, 0, false, true},
+		{"bytes=-0", 100, 0, 0, false, true},
+		{"bytes=-5", 0, 0, 0, false, true},
+		{"bytes=0-9,20-29", 100, 0, 0, false, false}, // multi-range: ignore
+		{"bytes=9-0", 100, 0, 0, false, false},
+		{"bytes=abc", 100, 0, 0, false, false},
+		{"chunks=0-9", 100, 0, 0, false, false},
+		{"", 100, 0, 0, false, false},
+	}
+	for _, tc := range cases {
+		off, length, ok, err := ParseRange(tc.header, tc.size)
+		if tc.unsat {
+			if err == nil {
+				t.Errorf("%q: err = nil, want ErrUnsatisfiable", tc.header)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%q: err = %v", tc.header, err)
+			continue
+		}
+		if ok != tc.ok || (ok && (off != tc.off || length != tc.length)) {
+			t.Errorf("%q: (%d,%d,%v), want (%d,%d,%v)", tc.header, off, length, ok, tc.off, tc.length, tc.ok)
+		}
+	}
+}
+
+// TestChunkManifestEndpoint: the manifest decodes, tiles the package
+// exactly, is rooted in the signed entry (PackageHash, per-chunk
+// hashes), and revalidates under the package's strong ETag.
+func TestChunkManifestEndpoint(t *testing.T) {
+	w, r := refreshedWorld(t)
+	srv := httptest.NewServer(Handler(w.svc))
+	defer srv.Close()
+	url := srv.URL + "/repos/" + r.ID + "/packages/app/chunks"
+
+	body, _, err := r.FetchPackageTraced("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := rawRequest(t, srv.Client(), url, nil)
+	raw := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, raw)
+	}
+	name, m, err := DecodeChunkManifest(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "app" {
+		t.Fatalf("manifest package = %q", name)
+	}
+	if m.PackageHash != sha256.Sum256(body) || m.TotalSize != int64(len(body)) {
+		t.Fatal("manifest is not rooted in the served package bytes")
+	}
+	for i, ch := range m.Chunks {
+		if got := sha256.Sum256(body[ch.Offset : ch.Offset+ch.Size]); got != ch.Hash {
+			t.Fatalf("chunk %d hash mismatch", i)
+		}
+	}
+
+	etag := resp.Header.Get("ETag")
+	pkgTag, err := r.PackageETag("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if etag != pkgTag {
+		t.Fatalf("manifest ETag = %q, want the package's %q", etag, pkgTag)
+	}
+	resp304 := rawRequest(t, srv.Client(), url, map[string]string{"If-None-Match": etag})
+	readAll(t, resp304)
+	if resp304.StatusCode != http.StatusNotModified {
+		t.Fatalf("revalidation status = %d, want 304", resp304.StatusCode)
+	}
+}
+
+// TestClientDifferentialFetch: with a PkgCache, a version bump that
+// changes one file of a many-chunk package transfers only the changed
+// chunks (plus manifest): the second download is differential, reuses
+// most chunks, and moves far fewer package bytes than the first.
+func TestClientDifferentialFetch(t *testing.T) {
+	w := newWorld(t, 3)
+	w.publish(t, bigPackage("blob", "1.0-r0", 16, 32<<10))
+	r := w.deploy(t)
+	if _, err := r.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Handler(w.svc))
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL, RepoID: r.ID, HTTPClient: srv.Client(), PkgCache: store.NewMem()}
+
+	v1, err := c.FetchPackage("blob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := c.WireStats()
+	if s1.FullFetches != 1 || s1.DiffFetches != 0 {
+		t.Fatalf("after cold fetch: %+v", s1)
+	}
+	coldBytes := s1.PackageBytes
+
+	// Same version again: served from the verified local cache, zero
+	// wire bytes.
+	if _, err := c.FetchPackage("blob"); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.WireStats(); s.CacheHits != 1 || s.PackageBytes != coldBytes {
+		t.Fatalf("after warm fetch: %+v", s)
+	}
+
+	// Version bump changing only the last-sorted file, then revalidate
+	// the index so the client sees the new entry.
+	w.publish(t, bigPackage("blob", "1.1-r0", 16, 32<<10))
+	if _, err := r.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.FetchIndexTagged(); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := c.FetchPackage("blob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(v1, v2) {
+		t.Fatal("version bump did not change the served bytes")
+	}
+	want, _, err := r.FetchPackageTraced("blob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v2, want) {
+		t.Fatal("differentially fetched bytes differ from the served package")
+	}
+	s2 := c.WireStats()
+	if s2.DiffFetches != 1 || s2.DiffFallbacks != 0 {
+		t.Fatalf("after version bump: %+v", s2)
+	}
+	if s2.ChunksReused == 0 || s2.ChunksFetched == 0 {
+		t.Fatalf("diff fetch reused %d chunks, fetched %d — want both > 0", s2.ChunksReused, s2.ChunksFetched)
+	}
+	diffBytes := (s2.PackageBytes - coldBytes) + s2.ManifestBytes
+	if diffBytes*2 >= coldBytes {
+		t.Fatalf("differential update moved %d bytes vs %d full — want < 0.5x", diffBytes, coldBytes)
+	}
+	t.Logf("cold %d bytes, differential %d bytes (%.1f%%), chunks reused %d fetched %d",
+		coldBytes, diffBytes, 100*float64(diffBytes)/float64(coldBytes), s2.ChunksReused, s2.ChunksFetched)
+}
+
+// TestClientDiffTamperedManifestFallsBack: a manifest that does not
+// root in the signed entry is rejected and the client degrades to a
+// full verified fetch — wrong bytes are never returned.
+func TestClientDiffTamperedManifestFallsBack(t *testing.T) {
+	w := newWorld(t, 3)
+	w.publish(t, bigPackage("blob", "1.0-r0", 8, 32<<10))
+	r := w.deploy(t)
+	if _, err := r.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	inner := Handler(w.svc)
+	// A corrupting middlebox: chunk-manifest responses get their
+	// package hash flipped; everything else passes through.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if !strings.HasSuffix(req.URL.Path, "/chunks") {
+			inner.ServeHTTP(w, req)
+			return
+		}
+		req.Header.Del("Accept-Encoding") // keep the recorded body identity-coded
+		rec := httptest.NewRecorder()
+		inner.ServeHTTP(rec, req)
+		var doc map[string]any
+		if err := json.Unmarshal(rec.Body.Bytes(), &doc); err == nil {
+			doc["hash"] = strings.Repeat("00", 32)
+			tampered, _ := json.Marshal(doc)
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(tampered)
+			return
+		}
+		w.WriteHeader(rec.Code)
+		w.Write(rec.Body.Bytes())
+	}))
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL, RepoID: r.ID, HTTPClient: srv.Client(), PkgCache: store.NewMem()}
+
+	if _, err := c.FetchPackage("blob"); err != nil {
+		t.Fatal(err)
+	}
+	w.publish(t, bigPackage("blob", "1.1-r0", 8, 32<<10))
+	if _, err := r.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.FetchIndexTagged(); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := c.FetchPackage("blob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := r.FetchPackageTraced("blob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v2, want) {
+		t.Fatal("client returned bytes that do not match the served package")
+	}
+	s := c.WireStats()
+	if s.DiffFallbacks != 1 || s.DiffFetches != 0 {
+		t.Fatalf("wire stats = %+v, want the diff rejected and one fallback", s)
+	}
+	if s.FullFetches != 2 {
+		t.Fatalf("full fetches = %d, want 2 (cold + fallback)", s.FullFetches)
+	}
+}
+
+// TestStreamedServeTamperAbortsAndHeals: a tampered sanitized-cache
+// entry under the streaming serve path must abort the response before
+// the body completes — the client sees a truncated transfer, never a
+// complete-but-wrong body — and the poisoned entry is dropped so the
+// next request serves verified bytes again.
+func TestStreamedServeTamperAbortsAndHeals(t *testing.T) {
+	w := newWorld(t, 3)
+	w.publish(t, bigPackage("blob", "1.0-r0", 8, 32<<10))
+	r := w.deploy(t)
+	if _, err := r.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Handler(w.svc))
+	defer srv.Close()
+	url := srv.URL + "/repos/" + r.ID + "/packages/blob"
+
+	r.mu.Lock()
+	entry, err := r.local.Lookup("blob")
+	r.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.store.Tamper(r.sanitizedKey("blob", entry.Hash)); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := srv.Client().Get(url)
+	if err == nil {
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr == nil && int64(len(body)) == entry.Size {
+			t.Fatal("tampered stream delivered a complete body")
+		}
+	}
+
+	// Self-heal: the poisoned cache key was dropped on the failed
+	// stream, so this request re-sanitizes and serves verified bytes.
+	resp2, err := srv.Client().Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp2)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status after heal = %d", resp2.StatusCode)
+	}
+	if int64(len(body)) != entry.Size || sha256.Sum256(body) != entry.Hash {
+		t.Fatal("healed response does not match the signed index entry")
+	}
+}
+
+// TestStreamedServeCounts: the buffered-free serve path is actually
+// taken (MemStore implements store.Streamer) and verified bytes arrive
+// intact with a correct Content-Length.
+func TestStreamedServeCounts(t *testing.T) {
+	w, r := refreshedWorld(t)
+	srv := httptest.NewServer(Handler(w.svc))
+	defer srv.Close()
+	before := r.CacheStats().StreamedServes
+	resp := rawRequest(t, srv.Client(), srv.URL+"/repos/"+r.ID+"/packages/app", nil)
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	etag, err := r.PackageETag("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprintf("%q", fmt.Sprintf("%x", sha256.Sum256(body))); got != etag {
+		t.Fatalf("body hash %s != ETag %s", got, etag)
+	}
+	if after := r.CacheStats().StreamedServes; after != before+1 {
+		t.Fatalf("streamed serves %d -> %d, want +1", before, after)
+	}
+}
