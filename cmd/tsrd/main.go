@@ -6,8 +6,17 @@
 // Usage:
 //
 //	tsrd [-addr :8473] [-scale 0.02] [-seed 1] [-workers 4] [-auto-refresh 0]
+//	     [-refresh-workers 16] [-sched-max-active 8]
 //	     [-data-dir /var/lib/tsrd] [-fsync] [-host-state <path>]
 //	     [-max-inflight 256] [-log-format text|json] [-debug-addr <addr>]
+//
+// Refresh and ingest cycles across every deployed repository run under
+// one global scheduler (internal/sched): -refresh-workers bounds the
+// total pipeline concurrency of the box (the per-repo -workers value
+// only caps one repository's batch size within its leased share), and
+// -sched-max-active bounds concurrently admitted cycles. Auto-refresh
+// deadlines are staggered and jittered per repository so a fleet of
+// tenants never fires as a thundering herd.
 //
 // The serving path is wrapped in the observability middleware
 // (internal/obs): per-endpoint latency histograms, the in-flight
@@ -70,6 +79,7 @@ import (
 	"tsr/internal/policy"
 	"tsr/internal/quorum"
 	"tsr/internal/repo"
+	"tsr/internal/sched"
 	"tsr/internal/store"
 	"tsr/internal/tpm"
 	"tsr/internal/trace"
@@ -91,7 +101,9 @@ func run(ctx context.Context, args []string) error {
 	addr := fs.String("addr", ":8473", "listen address")
 	scale := fs.Float64("scale", 0.02, "synthetic repository scale")
 	seed := fs.Int64("seed", 1, "workload seed")
-	workers := fs.Int("workers", 4, "refresh pipeline concurrency (1 = the paper's sequential prototype)")
+	workers := fs.Int("workers", 4, "per-repository refresh batch cap (1 = the paper's sequential prototype)")
+	refreshWorkers := fs.Int("refresh-workers", 16, "global refresh/ingest worker pool shared by every repository (0 = unbounded)")
+	schedMaxActive := fs.Int("sched-max-active", 8, "max concurrently admitted refresh/ingest cycles across all repositories (0 = unbounded)")
 	autoRefresh := fs.Duration("auto-refresh", 0, "refresh every deployed repository at this interval (0 disables); reads keep serving the previous snapshot while cycles run")
 	dataDir := fs.String("data-dir", "", "durable untrusted cache + sealed checkpoints; restarts warm-boot deployed repositories")
 	fsyncF := fs.Bool("fsync", false, "fsync every data-dir write (with -data-dir)")
@@ -110,7 +122,8 @@ func run(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	svc, examplePolicy, err := buildService(*scale, *seed, *workers, deps, log)
+	svc, examplePolicy, err := buildService(*scale, *seed,
+		svcLimits{workers: *workers, refreshWorkers: *refreshWorkers, schedMaxActive: *schedMaxActive}, deps, log)
 	if err != nil {
 		return err
 	}
@@ -152,10 +165,12 @@ func run(ctx context.Context, args []string) error {
 	}
 	server := &http.Server{
 		Addr:              *addr,
-		Handler:           obs.New(obs.Options{MaxInflight: *maxInflight, Tracer: tracer}).Wrap(tsr.Handler(svc)),
+		Handler:           obs.New(obs.Options{MaxInflight: *maxInflight, Tracer: tracer, Sched: svc.Scheduler()}).Wrap(tsr.Handler(svc)),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Info("listening", "addr", *addr, "max_inflight", *maxInflight, "metrics", "/metrics", "traces", "/debug/traces")
+	log.Info("listening", "addr", *addr, "max_inflight", *maxInflight,
+		"refresh_workers", *refreshWorkers, "sched_max_active", *schedMaxActive,
+		"metrics", "/metrics", "traces", "/debug/traces")
 	return serveUntilDone(ctx, server, log)
 }
 
@@ -201,32 +216,102 @@ func serveUntilDone(ctx context.Context, server *http.Server, log *slog.Logger) 
 	}
 }
 
-// autoRefreshLoop periodically refreshes every deployed repository
-// until the context is canceled. The snapshot read path keeps serving
-// the previous published state during each cycle, so the daemon stays
-// fully responsive to package managers while the trusted pipeline runs
-// in the background.
+// autoRefreshLoop keeps every deployed repository fresh until the
+// context is canceled. Each repository gets its own deadline series
+//
+//	start + Stagger(id, every) + round*every + Jitter(id, round, every/10)
+//
+// so a fleet of tenants spreads across the interval instead of firing
+// as a thundering herd, and the spread is deterministic across
+// restarts. Due repositories refresh concurrently on the Background
+// band of the service's global scheduler — the scheduler, not this
+// loop, bounds how many actually run — with a per-repo in-flight guard
+// so a slow cycle is never stacked on itself. Repositories deployed at
+// runtime are picked up on the next tick. The snapshot read path keeps
+// serving the previous published state during each cycle, so the
+// daemon stays fully responsive to package managers throughout.
 func autoRefreshLoop(ctx context.Context, svc *tsr.Service, every time.Duration, tracer *trace.Tracer, log *slog.Logger) {
-	ticker := time.NewTicker(every)
+	type repoState struct {
+		round uint64
+		next  time.Time
+		busy  bool
+	}
+	var mu sync.Mutex
+	states := map[string]*repoState{}
+	start := time.Now()
+	deadline := func(id string, round uint64) time.Time {
+		d := sched.Stagger(id, every) + time.Duration(round)*every
+		if round > 0 {
+			d += sched.Jitter(id, round, every/10)
+		}
+		return start.Add(d)
+	}
+	// Fine-grained ticker: deadlines land anywhere in the interval, so
+	// the loop polls well below `every` (bounded to [50ms, 1s]).
+	tick := min(max(every/20, 50*time.Millisecond), time.Second)
+	ticker := time.NewTicker(tick)
 	defer ticker.Stop()
 	// Each cycle runs under the daemon's tracer, so auto-refreshes show
 	// up in /debug/traces with per-stage child spans exactly like
 	// operator-triggered POST /refresh cycles do.
 	tctx := trace.NewContext(ctx, tracer)
 	for {
+		var now time.Time
 		select {
 		case <-ctx.Done():
 			return
-		case <-ticker.C:
+		case now = <-ticker.C:
 		}
-		for _, id := range svc.RepoIDs() {
-			repo, err := svc.Repo(id)
-			if err != nil {
-				continue // deleted between listing and lookup
+		ids := svc.RepoIDs()
+		live := make(map[string]bool, len(ids))
+		for _, id := range ids {
+			live[id] = true
+		}
+		mu.Lock()
+		for id := range states {
+			if !live[id] {
+				delete(states, id) // undeployed since last tick
 			}
-			if _, err := repo.RefreshCtx(tctx); err != nil {
-				log.Error("auto-refresh failed", "repo", id, "err", err)
+		}
+		due := make([]string, 0, len(ids))
+		for _, id := range ids {
+			st := states[id]
+			if st == nil {
+				st = &repoState{next: deadline(id, 0)}
+				states[id] = st
 			}
+			if !st.busy && !now.Before(st.next) {
+				st.busy = true
+				due = append(due, id)
+			}
+		}
+		mu.Unlock()
+		for _, id := range due {
+			go func(id string) {
+				defer func() {
+					mu.Lock()
+					if st := states[id]; st != nil {
+						st.busy = false
+						// Skip rounds a long cycle (or a stalled box) ran
+						// past, so recovery is one refresh, not a burst.
+						for {
+							st.round++
+							if next := deadline(id, st.round); next.After(time.Now()) {
+								st.next = next
+								break
+							}
+						}
+					}
+					mu.Unlock()
+				}()
+				repo, err := svc.Repo(id)
+				if err != nil {
+					return // undeployed between listing and lookup
+				}
+				if _, err := repo.RefreshBackgroundCtx(tctx); err != nil {
+					log.Error("auto-refresh failed", "repo", id, "err", err)
+				}
+			}(id)
 		}
 	}
 }
@@ -385,10 +470,18 @@ func decodeCounters(bank map[string]uint64) map[uint32]uint64 {
 	return out
 }
 
+// svcLimits groups the concurrency knobs a service is built with: the
+// per-repository batch cap and the global scheduler bounds.
+type svcLimits struct {
+	workers        int // per-repo refresh batch cap
+	refreshWorkers int // global worker pool (0 = unbounded)
+	schedMaxActive int // max concurrently admitted cycles (0 = unbounded)
+}
+
 // buildService generates the synthetic deployment (repository, mirrors,
 // TSR service) on the given host and returns the service plus a
 // ready-to-use policy text.
-func buildService(scaleV float64, seedV int64, workers int, deps hostDeps, log *slog.Logger) (*tsr.Service, string, error) {
+func buildService(scaleV float64, seedV int64, lim svcLimits, deps hostDeps, log *slog.Logger) (*tsr.Service, string, error) {
 	scale, seed := &scaleV, &seedV
 	log.Info("generating synthetic repository", "scale", *scale)
 	origin := repo.New("alpine", deps.distro)
@@ -416,15 +509,17 @@ func buildService(scaleV float64, seedV int64, workers int, deps hostDeps, log *
 	}
 
 	svc, err := tsr.New(tsr.Config{
-		Platform:    deps.platform,
-		TPM:         deps.tpm,
-		Clock:       netsim.RealClock{},
-		Link:        netsim.DefaultLinkModel(netsim.NewRNG(*seed)),
-		Local:       netsim.Europe,
-		Store:       deps.store,
-		AutoPersist: deps.persist,
-		EPC:         enclave.DefaultCostModel(),
-		Workers:     workers,
+		Platform:       deps.platform,
+		TPM:            deps.tpm,
+		Clock:          netsim.RealClock{},
+		Link:           netsim.DefaultLinkModel(netsim.NewRNG(*seed)),
+		Local:          netsim.Europe,
+		Store:          deps.store,
+		AutoPersist:    deps.persist,
+		EPC:            enclave.DefaultCostModel(),
+		Workers:        lim.workers,
+		RefreshWorkers: lim.refreshWorkers,
+		SchedMaxActive: lim.schedMaxActive,
 		Resolve: func(m policy.Mirror) (quorum.Source, tsr.PackageFetcher, error) {
 			mm, ok := mirrors[m.Hostname]
 			if !ok {

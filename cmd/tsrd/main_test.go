@@ -39,7 +39,7 @@ func TestBuildServiceAndServe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc, examplePolicy, err := buildService(0.003, 9, 4, deps, testLogger())
+	svc, examplePolicy, err := buildService(0.003, 9, svcLimits{workers: 4}, deps, testLogger())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestAdmissionShedContract(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc, examplePolicy, err := buildService(0.003, 9, 4, deps, testLogger())
+	svc, examplePolicy, err := buildService(0.003, 9, svcLimits{workers: 4}, deps, testLogger())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +226,7 @@ func TestWireServingSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc, examplePolicy, err := buildService(0.003, 9, 4, deps, testLogger())
+	svc, examplePolicy, err := buildService(0.003, 9, svcLimits{workers: 4}, deps, testLogger())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -378,7 +378,7 @@ func TestWarmRestartSmoke(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		svc, examplePolicy, err := buildService(0.003, 9, 4, deps, testLogger())
+		svc, examplePolicy, err := buildService(0.003, 9, svcLimits{workers: 4}, deps, testLogger())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,290 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"regexp"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"tsr/internal/obs"
+)
+
+func testLogger() *slog.Logger {
+	log, err := obs.NewLogger(io.Discard, "text", "tsrrouter-test")
+	if err != nil {
+		panic(err)
+	}
+	return log
+}
+
+// stubBackend is a minimal tsrd stand-in that records what reaches it.
+type stubBackend struct {
+	srv      *httptest.Server
+	name     string
+	deploys  atomic.Int64
+	indexes  atomic.Int64
+	lastID   atomic.Value // string: last ?id= seen on /policies
+	healthOK atomic.Bool
+}
+
+func newStubBackend(name string) *stubBackend {
+	b := &stubBackend{name: name}
+	b.healthOK.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /policies", func(w http.ResponseWriter, r *http.Request) {
+		b.deploys.Add(1)
+		b.lastID.Store(r.URL.Query().Get("id"))
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]string{
+			"repository_id": r.URL.Query().Get("id"), "backend": name,
+		})
+	})
+	mux.HandleFunc("GET /repos/{id}/index", func(w http.ResponseWriter, r *http.Request) {
+		b.indexes.Add(1)
+		_, _ = w.Write([]byte("index-from-" + name))
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]string{"backend": name})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if !b.healthOK.Load() {
+			httpError(w, http.StatusServiceUnavailable, io.ErrUnexpectedEOF)
+			return
+		}
+		_, _ = w.Write([]byte("ok"))
+	})
+	b.srv = httptest.NewServer(mux)
+	return b
+}
+
+// twoBackendRouter builds a router over two live stubs.
+func twoBackendRouter(t *testing.T) (*router, *stubBackend, *stubBackend) {
+	t.Helper()
+	a, b := newStubBackend("a"), newStubBackend("b")
+	t.Cleanup(a.srv.Close)
+	t.Cleanup(b.srv.Close)
+	rt, err := newRouter([]string{a.srv.URL, b.srv.URL}, 0, testLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, a, b
+}
+
+// byURL maps a node name back to its stub.
+func byURL(a, b *stubBackend, node string) *stubBackend {
+	if node == a.srv.URL {
+		return a
+	}
+	return b
+}
+
+func TestNewRouterValidation(t *testing.T) {
+	if _, err := newRouter([]string{""}, 0, testLogger()); err == nil {
+		t.Fatal("want error for empty backend list")
+	}
+	if _, err := newRouter([]string{"not a url"}, 0, testLogger()); err == nil {
+		t.Fatal("want error for relative backend URL")
+	}
+}
+
+// TestDeployPlacement: the router names the tenant, forwards the
+// deploy to the ring owner with ?id= pinned, and tags the response
+// with the placement.
+func TestDeployPlacement(t *testing.T) {
+	rt, a, b := twoBackendRouter(t)
+	h := rt.handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/policies", strings.NewReader("mirrors: []")))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("deploy status = %d: %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		RepositoryID string `json:"repository_id"`
+		Backend      string `json:"backend"`
+	}
+	if err := json.NewDecoder(rec.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if !regexp.MustCompile(`^r[0-9a-f]{16}$`).MatchString(resp.RepositoryID) {
+		t.Fatalf("router generated id %q, want r + 16 hex digits", resp.RepositoryID)
+	}
+	owner := rt.ring.Owner(resp.RepositoryID)
+	if got := rec.Header().Get("X-Tsr-Backend"); got != owner {
+		t.Fatalf("X-Tsr-Backend = %s, ring owner = %s", got, owner)
+	}
+	served := byURL(a, b, owner)
+	if served.deploys.Load() != 1 || served.lastID.Load().(string) != resp.RepositoryID {
+		t.Fatalf("owner %s saw deploys=%d lastID=%v, want the pinned id %s",
+			served.name, served.deploys.Load(), served.lastID.Load(), resp.RepositoryID)
+	}
+
+	// A caller-chosen ?id= is honored verbatim.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost,
+		"/policies?id=rfeedfacefeedface", strings.NewReader("mirrors: []")))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("deploy status = %d", rec.Code)
+	}
+	pinnedOwner := byURL(a, b, rt.ring.Owner("rfeedfacefeedface"))
+	if pinnedOwner.lastID.Load().(string) != "rfeedfacefeedface" {
+		t.Fatalf("pinned id not forwarded to its owner %s", pinnedOwner.name)
+	}
+}
+
+// TestProxyAndFailover: /repos/{id}/... goes to the ring owner; when
+// the owner is down it re-ranks to the next node in ring order, and
+// recovers when the owner comes back.
+func TestProxyAndFailover(t *testing.T) {
+	rt, a, b := twoBackendRouter(t)
+	h := rt.handler()
+	const id = "r0123456789abcdef"
+	owners := rt.ring.Owners(id, 2)
+	first, second := byURL(a, b, owners[0]), byURL(a, b, owners[1])
+
+	get := func() (string, string) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/repos/"+id+"/index", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("index status = %d", rec.Code)
+		}
+		return rec.Body.String(), rec.Header().Get("X-Tsr-Backend")
+	}
+
+	body, backend := get()
+	if body != "index-from-"+first.name || backend != owners[0] {
+		t.Fatalf("healthy routing: got %q via %s, want owner %s", body, backend, owners[0])
+	}
+	rt.setDown(owners[0], true)
+	if body, backend = get(); body != "index-from-"+second.name || backend != owners[1] {
+		t.Fatalf("failover: got %q via %s, want next owner %s", body, backend, owners[1])
+	}
+	rt.setDown(owners[0], false)
+	if body, _ = get(); body != "index-from-"+first.name {
+		t.Fatalf("recovery: got %q, want owner %s again", body, first.name)
+	}
+}
+
+// TestProxyErrorMarksDown: a dead backend 502s once and is marked down
+// by the proxy's error handler, so the next request fails over without
+// waiting for a probe.
+func TestProxyErrorMarksDown(t *testing.T) {
+	rt, a, b := twoBackendRouter(t)
+	h := rt.handler()
+	const id = "r0123456789abcdef"
+	owners := rt.ring.Owners(id, 2)
+	byURL(a, b, owners[0]).srv.Close() // kill the owner
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/repos/"+id+"/index", nil))
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("dead owner status = %d, want 502", rec.Code)
+	}
+	if !rt.isDown(owners[0]) {
+		t.Fatal("proxy error did not mark the backend down")
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/repos/"+id+"/index", nil))
+	if rec.Code != http.StatusOK || rec.Header().Get("X-Tsr-Backend") != owners[1] {
+		t.Fatalf("after passive detection: status %d via %s, want 200 via %s",
+			rec.Code, rec.Header().Get("X-Tsr-Backend"), owners[1])
+	}
+}
+
+// TestHealthProbe: probeAll flips backends down on failing /healthz
+// and back up on recovery.
+func TestHealthProbe(t *testing.T) {
+	rt, a, _ := twoBackendRouter(t)
+	a.healthOK.Store(false)
+	rt.probeAll(context.Background())
+	if !rt.isDown(a.srv.URL) {
+		t.Fatal("failing probe did not mark backend down")
+	}
+	a.healthOK.Store(true)
+	rt.probeAll(context.Background())
+	if rt.isDown(a.srv.URL) {
+		t.Fatal("passing probe did not bring backend back")
+	}
+}
+
+// TestStatsFanOut: GET /stats aggregates every backend's document
+// keyed by backend URL, and reports unreachable backends separately.
+func TestStatsFanOut(t *testing.T) {
+	rt, a, b := twoBackendRouter(t)
+	h := rt.handler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats status = %d", rec.Code)
+	}
+	var doc struct {
+		Backends    map[string]json.RawMessage `json:"backends"`
+		Unreachable map[string]string          `json:"unreachable"`
+	}
+	if err := json.NewDecoder(rec.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Backends) != 2 || doc.Backends[a.srv.URL] == nil || doc.Backends[b.srv.URL] == nil {
+		t.Fatalf("backends = %v, want both stubs", doc.Backends)
+	}
+
+	b.srv.Close()
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	doc.Backends, doc.Unreachable = nil, nil
+	if err := json.NewDecoder(rec.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Backends) != 1 || doc.Backends[a.srv.URL] == nil {
+		t.Fatalf("backends = %v, want only the live stub", doc.Backends)
+	}
+	if _, ok := doc.Unreachable[b.srv.URL]; !ok {
+		t.Fatalf("unreachable = %v, want the dead stub listed", doc.Unreachable)
+	}
+}
+
+// TestRingInfo: the operator view lists every node with health and
+// ranks owners for a queried id.
+func TestRingInfo(t *testing.T) {
+	rt, _, _ := twoBackendRouter(t)
+	h := rt.handler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet,
+		"/ring?id="+url.QueryEscape("r0123456789abcdef"), nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ring status = %d", rec.Code)
+	}
+	var doc struct {
+		Nodes []struct {
+			Node    string `json:"node"`
+			Healthy bool   `json:"healthy"`
+		} `json:"nodes"`
+		Owners []string `json:"owners"`
+	}
+	if err := json.NewDecoder(rec.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Nodes) != 2 || !doc.Nodes[0].Healthy || !doc.Nodes[1].Healthy {
+		t.Fatalf("nodes = %v", doc.Nodes)
+	}
+	if len(doc.Owners) != 2 || doc.Owners[0] != rt.ring.Owner("r0123456789abcdef") {
+		t.Fatalf("owners = %v", doc.Owners)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run(context.Background(), []string{"-nope"}); err == nil {
+		t.Fatal("want flag error")
+	}
+	if err := run(context.Background(), nil); err == nil {
+		t.Fatal("want error without -backends")
+	}
+}

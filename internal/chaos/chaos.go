@@ -23,6 +23,7 @@ import (
 	"tsr/internal/index"
 	"tsr/internal/keys"
 	"tsr/internal/obs"
+	"tsr/internal/sched"
 	"tsr/internal/trace"
 )
 
@@ -55,6 +56,11 @@ const (
 	// trace that served it via a well-formed X-Tsr-Trace-Id header, so
 	// any response can be quoted against /debug/traces/{id}.
 	InvTraceHeader = "trace-header"
+	// InvSchedBound: the global refresh scheduler's busy watermarks
+	// never exceed its configured bounds — leased worker slots stay
+	// within Workers and admitted jobs within MaxActive, however many
+	// tenants churn.
+	InvSchedBound = "sched-bound"
 	// InvBoundedStaleness: once churn quiesces and replicas resync,
 	// every client converges on the origin's current sequence.
 	InvBoundedStaleness = "bounded-staleness"
@@ -270,6 +276,23 @@ func (c *Checker) AdmissionSnapshot(actor string, s obs.Snapshot) {
 	if s.MaxInflight > 0 && s.PeakInflight > s.MaxInflight {
 		c.violate(InvAdmissionBound, actor,
 			"peak inflight %d > max inflight %d", s.PeakInflight, s.MaxInflight)
+	}
+}
+
+// SchedSnapshot checks a refresh-scheduler snapshot against its
+// configured bounds: the peak of leased worker slots must never have
+// exceeded the shared pool, and the peak of concurrently admitted jobs
+// must never have exceeded MaxActive. Unbounded dimensions (0) are
+// exempt.
+func (c *Checker) SchedSnapshot(actor string, s sched.Snapshot) {
+	c.note(1)
+	if s.Workers > 0 && s.PeakSlots > s.Workers {
+		c.violate(InvSchedBound, actor,
+			"peak leased slots %d > worker pool %d", s.PeakSlots, s.Workers)
+	}
+	if s.MaxActive > 0 && s.PeakActive > s.MaxActive {
+		c.violate(InvSchedBound, actor,
+			"peak active jobs %d > max active %d", s.PeakActive, s.MaxActive)
 	}
 }
 

@@ -40,6 +40,16 @@ const (
 	// Refresh publishes a new package and refreshes the tenant — a new
 	// signed generation for the fleet to converge on.
 	Refresh
+	// TenantDeploy deploys an extra tenant repository on the shared
+	// origin mid-soak and bulk-ingests a batch of operator packages
+	// through the crash-safe journal — multi-tenant churn riding the
+	// same scheduler as the primary tenant's refreshes. TenantKill
+	// undeploys it later. The churn tenant stays out of the client data
+	// plane; what the soak asserts is that its scheduler and store
+	// traffic never bends any invariant the primary tenant is checked
+	// against.
+	TenantDeploy
+	TenantKill
 )
 
 // String implements fmt.Stringer.
@@ -65,6 +75,10 @@ func (k EventKind) String() string {
 		return "mirror-recover"
 	case Refresh:
 		return "refresh"
+	case TenantDeploy:
+		return "tenant-deploy"
+	case TenantKill:
+		return "tenant-kill"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -171,6 +185,17 @@ func BuildSchedule(rng *netsim.RNG, ticks, edges, mirrors int) []Event {
 		add(out, MirrorOutage, m, edge.Honest)
 		add(out+2, MirrorRecover, m, edge.Honest)
 	}
+	// Tenant churn: an extra tenant deploys (and bulk-ingests) before
+	// the origin-crash window can open, then is undeployed a few ticks
+	// later — so its journal and scheduler traffic overlaps the faults
+	// above, and a kill landing inside the crash window leaves the
+	// churn tenant to ride through the warm restart instead. These
+	// draws are appended LAST deliberately: earlier draws keep their
+	// stream positions, so schedules pinned by seed elsewhere do not
+	// shift.
+	dep := pick(2, ticks/3-1)
+	add(dep, TenantDeploy, 0, edge.Honest)
+	add(dep+1+rng.Intn(2), TenantKill, 0, edge.Honest)
 	// Stable order: by tick, construction order breaking ties — the
 	// harness applies each tick's events in slice order.
 	sort.SliceStable(events, func(i, j int) bool { return events[i].Tick < events[j].Tick })

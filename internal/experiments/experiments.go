@@ -46,6 +46,9 @@ type Config struct {
 	// BENCH_*.json results (fleet-soak) write them. Empty disables
 	// emission.
 	BenchDir string
+	// Tenants is the tenant repository count for the multi-tenant
+	// scale-out experiment (0 = its default of 100).
+	Tenants int
 }
 
 // withDefaults fills zero fields.
@@ -139,6 +142,11 @@ type WorldDeps struct {
 	// SkipDeploy builds the world without deploying a tenant at all —
 	// the restart path deploys via Service.RestoreAll instead.
 	SkipDeploy bool
+	// RefreshWorkers / SchedMaxActive bound the service's global
+	// refresh scheduler (tsr.Config fields of the same name). Zero
+	// leaves the scheduler unbounded — the historical behaviour.
+	RefreshWorkers int
+	SchedMaxActive int
 }
 
 // mirrorLayout describes the mirror fleet to build.
@@ -250,14 +258,16 @@ func NewWorldWith(cfg Config, mirrors []mirrorSpec, dataCenterLink bool, deps Wo
 		link = netsim.DataCenterLinkModel(netsim.NewRNG(cfg.Seed + 1))
 	}
 	svc, err := tsr.New(tsr.Config{
-		Platform:    platform,
-		TPM:         hostTPM,
-		Clock:       w.Clock,
-		Link:        link,
-		Local:       netsim.Europe,
-		Store:       w.Backing,
-		AutoPersist: deps.AutoPersist,
-		EPC:         cfg.EPC,
+		Platform:       platform,
+		TPM:            hostTPM,
+		Clock:          w.Clock,
+		Link:           link,
+		Local:          netsim.Europe,
+		Store:          w.Backing,
+		AutoPersist:    deps.AutoPersist,
+		RefreshWorkers: deps.RefreshWorkers,
+		SchedMaxActive: deps.SchedMaxActive,
+		EPC:            cfg.EPC,
 		Resolve: func(m policy.Mirror) (quorum.Source, tsr.PackageFetcher, error) {
 			mm, ok := byHost[m.Hostname]
 			if !ok {

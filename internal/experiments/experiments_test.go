@@ -258,7 +258,8 @@ func TestRegistryComplete(t *testing.T) {
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
 		"ablation-epc", "ablation-quorum", "ablation-parallel",
 		"ablation-workers", "read-under-refresh", "edge-fanout",
-		"crash-restart", "flash-crowd", "fleet-soak", "wire-sync"}
+		"crash-restart", "flash-crowd", "fleet-soak", "wire-sync",
+		"multi-tenant-scale"}
 	if len(runners) != len(want) {
 		t.Fatalf("registry has %d entries", len(runners))
 	}

@@ -25,6 +25,7 @@ import (
 	"tsr/internal/mirror"
 	"tsr/internal/netsim"
 	"tsr/internal/obs"
+	"tsr/internal/sched"
 	"tsr/internal/store"
 	"tsr/internal/tpm"
 	"tsr/internal/trace"
@@ -43,6 +44,14 @@ const (
 	soakBaseReads   = 4 // package reads per client per tick at diurnal peak
 	soakMaxInflight = 8
 	soakCrowdRounds = 3
+	// The origin's global refresh scheduler runs bounded during the
+	// soak, so the sched-bound invariant is checkable: the primary
+	// tenant's refreshes and the churn tenant's journaled ingest share
+	// one slot pool.
+	soakRefreshWorkers = 4
+	soakSchedMaxActive = 2
+	// Packages the churn tenant bulk-ingests at TenantDeploy.
+	soakChurnBatch = 4
 )
 
 // errOriginDown models the crashed origin process: connections to it
@@ -227,6 +236,19 @@ type FleetSoakResult struct {
 	OriginWarmRestart bool    `json:"origin_warm_restart"`
 	WarmRestartMs     float64 `json:"warm_restart_ms"`
 
+	// Tenant churn: an extra tenant deployed on the shared origin
+	// mid-soak, bulk-ingested a batch through the crash-safe journal,
+	// and was undeployed later — all through the same bounded
+	// scheduler as the primary tenant's refreshes.
+	ChurnDeploys  int `json:"churn_deploys"`
+	ChurnIngested int `json:"churn_ingested"`
+	ChurnKills    int `json:"churn_kills"`
+
+	// Sched is the origin scheduler at quiesce (current life); its
+	// peaks are asserted against the configured bounds by the
+	// sched-bound invariant.
+	Sched sched.Snapshot `json:"sched"`
+
 	// Invariants (internal/chaos). Violations must be empty.
 	LaggingAtQuiesce    int               `json:"lagging_at_quiesce"`
 	InvariantChecks     int64             `json:"invariant_checks"`
@@ -290,6 +312,7 @@ func FleetSoakRun(cfg Config) (*FleetSoakResult, error) {
 	}
 	w, err := NewWorldWith(cfg, nil, false, WorldDeps{
 		Store: st1, TPM: hostTPM, Platform: platform, AutoPersist: true, SkipDeploy: true,
+		RefreshWorkers: soakRefreshWorkers, SchedMaxActive: soakSchedMaxActive,
 	})
 	if err != nil {
 		return nil, err
@@ -339,6 +362,10 @@ func FleetSoakRun(cfg Config) (*FleetSoakResult, error) {
 	var ctlMu sync.Mutex
 	cur := w
 	var published []string
+	// ctlErrs has its own mutex: several ctlFail callers (doRefresh, the
+	// churn deploy) already hold ctlMu when they fail, so reporting the
+	// error must not re-acquire it.
+	var ctlErrMu sync.Mutex
 	var ctlErrs []error
 	res := &FleetSoakResult{
 		Scale: cfg.Scale, Seed: cfg.Seed,
@@ -346,9 +373,17 @@ func FleetSoakRun(cfg Config) (*FleetSoakResult, error) {
 		MaxInflight: soakMaxInflight,
 	}
 	ctlFail := func(err error) {
-		ctlMu.Lock()
+		ctlErrMu.Lock()
 		ctlErrs = append(ctlErrs, err)
-		ctlMu.Unlock()
+		ctlErrMu.Unlock()
+	}
+	firstCtlErr := func() error {
+		ctlErrMu.Lock()
+		defer ctlErrMu.Unlock()
+		if len(ctlErrs) > 0 {
+			return ctlErrs[0]
+		}
+		return nil
 	}
 
 	// --- edge fleet ---------------------------------------------------
@@ -454,6 +489,51 @@ func FleetSoakRun(cfg Config) (*FleetSoakResult, error) {
 		res.RefreshesOK++
 	}
 
+	// Tenant churn. The churn tenant shares the origin's scheduler,
+	// journal, and store with the primary tenant, but never enters the
+	// client data plane: what the soak asserts is that its deploy,
+	// journaled bulk-ingest, and undeploy bend no invariant the primary
+	// is checked against. All churn state is guarded by ctlMu; churnID
+	// survives an origin crash because RestoreAll restores the churn
+	// tenant from the same data dir. deployChurnLocked requires ctlMu.
+	var churnID string
+	var churnPending bool // deploy arrived while the origin was down
+	var churnTick int
+	deployChurnLocked := func(tick int) {
+		id, _, _, err := cur.Service.DeployPolicy(cur.PolicyRaw)
+		if err != nil {
+			ctlFail(fmt.Errorf("fleet-soak: churn deploy: %w", err))
+			return
+		}
+		churn, err := cur.Service.Repo(id)
+		if err != nil {
+			ctlFail(err)
+			return
+		}
+		raws := make([][]byte, 0, soakChurnBatch)
+		for i := 0; i < soakChurnBatch; i++ {
+			p := soakPackage(fmt.Sprintf("churn-tool-%02d-%d", tick, i))
+			if err := apk.Sign(p, cur.Distro); err != nil {
+				ctlFail(err)
+				return
+			}
+			raw, err := apk.Encode(p)
+			if err != nil {
+				ctlFail(err)
+				return
+			}
+			raws = append(raws, raw)
+		}
+		st, err := churn.RegisterPackages(trace.NewContext(context.Background(), originTracer), raws)
+		if err != nil {
+			ctlFail(fmt.Errorf("fleet-soak: churn ingest: %w", err))
+			return
+		}
+		churnID = id
+		res.ChurnDeploys++
+		res.ChurnIngested += st.Registered
+	}
+
 	doOriginRestart := func() error {
 		ctlMu.Lock()
 		defer ctlMu.Unlock()
@@ -466,6 +546,7 @@ func FleetSoakRun(cfg Config) (*FleetSoakResult, error) {
 		}
 		w2, err := NewWorldWith(cfg, nil, false, WorldDeps{
 			Store: st, TPM: hostTPM, Platform: platform, AutoPersist: true, SkipDeploy: true,
+			RefreshWorkers: soakRefreshWorkers, SchedMaxActive: soakSchedMaxActive,
 		})
 		if err != nil {
 			return err
@@ -477,8 +558,16 @@ func FleetSoakRun(cfg Config) (*FleetSoakResult, error) {
 			return err
 		}
 		restoreDur := time.Since(t0)
-		if len(restored) != 1 {
-			return fmt.Errorf("fleet-soak: RestoreAll restored %d repositories, want 1", len(restored))
+		// The primary tenant must come back; the churn tenant (when it
+		// was deployed at crash time) rides along in the same restore.
+		var prim *tsr.RestoredRepo
+		for i := range restored {
+			if restored[i].ID == repoID {
+				prim = &restored[i]
+			}
+		}
+		if prim == nil {
+			return fmt.Errorf("fleet-soak: RestoreAll restored %d repositories, primary %s missing", len(restored), repoID)
 		}
 		tenant2, err := w2.Service.Repo(repoID)
 		if err != nil {
@@ -509,9 +598,16 @@ func FleetSoakRun(cfg Config) (*FleetSoakResult, error) {
 			return err
 		}
 		cur = w2
-		res.OriginWarmRestart = restored[0].Warm
+		res.OriginWarmRestart = prim.Warm
 		res.WarmRestartMs = float64(restoreDur) / float64(time.Millisecond)
 		gate.tenant.Store(tenant2)
+		if churnPending {
+			// A churn deploy queued while the origin was down: the
+			// operator's retry lands right after the warm restart, so the
+			// journaled bulk-ingest overlaps catch-up refresh traffic.
+			churnPending = false
+			deployChurnLocked(churnTick)
+		}
 		return nil
 	}
 
@@ -599,6 +695,39 @@ func FleetSoakRun(cfg Config) (*FleetSoakResult, error) {
 		checker.AdmissionSnapshot("soak-front", o.Snapshot())
 	}
 
+	// Remaining tenant-churn wiring (deployChurnLocked and its state are
+	// declared above doOriginRestart, which replays a queued deploy).
+	doTenantDeploy := func(tick int) {
+		ctlMu.Lock()
+		defer ctlMu.Unlock()
+		if churnID != "" || churnPending {
+			return // a previous churn tenant is still alive or queued
+		}
+		if gate.tenant.Load() == nil {
+			// The deploy raced the origin crash (control actions queue on
+			// ctlMu behind in-flight refreshes, so the crash may land
+			// first in wall time even when the schedule orders it later).
+			// Model the operator retry: the deploy fires at the warm
+			// restart instead of being dropped.
+			churnPending, churnTick = true, tick
+			return
+		}
+		deployChurnLocked(tick)
+	}
+	doTenantKill := func() {
+		ctlMu.Lock()
+		defer ctlMu.Unlock()
+		if churnID == "" || gate.tenant.Load() == nil {
+			return // nothing deployed (or queued), or the origin is down
+		}
+		if err := cur.Service.Undeploy(churnID); err != nil {
+			ctlFail(fmt.Errorf("fleet-soak: churn undeploy: %w", err))
+			return
+		}
+		churnID = ""
+		res.ChurnKills++
+	}
+
 	setMirror := func(i int, b mirror.Behavior) {
 		ctlMu.Lock()
 		defer ctlMu.Unlock()
@@ -645,6 +774,18 @@ func FleetSoakRun(cfg Config) (*FleetSoakResult, error) {
 			setMirror(ev.Target, mirror.Offline)
 		case chaos.MirrorRecover:
 			setMirror(ev.Target, mirror.Honest)
+		case chaos.TenantDeploy:
+			ctlWG.Add(1)
+			go func() {
+				defer ctlWG.Done()
+				doTenantDeploy(ev.Tick)
+			}()
+		case chaos.TenantKill:
+			ctlWG.Add(1)
+			go func() {
+				defer ctlWG.Done()
+				doTenantKill()
+			}()
 		}
 	}
 
@@ -742,8 +883,8 @@ func FleetSoakRun(cfg Config) (*FleetSoakResult, error) {
 		wg.Wait()
 	}
 	ctlWG.Wait()
-	if len(ctlErrs) > 0 {
-		return nil, ctlErrs[0]
+	if err := firstCtlErr(); err != nil {
+		return nil, err
 	}
 
 	// --- quiesce: heal everything, then assert convergence ------------
@@ -800,6 +941,20 @@ func FleetSoakRun(cfg Config) (*FleetSoakResult, error) {
 		return nil, err
 	}
 	res.LaggingAtQuiesce = checker.Quiesced(curIx.Sequence)
+
+	// Scheduler bound: the current life's peaks must respect the
+	// configured pool, with the churn tenant's ingest and every refresh
+	// counted against the same slots.
+	ctlMu.Lock()
+	res.Sched = cur.Service.Scheduler().Snapshot()
+	ctlMu.Unlock()
+	checker.SchedSnapshot("origin", res.Sched)
+
+	// The quiesce-time origin restart can replay a queued churn deploy,
+	// whose failures report through ctlFail — re-check before reporting.
+	if err := firstCtlErr(); err != nil {
+		return nil, err
+	}
 
 	// --- report -------------------------------------------------------
 	res.IndexReads = indexReads.Load()
@@ -920,6 +1075,10 @@ func FleetSoak(cfg Config) (*Table, error) {
 				res.OriginManifests, res.OriginRanges)},
 			{"streamed serves / verified 206s", fmt.Sprintf("%d / %d", res.StreamedServes, res.RangeReads)},
 			{"origin warm restart under load", fmt.Sprintf("%v (%.1f ms)", res.OriginWarmRestart, res.WarmRestartMs)},
+			{"tenant churn", fmt.Sprintf("%d deploys (%d pkgs via journaled ingest) / %d undeploys",
+				res.ChurnDeploys, res.ChurnIngested, res.ChurnKills)},
+			{"sched peaks", fmt.Sprintf("slots %d <= workers %d, active %d <= max %d",
+				res.Sched.PeakSlots, res.Sched.Workers, res.Sched.PeakActive, res.Sched.MaxActive)},
 			{"clients lagging at quiesce", fmt.Sprint(res.LaggingAtQuiesce)},
 			{"front-edge traces kept", fmt.Sprintf("%d (merged %d, evicted %d)",
 				res.FrontTraces.Kept, res.FrontTraces.Merged, res.FrontTraces.Evicted)},

@@ -38,6 +38,7 @@ func All() []Runner {
 		{"flash-crowd", "request coalescing + admission control", FlashCrowd},
 		{"fleet-soak", "ROADMAP item 5: composed-failure soak", FleetSoak},
 		{"wire-sync", "wire efficiency: gzip index + chunked differential sync", WireSync},
+		{"multi-tenant-scale", "multi-tenant origin scale-out under the shared scheduler", MultiTenantScale},
 	}
 }
 

@@ -27,6 +27,22 @@ type Options struct {
 	// serves the trace store at GET /debug/traces. nil disables tracing
 	// (requests cost two context lookups and nothing else).
 	Tracer *trace.Tracer
+	// Sched, when non-nil, folds the global refresh scheduler into
+	// GET /metrics: its snapshot under the "sched" key of the JSON
+	// document, and its tsr_sched_* series appended to the Prometheus
+	// exposition.
+	Sched SchedSource
+}
+
+// SchedSource is what obs needs from the refresh scheduler. It is an
+// interface (satisfied by *sched.Scheduler) so the dependency points
+// the right way: sched uses obs histograms, obs knows nothing of sched.
+type SchedSource interface {
+	// SchedSnapshot returns the JSON-marshalable scheduler state.
+	SchedSnapshot() any
+	// WriteSchedPrometheus appends the scheduler's series in Prometheus
+	// text exposition format.
+	WriteSchedPrometheus(w io.Writer)
 }
 
 // Obs wraps an http.Handler with the metrics subsystem and admission
@@ -36,6 +52,7 @@ type Obs struct {
 	max        int64
 	retryAfter string
 	tracer     *trace.Tracer
+	sched      SchedSource
 }
 
 // New builds an Obs with a fresh Metrics registry. When a Tracer is
@@ -53,6 +70,7 @@ func New(opts Options) *Obs {
 		max:        opts.MaxInflight,
 		retryAfter: strconv.FormatInt(secs, 10),
 		tracer:     opts.Tracer,
+		sched:      opts.Sched,
 	}
 	if o.tracer != nil {
 		m := o.metrics
@@ -74,6 +92,9 @@ func (o *Obs) Metrics() *Metrics { return o.metrics }
 func (o *Obs) Snapshot() Snapshot {
 	s := o.metrics.Snapshot()
 	s.MaxInflight = o.max
+	if o.sched != nil {
+		s.Sched = o.sched.SchedSnapshot()
+	}
 	return s
 }
 
@@ -174,6 +195,9 @@ func (o *Obs) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	if wantsPrometheus(r.Header.Get("Accept")) {
 		w.Header().Set("Content-Type", promContentType)
 		WritePrometheus(w, o.Snapshot())
+		if o.sched != nil {
+			o.sched.WriteSchedPrometheus(w)
+		}
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

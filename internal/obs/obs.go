@@ -336,6 +336,9 @@ type Snapshot struct {
 	MaxInflight  int64                       `json:"max_inflight"` // 0 = unlimited
 	ShedTotal    int64                       `json:"shed_total"`
 	Endpoints    map[string]EndpointSnapshot `json:"endpoints"`
+	// Sched is the global refresh scheduler's snapshot, present only
+	// when the daemon wired an Options.Sched source.
+	Sched any `json:"sched,omitempty"`
 }
 
 // Snapshot reads every counter. Lock-free with respect to the request

@@ -1,4 +1,4 @@
-package obs
+package obs_test
 
 import (
 	"context"
@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"tsr/internal/obs"
 	"tsr/internal/trace"
 	"tsr/internal/tsr"
 )
@@ -16,7 +17,7 @@ import (
 // against /debug/traces/{id} — including responses that were shed.
 func TestWrapEchoesTraceIdentity(t *testing.T) {
 	tr := trace.NewTracer(trace.Config{Tier: "origin", HeadEvery: 1})
-	o := New(Options{Tracer: tr, MaxInflight: 1})
+	o := obs.New(obs.Options{Tracer: tr, MaxInflight: 1})
 	h := o.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok"))
 	}))
@@ -44,7 +45,7 @@ func TestWrapEchoesTraceIdentity(t *testing.T) {
 // trace ID, server root span parented on the client's HTTP span.
 func TestWrapStitchesClientTraceOverHTTP(t *testing.T) {
 	serverTr := trace.NewTracer(trace.Config{Tier: "origin", HeadEvery: 1})
-	o := New(Options{Tracer: serverTr})
+	o := obs.New(obs.Options{Tracer: serverTr})
 	srv := httptest.NewServer(o.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("not an index"))
 	})))

@@ -1,0 +1,114 @@
+// Package ring implements the consistent-hash ring tsrrouter uses to
+// shard tenant repositories across tsrd instances. Repo IDs hash onto
+// a circle of virtual node points; a repo belongs to the first node
+// clockwise from its hash. Virtual replicas smooth the load split, and
+// the defining property holds: adding or removing one node moves only
+// ~1/N of the keyspace, so a scale-out event re-homes a bounded slice
+// of tenants instead of reshuffling the fleet.
+//
+// The ring is a pure routing function — deterministic from (nodes,
+// replicas) — so every router instance, and any client that learns the
+// backend list, computes identical placements with no coordination.
+package ring
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is an immutable consistent-hash ring. Build with New; a Ring is
+// safe for concurrent use.
+type Ring struct {
+	nodes  []string
+	points []point
+}
+
+type point struct {
+	hash uint64
+	node int // index into nodes
+}
+
+// DefaultReplicas is the virtual-node count used when New is given
+// replicas <= 0. 128 points per node keeps the max/mean key imbalance
+// within ~20% for small fleets.
+const DefaultReplicas = 128
+
+// New builds a ring over nodes with the given number of virtual
+// replicas per node. Duplicate and empty node names are dropped.
+func New(replicas int, nodes ...string) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	r := &Ring{}
+	seen := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		r.nodes = append(r.nodes, n)
+	}
+	sort.Strings(r.nodes)
+	for i, n := range r.nodes {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, point{hash: hash64(fmt.Sprintf("%s#%d", n, v)), node: i})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Nodes returns the distinct node names, sorted.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Owner returns the node owning key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	owners := r.Owners(key, 1)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}
+
+// Owners returns up to n distinct nodes in ring order starting at the
+// key's owner — the failover ranking: if owners[0] is unhealthy, the
+// key re-homes to owners[1], and so on.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[int]bool, n)
+	for i := 0; len(out) < n && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.node] {
+			continue
+		}
+		seen[p.node] = true
+		out = append(out, r.nodes[p.node])
+	}
+	return out
+}
+
+// hash64 is FNV-1a with a splitmix64 finalizer: raw FNV of short,
+// similar strings ("n1#0", "n1#1", ...) clusters on the circle, which
+// skews ownership badly; the avalanche pass spreads the points.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	z := h.Sum64()
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,94 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("r%016x", i*2654435761)
+	}
+	return out
+}
+
+func TestDeterministicAndOrderIndependent(t *testing.T) {
+	a := New(64, "n1", "n2", "n3")
+	b := New(64, "n3", "n1", "n2", "n2", "")
+	for _, k := range keys(200) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("owner of %s differs across node orderings", k)
+		}
+	}
+	if got := a.Owner("rdeadbeef"); got != a.Owner("rdeadbeef") {
+		t.Fatalf("owner not stable: %s", got)
+	}
+}
+
+func TestBalance(t *testing.T) {
+	r := New(0, "n1", "n2", "n3", "n4")
+	count := map[string]int{}
+	ks := keys(4000)
+	for _, k := range ks {
+		count[r.Owner(k)]++
+	}
+	want := len(ks) / 4
+	for node, c := range count {
+		if c < want/2 || c > want*2 {
+			t.Fatalf("node %s owns %d of %d keys (mean %d): imbalanced", node, c, len(ks), want)
+		}
+	}
+	if len(count) != 4 {
+		t.Fatalf("only %d of 4 nodes own keys", len(count))
+	}
+}
+
+// TestMinimalDisruption is the consistent-hashing property: growing a
+// 4-node ring to 5 re-homes roughly 1/5 of the keys and never moves a
+// key between two surviving nodes.
+func TestMinimalDisruption(t *testing.T) {
+	before := New(0, "n1", "n2", "n3", "n4")
+	after := New(0, "n1", "n2", "n3", "n4", "n5")
+	ks := keys(4000)
+	moved := 0
+	for _, k := range ks {
+		was, is := before.Owner(k), after.Owner(k)
+		if was == is {
+			continue
+		}
+		moved++
+		if is != "n5" {
+			t.Fatalf("key %s moved %s -> %s: surviving nodes must keep their keys", k, was, is)
+		}
+	}
+	frac := float64(moved) / float64(len(ks))
+	if frac < 0.10 || frac > 0.35 {
+		t.Fatalf("adding 1 of 5 nodes moved %.0f%% of keys, want ~20%%", frac*100)
+	}
+}
+
+func TestOwnersRankingDistinctAndStable(t *testing.T) {
+	r := New(32, "n1", "n2", "n3")
+	owners := r.Owners("r0011223344556677", 5)
+	if len(owners) != 3 {
+		t.Fatalf("Owners returned %v, want all 3 distinct nodes", owners)
+	}
+	seen := map[string]bool{}
+	for _, o := range owners {
+		if seen[o] {
+			t.Fatalf("duplicate node in ranking %v", owners)
+		}
+		seen[o] = true
+	}
+	if owners[0] != r.Owner("r0011223344556677") {
+		t.Fatal("Owners[0] disagrees with Owner")
+	}
+}
+
+func TestEmptyRing(t *testing.T) {
+	r := New(8)
+	if r.Owner("k") != "" || r.Owners("k", 2) != nil {
+		t.Fatal("empty ring must own nothing")
+	}
+}

@@ -1,0 +1,40 @@
+package sched
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestWriteSchedPrometheus pins the exposition shape: gauge headers,
+// band labels, and per-tenant summaries for every tenant that ran.
+func TestWriteSchedPrometheus(t *testing.T) {
+	s := New(Config{Workers: 4, MaxActive: 2})
+	for _, tenant := range []string{"ra", "rb"} {
+		err := s.Run(context.Background(), tenant, Background, func(ctx context.Context, g *Grant) error {
+			n := g.Acquire(2)
+			g.Release(n)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("Run(%s): %v", tenant, err)
+		}
+	}
+	var sb strings.Builder
+	s.WriteSchedPrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE tsr_sched_workers gauge",
+		"tsr_sched_workers 4",
+		"tsr_sched_max_active 2",
+		"tsr_sched_queue_depth{band=\"interactive\"} 0",
+		"tsr_sched_jobs_total{band=\"background\"} 2",
+		"# TYPE tsr_sched_tenant_wait_seconds summary",
+		"tsr_sched_tenant_wait_seconds_count{tenant=\"ra\"} 1",
+		"tsr_sched_tenant_run_seconds_count{tenant=\"rb\"} 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}

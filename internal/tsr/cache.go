@@ -108,6 +108,9 @@ type counters struct {
 	// reads, and packages served streaming off the store instead of
 	// buffered whole.
 	manifestReads, rangeReads, streamedServes atomic.Int64
+	// ingested counts operator-registered packages accepted through the
+	// batched ingest path (RegisterPackages), including journal replays.
+	ingested atomic.Int64
 }
 
 // CacheStats are cumulative per-repository counters, exposed over the
@@ -148,6 +151,30 @@ type CacheStats struct {
 	// StreamedServes counts packages served streaming from the store
 	// (hash-as-you-copy) instead of buffered whole.
 	StreamedServes int64 `json:"streamed_serves"`
+	// Ingested counts operator-registered packages accepted through the
+	// batched ingest path, including crash-recovery journal replays.
+	Ingested int64 `json:"ingested"`
+}
+
+// add returns the element-wise sum, for service-level totals.
+func (c CacheStats) add(o CacheStats) CacheStats {
+	return CacheStats{
+		Refreshes:      c.Refreshes + o.Refreshes,
+		CacheHits:      c.CacheHits + o.CacheHits,
+		Sanitized:      c.Sanitized + o.Sanitized,
+		Rejected:       c.Rejected + o.Rejected,
+		Downloaded:     c.Downloaded + o.Downloaded,
+		Failed:         c.Failed + o.Failed,
+		IndexReads:     c.IndexReads + o.IndexReads,
+		PackageReads:   c.PackageReads + o.PackageReads,
+		NotModified:    c.NotModified + o.NotModified,
+		DeltaReads:     c.DeltaReads + o.DeltaReads,
+		CoalescedFills: c.CoalescedFills + o.CoalescedFills,
+		ManifestReads:  c.ManifestReads + o.ManifestReads,
+		RangeReads:     c.RangeReads + o.RangeReads,
+		StreamedServes: c.StreamedServes + o.StreamedServes,
+		Ingested:       c.Ingested + o.Ingested,
+	}
 }
 
 // CacheStats returns the cumulative counters. Lock-free: safe to call
@@ -168,5 +195,6 @@ func (r *Repo) CacheStats() CacheStats {
 		ManifestReads:  r.totals.manifestReads.Load(),
 		RangeReads:     r.totals.rangeReads.Load(),
 		StreamedServes: r.totals.streamedServes.Load(),
+		Ingested:       r.totals.ingested.Load(),
 	}
 }

@@ -31,16 +31,25 @@ const (
 // refused with 413 rather than silently truncated.
 const maxPolicyBytes = 10 << 20
 
+// maxIngestBytes caps POST /repos/{id}/ingest request bodies.
+const maxIngestBytes = 64 << 20
+
 // Handler exposes the Service as the REST API of §5.2:
 //
-//	POST /policies                  deploy a policy, returns repo id +
-//	                                public key + attestation report
+//	POST /policies                  deploy a policy (optional ?id= for
+//	                                router-chosen placement), returns
+//	                                repo id + public key + attestation
+//	                                report
 //	POST /repos/{id}/refresh        pull upstream and re-sanitize
+//	POST /repos/{id}/ingest         bulk-register original packages
+//	                                (chunk-framed body, crash-safe)
 //	GET  /repos/{id}/index          the signed metadata index
 //	GET  /repos/{id}/packages/{pkg} a sanitized package
 //	GET  /repos/{id}/rejected       rejected packages and reasons
 //	GET  /repos/{id}/findings       security findings
 //	GET  /repos/{id}/stats          cumulative refresh/cache counters
+//	GET  /stats                     service-wide: per-tenant counters,
+//	                                totals, scheduler snapshot
 //	GET  /healthz                   liveness
 func Handler(s *Service) http.Handler {
 	mux := http.NewServeMux()
@@ -60,7 +69,7 @@ func Handler(s *Service) http.Handler {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		id, pub, report, err := s.DeployPolicy(body)
+		id, pub, report, err := s.DeployPolicyID(body, r.URL.Query().Get("id"))
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err)
 			return
@@ -100,6 +109,39 @@ func Handler(s *Service) http.Handler {
 			"mirrors_contacted": stats.MirrorsContacted,
 		})
 	})
+	mux.HandleFunc("POST /repos/{id}/ingest", func(w http.ResponseWriter, r *http.Request) {
+		repo, err := s.Repo(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		// The body is a sequence of chunk-framed packages (the same
+		// length-prefixed framing the sealed state uses): 8-byte
+		// big-endian length, then the raw package bytes, repeated.
+		//lint:allow streamserve bulk ingest upload, bounded by maxIngestBytes; not a package-serving body
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxIngestBytes))
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				httpError(w, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("ingest body exceeds %d bytes", tooBig.Limit))
+				return
+			}
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		raws, err := DecodeIngestBody(body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		stats, err := repo.RegisterPackages(r.Context(), raws)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, stats)
+	})
 	mux.HandleFunc("GET /repos/{id}/stats", func(w http.ResponseWriter, r *http.Request) {
 		repo, err := s.Repo(r.PathValue("id"))
 		if err != nil {
@@ -107,6 +149,9 @@ func Handler(s *Service) http.Handler {
 			return
 		}
 		writeJSON(w, repo.CacheStats())
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Stats())
 	})
 	mux.HandleFunc("GET /repos/{id}/index", func(w http.ResponseWriter, r *http.Request) {
 		repo, err := s.Repo(r.PathValue("id"))

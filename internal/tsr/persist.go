@@ -2,6 +2,7 @@ package tsr
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -137,6 +138,12 @@ type RestoredRepo struct {
 	// missing state blob. The repository is still deployed and heals on
 	// its next Refresh.
 	Err error
+	// ReplayedIngests counts journaled bulk-ingest batches (crashed
+	// mid-apply) that were replayed to completion for this repository.
+	ReplayedIngests int
+	// ReplayErr, when non-nil, says why a journaled batch could not be
+	// replayed; the batch stays pending and is retried next restart.
+	ReplayErr error
 }
 
 // RestoreAll scans the store for persisted repositories and restores
@@ -169,7 +176,47 @@ func (s *Service) RestoreAll() ([]RestoredRepo, error) {
 	for _, mk := range metaKeys {
 		out = append(out, s.restoreOne(mk))
 	}
+	s.replayIngests(out)
 	return out, nil
+}
+
+// replayIngests re-runs journaled bulk-ingest batches that crashed
+// between their append and their commit. Undecodable payloads and
+// batches addressed to vanished tenants are dropped (committed); a
+// batch whose apply fails stays pending for the next restart and is
+// surfaced on its repository's RestoredRepo.
+func (s *Service) replayIngests(restored []RestoredRepo) {
+	if s.journal == nil {
+		return
+	}
+	byID := make(map[string]*RestoredRepo, len(restored))
+	for i := range restored {
+		byID[restored[i].ID] = &restored[i]
+	}
+	_ = s.journal.Replay(func(e store.JournalEntry) error {
+		id, raws, err := decodeIngestPayload(s, e.Payload)
+		if err != nil {
+			return nil // tampered/foreign payload: drop it
+		}
+		s.mu.RLock()
+		r, ok := s.repos[id]
+		s.mu.RUnlock()
+		if !ok {
+			return nil // tenant undeployed since the append: drop it
+		}
+		_, err = r.registerReplay(context.Background(), raws)
+		rr := byID[id]
+		if err != nil {
+			if rr != nil && rr.ReplayErr == nil {
+				rr.ReplayErr = err
+			}
+			return err
+		}
+		if rr != nil {
+			rr.ReplayedIngests++
+		}
+		return nil
+	})
 }
 
 // restoreOne rebuilds a single repository from its sealed meta blob and

@@ -21,6 +21,7 @@ import (
 	"tsr/internal/policy"
 	"tsr/internal/quorum"
 	"tsr/internal/sanitize"
+	"tsr/internal/sched"
 	"tsr/internal/script"
 	"tsr/internal/store"
 	"tsr/internal/trace"
@@ -147,6 +148,7 @@ type Repo struct {
 	scripts        map[string]scriptsEntry // package -> last decoded hook scripts (plan scan cache)
 	pinned         map[string]index.Entry  // packages serving a previous version after a failed refresh: name -> the upstream entry that version came from
 	planDebt       map[string]bool         // packages whose current-version scripts did not inform the plan (fetch failed); re-fetched and re-planned next refresh
+	registered     map[string]index.Entry  // operator-registered original packages (batched ingest): name -> entry describing the ORIGINAL bytes; refresh sanitizes them alongside upstream targets unless an upstream package of the same name shadows the registration
 	keepStats      bool
 	seq            uint64             // local index sequence
 	history        []index.Generation // recent published generations, for delta sync (see snapshot.go)
@@ -196,6 +198,7 @@ func newRepo(id string, pol *policy.Policy, signKey *keys.Pair, svc *Service) (*
 		scripts:      make(map[string]scriptsEntry),
 		pinned:       make(map[string]index.Entry),
 		planDebt:     make(map[string]bool),
+		registered:   make(map[string]index.Entry),
 		servedWrites: make(map[string]struct{}),
 	}
 	members := make([]quorum.Member, 0, len(pol.Mirrors))
@@ -394,7 +397,27 @@ func (r *Repo) Refresh() (*RefreshStats, error) {
 // "origin.refresh" span with a child span per stage (quorum, fetch,
 // plan, sanitize, sign, publish, seal), so a refresh shows up as a
 // single inspectable tree under /debug/traces.
-func (r *Repo) RefreshCtx(ctx context.Context) (stats *RefreshStats, err error) {
+//
+// The cycle is admitted through the service's global scheduler at
+// Interactive priority: an operator-triggered refresh jumps queued
+// background work. With a zero scheduler config (the single-tenant
+// default) admission is a pass-through.
+func (r *Repo) RefreshCtx(ctx context.Context) (*RefreshStats, error) {
+	return r.refreshScheduled(ctx, sched.Interactive)
+}
+
+// RefreshBackgroundCtx is RefreshCtx at Background priority — the band
+// the auto-refresh loop uses, so periodic fleet-wide refreshes queue
+// behind (and are preempted by) operator-triggered work.
+func (r *Repo) RefreshBackgroundCtx(ctx context.Context) (*RefreshStats, error) {
+	return r.refreshScheduled(ctx, sched.Background)
+}
+
+// refreshScheduled wraps the refresh cycle in its trace span and runs
+// it as one scheduler job: admission (weighted-fair, priority-banded)
+// happens first, then the cycle leases worker slots from the global
+// pool batch by batch via the Grant.
+func (r *Repo) refreshScheduled(ctx context.Context, pri sched.Priority) (stats *RefreshStats, err error) {
 	ctx, sp := trace.Start(ctx, "origin.refresh")
 	defer func() {
 		if stats != nil {
@@ -407,7 +430,17 @@ func (r *Repo) RefreshCtx(ctx context.Context) (stats *RefreshStats, err error) 
 		sp.End()
 	}()
 	sp.SetTier("origin")
+	err = r.svc.sched.Run(ctx, r.ID, pri, func(ctx context.Context, g *sched.Grant) error {
+		var ferr error
+		stats, ferr = r.refreshGranted(ctx, g)
+		return ferr
+	})
+	return stats, err
+}
 
+// refreshGranted is the refresh cycle body, already admitted by the
+// scheduler and holding g for worker-slot leases.
+func (r *Repo) refreshGranted(ctx context.Context, g *sched.Grant) (stats *RefreshStats, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	workers := r.workers
@@ -489,8 +522,12 @@ func (r *Repo) RefreshCtx(ctx context.Context) (stats *RefreshStats, err error) 
 		err     error
 	}
 	fouts := make([]fetchOut, len(work))
-	for base := 0; base < len(work); base += workers {
-		batch := work[base:min(base+workers, len(work))]
+	for base := 0; base < len(work); {
+		// Lease this batch's goroutines from the global pool: the batch
+		// shrinks below the per-repo workers cap when other tenants hold
+		// slots, so the fleet-wide in-flight total stays bounded.
+		lease := g.Acquire(min(workers, len(work)-base))
+		batch := work[base : base+lease]
 		var wg sync.WaitGroup
 		for j := range batch {
 			wg.Add(1)
@@ -516,6 +553,8 @@ func (r *Repo) RefreshCtx(ctx context.Context) (stats *RefreshStats, err error) 
 			batchDl = append(batchDl, fouts[base+j].dlBytes)
 		}
 		r.chargeBatchDownloads(stats, batchDl)
+		g.Release(lease)
+		base += lease
 	}
 	// Plan debt: packages whose scripts at the current upstream version
 	// are still unknown after stage 1. They keep forcing plan rebuilds
@@ -595,6 +634,31 @@ func (r *Repo) RefreshCtx(ctx context.Context) (stats *RefreshStats, err error) 
 		}
 		targets = append(targets, e)
 	}
+	// Operator-registered packages (batched ingest) join the targets —
+	// their originals sit in the cache under the same content-addressed
+	// keys, so the sanitization cache treats them exactly like upstream
+	// packages. An upstream package of the same name shadows the
+	// registration (the mirror fleet outranks the operator).
+	if len(r.registered) > 0 {
+		regNames := make([]string, 0, len(r.registered))
+		for name := range r.registered {
+			regNames = append(regNames, name)
+		}
+		sort.Strings(regNames)
+		for _, name := range regNames {
+			e := r.registered[name]
+			if _, err := newUpstream.Lookup(name); err == nil {
+				continue
+			}
+			if !r.policy.Allows(name) {
+				continue
+			}
+			if r.rejectedKey[name] == r.sanCacheKey(e.Hash, planHash) {
+				continue
+			}
+			targets = append(targets, e)
+		}
+	}
 
 	// Workers keep only the result metadata needed for accounting; the
 	// full Result (sanitized bytes plus the decoded package) is
@@ -616,8 +680,9 @@ func (r *Repo) RefreshCtx(ctx context.Context) (stats *RefreshStats, err error) 
 	}
 	keepStats := r.keepStats
 	souts := make([]sanOut, len(targets))
-	for base := 0; base < len(targets); base += workers {
-		batch := targets[base:min(base+workers, len(targets))]
+	for base := 0; base < len(targets); {
+		lease := g.Acquire(min(workers, len(targets)-base))
+		batch := targets[base : base+lease]
 		var wg sync.WaitGroup
 		for j := range batch {
 			wg.Add(1)
@@ -699,6 +764,8 @@ func (r *Repo) RefreshCtx(ctx context.Context) (stats *RefreshStats, err error) 
 		for j := range batch {
 			delete(raws, batch[j].Name)
 		}
+		g.Release(lease)
+		base += lease
 	}
 
 	st.next("refresh.sign")
@@ -768,12 +835,20 @@ func (r *Repo) RefreshCtx(ctx context.Context) (stats *RefreshStats, err error) 
 	st.next("refresh.publish")
 	// Evict state for packages that left the upstream: script cache and
 	// rejection bookkeeping would otherwise grow forever under churn.
+	// Registered packages live outside the upstream index, so their
+	// state survives until Unregister.
 	for name := range r.scripts {
+		if _, ok := r.registered[name]; ok {
+			continue
+		}
 		if _, err := newUpstream.Lookup(name); err != nil {
 			delete(r.scripts, name)
 		}
 	}
 	for name := range r.rejected {
+		if _, ok := r.registered[name]; ok {
+			continue
+		}
 		if _, err := newUpstream.Lookup(name); err != nil {
 			delete(r.rejected, name)
 			delete(r.rejectedKey, name)
@@ -813,6 +888,9 @@ func (r *Repo) RefreshCtx(ctx context.Context) (stats *RefreshStats, err error) 
 		if pe, ok := newPinned[name]; ok && pe.Hash == hash {
 			return
 		}
+		if re, ok := r.registered[name]; ok && re.Hash == hash {
+			return
+		}
 		if ne, err := newUpstream.Lookup(name); err == nil && ne.Hash == hash {
 			return
 		}
@@ -834,6 +912,13 @@ func (r *Repo) RefreshCtx(ctx context.Context) (stats *RefreshStats, err error) 
 	// publish an index entry with no bytes behind it. (After a
 	// ForceReplan oldPlanHash is zero and these deletes address keys
 	// that never existed — harmless no-ops.)
+	if oldPlanHash != planHash {
+		// Registered packages' cache metadata under the outgoing plan is
+		// equally stale (their bytes were re-sanitized above).
+		for _, e := range r.registered {
+			_ = r.svc.cfg.Store.Delete(r.sanCacheKey(e.Hash, oldPlanHash))
+		}
+	}
 	if oldUpstream != nil && oldPlanHash != planHash {
 		for _, e := range oldUpstream.Entries {
 			_ = r.svc.cfg.Store.Delete(r.sanCacheKey(e.Hash, oldPlanHash))
@@ -868,6 +953,9 @@ func (r *Repo) RefreshCtx(ctx context.Context) (stats *RefreshStats, err error) 
 		}
 		for name, pe := range newPinned {
 			keep[r.origKey(name, pe.Hash)] = struct{}{}
+		}
+		for name, re := range r.registered {
+			keep[r.origKey(name, re.Hash)] = struct{}{}
 		}
 		for key := range recorded {
 			if _, ok := keep[key]; !ok {
@@ -1049,14 +1137,38 @@ func (r *Repo) SealState() ([]byte, error) {
 	return r.sealStateLocked()
 }
 
-// sealStateLocked is SealState with r.mu held.
+// sealStateLocked is SealState with r.mu held. A repository that has
+// published only ingested packages (no refresh yet) checkpoints with
+// an empty upstream index.
 func (r *Repo) sealStateLocked() ([]byte, error) {
-	if r.upstream == nil || r.localSig == nil {
+	if r.localSig == nil {
 		return nil, ErrNotInitialized
 	}
+	up := r.upstream
+	if up == nil {
+		up = &index.Index{}
+	}
 	mc := r.svc.cfg.TPM.IncrementCounter(r.counterID())
-	blob := encodeState(mc, r.upstream.Encode(), r.localSig, r.seq)
+	blob := encodeState(mc, up.Encode(), r.localSig, r.seq, r.registeredEntriesLocked())
 	return r.svc.Seal(blob)
+}
+
+// registeredEntriesLocked returns the operator-registered entries in
+// name order (deterministic checkpoints).
+func (r *Repo) registeredEntriesLocked() []index.Entry {
+	if len(r.registered) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(r.registered))
+	for name := range r.registered {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]index.Entry, 0, len(names))
+	for _, name := range names {
+		out = append(out, r.registered[name])
+	}
+	return out
 }
 
 // RestoreState unseals a blob and verifies its monotonic counter value
@@ -1066,7 +1178,7 @@ func (r *Repo) RestoreState(sealed []byte) error {
 	if err != nil {
 		return err
 	}
-	mc, upstreamRaw, localSig, seq, err := decodeState(blob)
+	mc, upstreamRaw, localSig, seq, registered, err := decodeState(blob)
 	if err != nil {
 		return err
 	}
@@ -1088,6 +1200,10 @@ func (r *Repo) RestoreState(sealed []byte) error {
 	r.local = local
 	r.localSig = localSig
 	r.seq = seq
+	r.registered = make(map[string]index.Entry, len(registered))
+	for _, e := range registered {
+		r.registered[e.Name] = e
+	}
 	// Publish the restored state so serving resumes immediately (the
 	// sanitization plan is rebuilt by the next refresh; until then,
 	// requests are answered from the sanitized cache).
@@ -1095,8 +1211,11 @@ func (r *Repo) RestoreState(sealed []byte) error {
 	return nil
 }
 
-// encodeState serializes (mc, upstream, localSigned, seq).
-func encodeState(mc uint64, upstream []byte, localSig *index.Signed, seq uint64) []byte {
+// encodeState serializes (mc, upstream, localSigned, seq, registered).
+// The registered chunk is appended only when non-empty, so checkpoints
+// of tenants that never ingested are byte-identical to the historical
+// format (and historical checkpoints decode cleanly).
+func encodeState(mc uint64, upstream []byte, localSig *index.Signed, seq uint64, registered []index.Entry) []byte {
 	var buf bytes.Buffer
 	var n [8]byte
 	binary.BigEndian.PutUint64(n[:], mc)
@@ -1107,37 +1226,55 @@ func encodeState(mc uint64, upstream []byte, localSig *index.Signed, seq uint64)
 	writeChunk(&buf, localSig.Raw)
 	writeChunk(&buf, []byte(localSig.KeyName))
 	writeChunk(&buf, localSig.Sig)
+	if len(registered) > 0 {
+		reg := &index.Index{Origin: "registered"}
+		for _, e := range registered {
+			reg.Add(e)
+		}
+		writeChunk(&buf, reg.Encode())
+	}
 	return buf.Bytes()
 }
 
-func decodeState(blob []byte) (mc uint64, upstream []byte, localSig *index.Signed, seq uint64, err error) {
+func decodeState(blob []byte) (mc uint64, upstream []byte, localSig *index.Signed, seq uint64, registered []index.Entry, err error) {
 	buf := bytes.NewReader(blob)
 	var n [8]byte
 	if _, err = buf.Read(n[:]); err != nil {
-		return 0, nil, nil, 0, fmt.Errorf("tsr: sealed state: %w", err)
+		return 0, nil, nil, 0, nil, fmt.Errorf("tsr: sealed state: %w", err)
 	}
 	mc = binary.BigEndian.Uint64(n[:])
 	if _, err = buf.Read(n[:]); err != nil {
-		return 0, nil, nil, 0, fmt.Errorf("tsr: sealed state: %w", err)
+		return 0, nil, nil, 0, nil, fmt.Errorf("tsr: sealed state: %w", err)
 	}
 	seq = binary.BigEndian.Uint64(n[:])
 	upstream, err = readChunk(buf)
 	if err != nil {
-		return 0, nil, nil, 0, err
+		return 0, nil, nil, 0, nil, err
 	}
 	raw, err := readChunk(buf)
 	if err != nil {
-		return 0, nil, nil, 0, err
+		return 0, nil, nil, 0, nil, err
 	}
 	keyName, err := readChunk(buf)
 	if err != nil {
-		return 0, nil, nil, 0, err
+		return 0, nil, nil, 0, nil, err
 	}
 	sig, err := readChunk(buf)
 	if err != nil {
-		return 0, nil, nil, 0, err
+		return 0, nil, nil, 0, nil, err
 	}
-	return mc, upstream, &index.Signed{Raw: raw, KeyName: string(keyName), Sig: sig}, seq, nil
+	if buf.Len() > 0 {
+		regRaw, rerr := readChunk(buf)
+		if rerr != nil {
+			return 0, nil, nil, 0, nil, rerr
+		}
+		reg, rerr := index.Decode(regRaw)
+		if rerr != nil {
+			return 0, nil, nil, 0, nil, fmt.Errorf("tsr: sealed state: registered entries: %w", rerr)
+		}
+		registered = reg.Entries
+	}
+	return mc, upstream, &index.Signed{Raw: raw, KeyName: string(keyName), Sig: sig}, seq, registered, nil
 }
 
 func writeChunk(buf *bytes.Buffer, data []byte) { store.WriteChunk(buf, data) }

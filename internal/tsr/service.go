@@ -6,6 +6,9 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"regexp"
+	"sort"
+	"strings"
 	"sync"
 
 	"tsr/internal/enclave"
@@ -13,6 +16,8 @@ import (
 	"tsr/internal/netsim"
 	"tsr/internal/policy"
 	"tsr/internal/quorum"
+	"tsr/internal/sched"
+	"tsr/internal/store"
 	"tsr/internal/tpm"
 )
 
@@ -45,10 +50,22 @@ type Config struct {
 	// EPC selects the SGX cost model; zero value disables it (the
 	// "TSR without SGX" baseline of Figure 12).
 	EPC enclave.CostModel
-	// Workers bounds the refresh pipeline concurrency: each refresh
-	// downloads originals and sanitizes packages in batches of Workers
-	// goroutines. 0 or 1 runs the paper's sequential prototype.
+	// Workers bounds EACH repository's refresh pipeline concurrency:
+	// a refresh downloads originals and sanitizes packages in batches
+	// of up to Workers goroutines. 0 or 1 runs the paper's sequential
+	// prototype.
 	Workers int
+	// RefreshWorkers bounds the GLOBAL refresh slot pool shared by
+	// every tenant (see internal/sched): the sum of all tenants'
+	// in-flight pipeline goroutines never exceeds it. 0 = unbounded,
+	// leaving the per-repo Workers cap as the only limit — the
+	// historical single-tenant behaviour.
+	RefreshWorkers int
+	// SchedMaxActive bounds how many refresh/ingest jobs run
+	// concurrently through the scheduler; queued jobs are admitted in
+	// weighted-fair order with operator (Interactive) priority first.
+	// 0 = unbounded.
+	SchedMaxActive int
 	// AutoPersist journals sealed repository metadata (at DeployPolicy)
 	// and sealed state checkpoints (after every successful Refresh)
 	// into the Store, so a restarted service warm-boots via RestoreAll.
@@ -66,10 +83,21 @@ type PackageFetcher interface {
 type Service struct {
 	cfg     Config
 	enclave *enclave.Enclave
+	sched   *sched.Scheduler
+	// journal is the crash-safe bulk-ingest intent log (nil unless
+	// AutoPersist): each RegisterPackages call appends its payload
+	// before any effect lands and commits after the sealed checkpoint,
+	// so a crash mid-ingest replays to completion on the next boot.
+	journal *store.Journal
 
 	mu    sync.RWMutex
 	repos map[string]*Repo
 }
+
+// ingestJournalPrefix keys journaled bulk-ingest intents; it lives
+// outside every repository's "<id>/..." cache namespace, like
+// tsrmeta/ and tsrstate/.
+const ingestJournalPrefix = "tsringest/"
 
 // New launches TSR inside an enclave on the given platform.
 func New(cfg Config) (*Service, error) {
@@ -83,8 +111,24 @@ func New(cfg Config) (*Service, error) {
 		cfg.Clock = netsim.RealClock{}
 	}
 	enc := cfg.Platform.Launch(enclave.MeasureCode(CodeIdentity))
-	return &Service{cfg: cfg, enclave: enc, repos: make(map[string]*Repo)}, nil
+	s := &Service{
+		cfg:     cfg,
+		enclave: enc,
+		sched:   sched.New(sched.Config{Workers: cfg.RefreshWorkers, MaxActive: cfg.SchedMaxActive}),
+		repos:   make(map[string]*Repo),
+	}
+	if cfg.AutoPersist {
+		j, err := store.OpenJournal(cfg.Store, ingestJournalPrefix)
+		if err != nil {
+			return nil, fmt.Errorf("tsr: opening ingest journal: %w", err)
+		}
+		s.journal = j
+	}
+	return s, nil
 }
+
+// Scheduler exposes the global refresh scheduler (stats, weights).
+func (s *Service) Scheduler() *sched.Scheduler { return s.sched }
 
 // Measurement returns the enclave measurement OS owners expect.
 func Measurement() enclave.Measurement { return enclave.MeasureCode(CodeIdentity) }
@@ -95,11 +139,24 @@ func (s *Service) Attest(reportData [64]byte) (*enclave.Report, error) {
 	return s.enclave.Attest(reportData)
 }
 
+// repoIDPattern is the only id shape DeployPolicyID accepts from a
+// caller: the exact format DeployPolicy itself generates. Routers rely
+// on this to pre-compute a repo's shard placement before deploying it.
+var repoIDPattern = regexp.MustCompile(`^r[0-9a-f]{16}$`)
+
 // DeployPolicy validates a policy, creates the tenant repository with a
 // fresh signing key generated inside the enclave, and returns the
 // repository id, the public signing key (PEM), and an attestation
 // report over the key — the Figure 7 protocol.
 func (s *Service) DeployPolicy(raw []byte) (repoID string, publicKeyPEM []byte, report *enclave.Report, err error) {
+	return s.DeployPolicyID(raw, "")
+}
+
+// DeployPolicyID is DeployPolicy with a caller-chosen repository id
+// (sharding routers pick the id first so its ring placement is known
+// up front). An empty id generates one; a non-empty id must match the
+// generated format and be unused.
+func (s *Service) DeployPolicyID(raw []byte, id string) (repoID string, publicKeyPEM []byte, report *enclave.Report, err error) {
 	pol, err := policy.Parse(raw)
 	if err != nil {
 		return "", nil, nil, err
@@ -107,11 +164,24 @@ func (s *Service) DeployPolicy(raw []byte) (repoID string, publicKeyPEM []byte, 
 	if err := pol.Validate(); err != nil {
 		return "", nil, nil, err
 	}
-	var idBytes [8]byte
-	if _, err := rand.Read(idBytes[:]); err != nil {
-		return "", nil, nil, fmt.Errorf("tsr: repository id: %w", err)
+	if id != "" {
+		if !repoIDPattern.MatchString(id) {
+			return "", nil, nil, fmt.Errorf("tsr: repository id %q must match %s", id, repoIDPattern)
+		}
+		repoID = id
+	} else {
+		var idBytes [8]byte
+		if _, err := rand.Read(idBytes[:]); err != nil {
+			return "", nil, nil, fmt.Errorf("tsr: repository id: %w", err)
+		}
+		repoID = "r" + hex.EncodeToString(idBytes[:])
 	}
-	repoID = "r" + hex.EncodeToString(idBytes[:])
+	s.mu.RLock()
+	_, taken := s.repos[repoID]
+	s.mu.RUnlock()
+	if taken {
+		return "", nil, nil, fmt.Errorf("tsr: repository id %q already deployed", repoID)
+	}
 
 	signKey, err := keys.Generate("tsr-" + repoID)
 	if err != nil {
@@ -158,13 +228,91 @@ func (s *Service) Repo(id string) (*Repo, error) {
 	return r, nil
 }
 
-// RepoIDs lists the deployed repositories.
+// RepoIDs lists the deployed repositories in sorted order, so that
+// iteration-order consumers (auto-refresh scheduling, /stats, CLI
+// output) are deterministic across restarts of the same fleet.
 func (s *Service) RepoIDs() []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make([]string, 0, len(s.repos))
 	for id := range s.repos {
 		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Undeploy removes a tenant repository and deletes its durable state:
+// sealed metadata, sealed checkpoint, pending journaled ingests, and —
+// best effort — its cache namespace. In-flight requests holding the
+// *Repo finish against the final published snapshot.
+func (s *Service) Undeploy(id string) error {
+	s.mu.Lock()
+	_, ok := s.repos[id]
+	if ok {
+		delete(s.repos, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoRepo, id)
+	}
+	if s.journal != nil {
+		// Drop pending ingests addressed to the dead tenant so a later
+		// restart does not replay into a missing repo.
+		pending, err := s.journal.Pending()
+		if err == nil {
+			for _, e := range pending {
+				if ingestPayloadRepo(e.Payload, s) == id {
+					_ = s.journal.Commit(e.Seq)
+				}
+			}
+		}
+	}
+	if s.cfg.AutoPersist {
+		if err := s.cfg.Store.Delete(MetaStoreKey(id)); err != nil && err != store.ErrNotFound {
+			return fmt.Errorf("tsr: undeploy %s: %w", id, err)
+		}
+		if err := s.cfg.Store.Delete(StateStoreKey(id)); err != nil && err != store.ErrNotFound {
+			return fmt.Errorf("tsr: undeploy %s: %w", id, err)
+		}
+	}
+	if it, ok := s.cfg.Store.(store.Iterable); ok {
+		var doomed []string
+		_ = it.Iterate(func(info store.Info) bool {
+			if strings.HasPrefix(info.Key, id+"/") {
+				doomed = append(doomed, info.Key)
+			}
+			return true
+		})
+		for _, k := range doomed {
+			_ = s.cfg.Store.Delete(k)
+		}
+	}
+	return nil
+}
+
+// ServiceStats aggregates the whole origin for the service-level
+// GET /stats endpoint: per-tenant cache counters, their sum, and a
+// snapshot of the shared refresh scheduler.
+type ServiceStats struct {
+	Repos  map[string]CacheStats `json:"repos"`
+	Totals CacheStats            `json:"totals"`
+	Sched  sched.Snapshot        `json:"sched"`
+}
+
+// Stats snapshots every tenant's counters plus the scheduler state.
+func (s *Service) Stats() ServiceStats {
+	out := ServiceStats{Repos: make(map[string]CacheStats), Sched: s.sched.Snapshot()}
+	s.mu.RLock()
+	repos := make([]*Repo, 0, len(s.repos))
+	for _, r := range s.repos {
+		repos = append(repos, r)
+	}
+	s.mu.RUnlock()
+	for _, r := range repos {
+		cs := r.CacheStats()
+		out.Repos[r.ID] = cs
+		out.Totals = out.Totals.add(cs)
 	}
 	return out
 }

@@ -41,10 +41,13 @@ type world struct {
 // platform — so persistence tests can share them across simulated
 // restarts. Zero value: fresh MemStore, fresh TPM, fresh platform.
 type worldCfg struct {
-	store       Store
-	tpm         *tpm.TPM
-	platform    *enclave.Platform
-	autoPersist bool
+	store          Store
+	tpm            *tpm.TPM
+	platform       *enclave.Platform
+	autoPersist    bool
+	refreshWorkers int
+	schedMaxActive int
+	workers        int
 }
 
 func newWorld(t *testing.T, nMirrors int) *world {
@@ -109,14 +112,17 @@ func newWorldCfg(t *testing.T, nMirrors int, wc worldCfg) *world {
 		hostTPM = tpmForTest(t)
 	}
 	svc, err := New(Config{
-		Platform:    platform,
-		TPM:         hostTPM,
-		Clock:       netsim.NewVirtualClock(time.Time{}),
-		Link:        netsim.DefaultLinkModel(netsim.NewRNG(7)),
-		Local:       netsim.Europe,
-		Store:       w.backing,
-		AutoPersist: wc.autoPersist,
-		EPC:         enclave.DefaultCostModel(),
+		Platform:       platform,
+		TPM:            hostTPM,
+		Clock:          netsim.NewVirtualClock(time.Time{}),
+		Link:           netsim.DefaultLinkModel(netsim.NewRNG(7)),
+		Local:          netsim.Europe,
+		Store:          w.backing,
+		AutoPersist:    wc.autoPersist,
+		Workers:        wc.workers,
+		RefreshWorkers: wc.refreshWorkers,
+		SchedMaxActive: wc.schedMaxActive,
+		EPC:            enclave.DefaultCostModel(),
 		Resolve: func(m policy.Mirror) (quorum.Source, PackageFetcher, error) {
 			mm, ok := byHost[m.Hostname]
 			if !ok {
